@@ -1,0 +1,97 @@
+// Shared harness code for the paper-reproduction benchmarks: builds the
+// TPC-H database once, exports it for generated programs, and runs a query
+// under a stack configuration through the full native pipeline
+// (compile -> emit C -> cc -> execute).
+#ifndef QC_BENCH_BENCH_UTIL_H_
+#define QC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cgen/cc_driver.h"
+#include "common/timer.h"
+#include "cgen/emit.h"
+#include "compiler/compiler.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace qc::bench {
+
+struct NativeRun {
+  bool ok = false;
+  double query_ms = 0;
+  double generate_ms = 0;  // DBLAB/LB-side: lowering + passes + C emission
+  double cc_ms = 0;        // C compiler time
+  size_t mem_bytes = 0;
+  int64_t rows = 0;
+};
+
+class Harness {
+ public:
+  explicit Harness(double scale_factor, const std::string& tag)
+      : db_(tpch::MakeTpchDatabase(scale_factor)),
+        dir_("/tmp/qcstack_bench_" + tag),
+        driver_(dir_) {
+    std::system(("mkdir -p " + dir_).c_str());
+    db_.ExportBinary(dir_);
+  }
+
+  storage::Database& db() { return db_; }
+
+  NativeRun RunNative(int query, const compiler::StackConfig& cfg,
+                      int repetitions = 2) {
+    NativeRun out;
+    qplan::PlanPtr plan = tpch::MakeQuery(query);
+    qplan::ResolvePlan(plan.get(), db_);
+
+    Timer gen;
+    ir::TypeFactory types;
+    compiler::QueryCompiler qc(&db_, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, cfg, "q" + std::to_string(query));
+    std::string src = cgen::EmitProgram(*res.fn, db_, dir_);
+    out.generate_ms = gen.ElapsedMs();
+    db_.ExportAux(dir_);
+
+    std::string error;
+    std::string bin =
+        driver_.Compile("q" + std::to_string(query) + "_" + cfg.name, src,
+                        &out.cc_ms, &error);
+    if (bin.empty()) {
+      std::fprintf(stderr, "compile failed for Q%d %s:\n%s\n", query,
+                   cfg.name.c_str(), error.c_str());
+      return out;
+    }
+    double best = 1e300;
+    for (int r = 0; r < repetitions; ++r) {
+      cgen::RunOutput ro = driver_.Run(bin);
+      if (!ro.ok) {
+        std::fprintf(stderr, "run failed for Q%d %s: %s\n", query,
+                     cfg.name.c_str(), ro.error.c_str());
+        return out;
+      }
+      if (ro.query_ms < best) best = ro.query_ms;
+      out.mem_bytes = ro.mem_bytes;
+      out.rows = ro.rows;
+    }
+    out.query_ms = best;
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  storage::Database db_;
+  std::string dir_;
+  cgen::CcDriver driver_;
+};
+
+inline double BenchScaleFactor() {
+  const char* sf = std::getenv("QC_BENCH_SF");
+  return sf != nullptr ? std::atof(sf) : 0.05;
+}
+
+}  // namespace qc::bench
+
+#endif  // QC_BENCH_BENCH_UTIL_H_

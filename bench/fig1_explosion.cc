@@ -1,0 +1,59 @@
+// Reproduces Figure 1 / §5.1's scalability argument: composing
+// transformations in a single template-expansion step needs a rule per
+// *combination* of cases (O(n^2) fusion rules for n collection operators),
+// while the DSL-stack encoding needs one producer/consumer definition per
+// operator (O(n)) — and fusion itself measurably removes the intermediate
+// collections (unfused vs fused QMonad execution).
+#include <cstdio>
+
+#include "common/timer.h"
+#include "exec/interp.h"
+#include "qmonad/qmonad.h"
+#include "qplan/expr.h"
+#include "tpch/datagen.h"
+
+using namespace qc;           // NOLINT
+using namespace qc::qplan;    // NOLINT
+namespace qm = qc::qmonad;
+
+int main() {
+  std::printf("=== Figure 1: transformation-combination explosion ===\n");
+  qm::FusionRuleAccounting acc = qm::CountFusionRules();
+  std::printf("QMonad constructs:                        %d\n",
+              acc.constructs);
+  std::printf("pairwise fusion rules (template expander): %d  (n^2)\n",
+              acc.pairwise_rules);
+  std::printf("build/foreach definitions (shortcut):      %d  (n)\n",
+              acc.shortcut_rules);
+
+  std::printf("\nfusion effect (map.filter.join.count over TPC-H, SF=0.02):\n");
+  storage::Database db = tpch::MakeTpchDatabase(0.02);
+  auto make = [&] {
+    auto filtered = qm::Filter(qm::Source("orders"),
+                               Lt(Col("o_totalprice"), F(100000.0)));
+    auto joined = qm::HashJoin(qm::Source("lineitem"), std::move(filtered),
+                               Col("l_orderkey"), Col("o_orderkey"));
+    auto mapped = qm::Map(std::move(joined),
+                          {{"v", Mul(Col("l_extendedprice"),
+                                     Sub(F(1.0), Col("l_discount")))}});
+    return qm::Fold(std::move(mapped), {Sum(Col("v"), "rev")});
+  };
+
+  for (bool fused : {false, true}) {
+    auto q = make();
+    qm::ResolveMonad(q.get(), db);
+    ir::TypeFactory types;
+    auto fn = fused ? qm::LowerFused(*q, db, &types, "m")
+                    : qm::LowerUnfused(*q, db, &types, "m");
+    exec::Interpreter interp(&db);
+    Timer t;
+    storage::ResultTable r = interp.Run(*fn);
+    std::printf("  %-8s %8.1f ms   allocations: %8zu   bytes: %10zu\n",
+                fused ? "fused" : "unfused", t.ElapsedMs(),
+                interp.stats().heap_allocs, interp.stats().TotalBytes());
+  }
+  std::printf(
+      "(claim: fused avoids materializing every operator boundary — fewer "
+      "allocations, less memory, less time)\n");
+  return 0;
+}

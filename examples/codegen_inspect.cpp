@@ -1,0 +1,52 @@
+// C backend walkthrough: compiles TPC-H Q6 at the 2-level and 5-level
+// configurations and prints both generated C programs, making the effect of
+// the stack tangible — the 2-level program calls generic library
+// collections and mallocs records; the 5-level program is plain loops,
+// arrays and pools. If a C compiler is available the programs are also
+// compiled and executed.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cgen/cc_driver.h"
+#include "cgen/emit.h"
+#include "compiler/compiler.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+using namespace qc;  // NOLINT
+
+int main() {
+  storage::Database db = tpch::MakeTpchDatabase(0.005);
+  std::string dir = "/tmp/qcstack_codegen_example";
+  std::system(("mkdir -p " + dir).c_str());
+  db.ExportBinary(dir);
+
+  qplan::PlanPtr plan = tpch::MakeQuery(6);
+  qplan::ResolvePlan(plan.get(), db);
+
+  cgen::CcDriver driver(dir);
+  for (int level : {2, 5}) {
+    ir::TypeFactory types;
+    compiler::QueryCompiler qc(&db, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, compiler::StackConfig::Level(level), "q6");
+    std::string src = cgen::EmitProgram(*res.fn, db, dir);
+    db.ExportAux(dir);
+
+    std::printf("======== generated C, %d-level stack ========\n%s\n",
+                level, src.c_str());
+
+    double cc_ms = 0;
+    std::string error;
+    std::string bin = driver.Compile("q6_l" + std::to_string(level), src,
+                                     &cc_ms, &error);
+    if (bin.empty()) {
+      std::printf("(cc unavailable or failed: %s)\n", error.c_str());
+      continue;
+    }
+    cgen::RunOutput out = driver.Run(bin);
+    std::printf(">>> level %d: cc %.0f ms, query %.3f ms, %lld rows\n\n",
+                level, cc_ms, out.query_ms, static_cast<long long>(out.rows));
+  }
+  return 0;
+}

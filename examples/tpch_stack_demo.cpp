@@ -1,0 +1,61 @@
+// Stack-level walkthrough on TPC-H: generates a small database, then runs
+// Q3 (the shipping-priority query) through every stack configuration —
+// showing that results are identical while the compiled program gets
+// progressively more specialized (statement mix shifts from generic
+// collection calls to plain arrays and loops).
+#include <cstdio>
+#include <string>
+
+#include "common/timer.h"
+#include "compiler/compiler.h"
+#include "exec/interp.h"
+#include "ir/printer.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+using namespace qc;  // NOLINT
+
+namespace {
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("generating TPC-H SF=0.01...\n");
+  storage::Database db = tpch::MakeTpchDatabase(0.01);
+
+  qplan::PlanPtr plan = tpch::MakeQuery(3);
+  qplan::ResolvePlan(plan.get(), db);
+  std::printf("Q3 plan:\n%s\n", plan->ToString().c_str());
+
+  ir::TypeFactory types;
+  compiler::QueryCompiler qc(&db, &types);
+
+  std::printf("%-16s %10s %10s %8s %8s %8s\n", "config", "compile[ms]",
+              "run[ms]", "rows", "#generic", "#arrays");
+  for (int level = 2; level <= 5; ++level) {
+    compiler::StackConfig cfg = compiler::StackConfig::Level(level);
+    compiler::CompileResult res = qc.Compile(*plan, cfg, "q3");
+    std::string text = ir::PrintFunction(*res.fn);
+    exec::Interpreter interp(&db);
+    Timer t;
+    storage::ResultTable result = interp.Run(*res.fn);
+    std::printf("%-16s %10.1f %10.1f %8zu %8d %8d\n", cfg.name.c_str(),
+                res.total_ms, t.ElapsedMs(), result.size(),
+                CountOccurrences(text, "[lib]"),
+                CountOccurrences(text, "arr_"));
+  }
+  std::printf(
+      "\n(the 4/5-level stacks replace generic [lib] collections with "
+      "direct-addressed arrays and load-time indexes)\n");
+  return 0;
+}

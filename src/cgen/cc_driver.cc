@@ -1,0 +1,82 @@
+#include "cgen/cc_driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/timer.h"
+
+namespace qc::cgen {
+
+namespace {
+
+// Runs a shell command, capturing stdout into `out` (stderr appended).
+int RunCommand(const std::string& cmd, std::string* out) {
+  std::string full = cmd + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) {
+    if (out != nullptr) out->append(buf);
+  }
+  return pclose(pipe);
+}
+
+}  // namespace
+
+std::string CcDriver::Compile(const std::string& name,
+                              const std::string& source, double* compile_ms,
+                              std::string* error) {
+  std::string src_path = work_dir_ + "/" + name + ".c";
+  std::string bin_path = work_dir_ + "/" + name + ".bin";
+  {
+    std::ofstream f(src_path);
+    f << source;
+  }
+  // Generated code is C-style C++ (sort lambdas): compile with -x c++.
+  std::string cmd = "c++ -O2 -x c++ -std=c++17 -o " + bin_path + " " +
+                    src_path;
+  Timer t;
+  std::string log;
+  int rc = RunCommand(cmd, &log);
+  if (compile_ms != nullptr) *compile_ms = t.ElapsedMs();
+  if (rc != 0) {
+    if (error != nullptr) *error = log;
+    return "";
+  }
+  return bin_path;
+}
+
+RunOutput CcDriver::Run(const std::string& binary) {
+  RunOutput out;
+  std::string text;
+  int rc = RunCommand(binary, &text);
+  if (rc != 0) {
+    out.error = "exit code " + std::to_string(rc) + "\n" + text;
+    return out;
+  }
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    long long rows;
+    double ms;
+    size_t mem;
+    if (std::sscanf(line.c_str(), "ROWS=%lld TIME_MS=%lf MEM_BYTES=%zu",
+                    &rows, &ms, &mem) == 3) {
+      out.rows = rows;
+      out.query_ms = ms;
+      out.mem_bytes = mem;
+      out.ok = true;
+    } else if (line.rfind("ROW ", 0) == 0) {
+      out.row_text.push_back(line.substr(4));
+    }
+  }
+  if (!out.ok) out.error = "no ROWS= line in output:\n" + text;
+  return out;
+}
+
+}  // namespace qc::cgen

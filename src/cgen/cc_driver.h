@@ -1,0 +1,43 @@
+// Drives the system C compiler over generated translation units and runs
+// the resulting binaries — the back half of the paper's pipeline (generated
+// C compiled by CLang/GCC, Figure 9 splits the two phases) and the primary
+// measurement path for Table 3.
+#ifndef QC_CGEN_CC_DRIVER_H_
+#define QC_CGEN_CC_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+namespace qc::cgen {
+
+struct RunOutput {
+  bool ok = false;
+  int64_t rows = -1;
+  double query_ms = 0;      // measured inside the generated program
+  size_t mem_bytes = 0;     // allocation footprint of the generated program
+  std::vector<std::string> row_text;  // canonical "a|b|c" row dump
+  std::string error;
+};
+
+class CcDriver {
+ public:
+  // `work_dir` holds sources, binaries and data files.
+  explicit CcDriver(std::string work_dir) : work_dir_(std::move(work_dir)) {}
+
+  // Writes `source` to <name>.c and compiles it. Returns the binary path
+  // (empty on failure). `compile_ms` receives the C-compiler wall time.
+  std::string Compile(const std::string& name, const std::string& source,
+                      double* compile_ms, std::string* error = nullptr);
+
+  // Runs a compiled query binary and parses its output protocol.
+  RunOutput Run(const std::string& binary);
+
+  const std::string& work_dir() const { return work_dir_; }
+
+ private:
+  std::string work_dir_;
+};
+
+}  // namespace qc::cgen
+
+#endif  // QC_CGEN_CC_DRIVER_H_

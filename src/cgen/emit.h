@@ -1,0 +1,37 @@
+// C backend: unparses a C.Lite-level function into a standalone C-style
+// translation unit (the paper's "stringification" step of C.Scala -> C).
+// The generated program loads the binary column files exported by
+// storage::Database::ExportBinary/ExportAux, runs the query with wall-clock
+// timing around the query body only, and prints:
+//
+//     ROWS=<n> TIME_MS=<t> MEM_BYTES=<b>
+//     ROW <col>|<col>|...        (one line per result row)
+//
+// Generic collections that survived specialization become calls into
+// qc_runtime.h's chained hash table / vector (the GLib linkage); specialized
+// structures are plain arrays, structs and loops. Sort comparators are the
+// only C++ feature used (lambdas); everything else is C.
+#ifndef QC_CGEN_EMIT_H_
+#define QC_CGEN_EMIT_H_
+
+#include <string>
+
+#include "ir/stmt.h"
+#include "storage/database.h"
+
+namespace qc::cgen {
+
+// Emits the full translation unit. `data_dir` is baked into the program as
+// the location of the exported column files. Also ensures the auxiliary
+// structures (dictionaries, partitioned indexes) the program needs exist in
+// the database so a subsequent ExportAux writes them.
+std::string EmitProgram(const ir::Function& fn, storage::Database& db,
+                        const std::string& data_dir);
+
+// Exports dictionary-code columns and partitioned indexes currently cached
+// in `db` as binary files next to the base columns.
+void ExportAux(const storage::Database& db, const std::string& dir);
+
+}  // namespace qc::cgen
+
+#endif  // QC_CGEN_EMIT_H_

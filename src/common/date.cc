@@ -1,0 +1,89 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace qc {
+
+namespace {
+constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+constexpr Date kEpoch = MakeDate(1992, 1, 1);
+}  // namespace
+
+int DaysInMonth(int year, int month) {
+  (void)year;
+  return kDays[month - 1];
+}
+
+Date DateAddMonths(Date d, int months) {
+  int y = DateYear(d);
+  int m = DateMonth(d) - 1 + months;
+  int day = DateDay(d);
+  y += m / 12;
+  m %= 12;
+  if (m < 0) {
+    m += 12;
+    y -= 1;
+  }
+  int dim = DaysInMonth(y, m + 1);
+  if (day > dim) day = dim;
+  return MakeDate(y, m + 1, day);
+}
+
+Date DateAddYears(Date d, int years) { return DateAddMonths(d, years * 12); }
+
+Date DateAddDays(Date d, int days) {
+  int y = DateYear(d), m = DateMonth(d), day = DateDay(d);
+  day += days;
+  while (day > DaysInMonth(y, m)) {
+    day -= DaysInMonth(y, m);
+    if (++m > 12) {
+      m = 1;
+      ++y;
+    }
+  }
+  while (day < 1) {
+    if (--m < 1) {
+      m = 12;
+      --y;
+    }
+    day += DaysInMonth(y, m);
+  }
+  return MakeDate(y, m, day);
+}
+
+Date ParseDate(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return 0;
+  return MakeDate(y, m, d);
+}
+
+std::string FormatDate(Date d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", DateYear(d), DateMonth(d),
+                DateDay(d));
+  return buf;
+}
+
+int DateToOrdinal(Date d) {
+  int days = 0;
+  int y = DateYear(kEpoch);
+  for (; y < DateYear(d); ++y) days += 365;
+  for (int m = 1; m < DateMonth(d); ++m) days += DaysInMonth(DateYear(d), m);
+  return days + DateDay(d) - 1;
+}
+
+Date OrdinalToDate(int ordinal) {
+  int y = 1992;
+  while (ordinal >= 365) {
+    ordinal -= 365;
+    ++y;
+  }
+  int m = 1;
+  while (ordinal >= DaysInMonth(y, m)) {
+    ordinal -= DaysInMonth(y, m);
+    ++m;
+  }
+  return MakeDate(y, m, ordinal + 1);
+}
+
+}  // namespace qc

@@ -1,0 +1,46 @@
+// Calendar dates stored as int32 yyyymmdd. TPC-H only needs ordered
+// comparison, year/month extraction, and "date + N months/years" arithmetic
+// on well-formed dates, so a decimal-packed representation keeps comparisons
+// as plain integer comparisons (important: the IR can treat dates as i32
+// after lowering and every date predicate becomes an integer predicate).
+#ifndef QC_COMMON_DATE_H_
+#define QC_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qc {
+
+using Date = int32_t;
+
+constexpr Date MakeDate(int year, int month, int day) {
+  return year * 10000 + month * 100 + day;
+}
+constexpr int DateYear(Date d) { return d / 10000; }
+constexpr int DateMonth(Date d) { return (d / 100) % 100; }
+constexpr int DateDay(Date d) { return d % 100; }
+
+// Days in a month, ignoring leap years (TPC-H dbgen does the same for its
+// interval arithmetic; we only need monotone, deterministic behaviour).
+int DaysInMonth(int year, int month);
+
+// d + n months, clamping the day to the target month length.
+Date DateAddMonths(Date d, int months);
+// d + n years.
+Date DateAddYears(Date d, int years);
+// d + n days (walks month/year boundaries).
+Date DateAddDays(Date d, int days);
+
+// Parses "yyyy-mm-dd". Returns 0 on malformed input.
+Date ParseDate(const std::string& s);
+// Formats as "yyyy-mm-dd".
+std::string FormatDate(Date d);
+
+// Number of days since 1992-01-01 (epoch of the TPC-H date domain); used by
+// the data generator to pick uniform dates.
+int DateToOrdinal(Date d);
+Date OrdinalToDate(int ordinal);
+
+}  // namespace qc
+
+#endif  // QC_COMMON_DATE_H_

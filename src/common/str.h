@@ -1,0 +1,27 @@
+// String predicates used by the query runtime. SQL LIKE is restricted to the
+// '%'-wildcard patterns TPC-H uses (prefix, suffix, infix, and
+// %a%b%-style multi-segment containment).
+#ifndef QC_COMMON_STR_H_
+#define QC_COMMON_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qc {
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+bool StrContains(std::string_view s, std::string_view infix);
+
+// Matches SQL LIKE with '%' wildcards only (no '_'): the pattern is split on
+// '%' and segments must appear in order, anchored at the ends when the
+// pattern does not start/end with '%'.
+bool StrLike(std::string_view s, std::string_view pattern);
+
+// Splits a '%'-pattern into its literal segments.
+std::vector<std::string> SplitLikePattern(std::string_view pattern);
+
+}  // namespace qc
+
+#endif  // QC_COMMON_STR_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing used by the benchmark harnesses (Table 3, Figure 9).
+#ifndef QC_COMMON_TIMER_H_
+#define QC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace qc {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qc
+
+#endif  // QC_COMMON_TIMER_H_

@@ -1,0 +1,47 @@
+// Runtime value slot: every runtime value in the query engine occupies one
+// 8-byte slot. The static type of a slot is always known from the IR (ANF
+// symbols are typed), so no runtime tag is stored. Records are arrays of
+// slots allocated from pools; strings are NUL-terminated char* into a column
+// arena (or dictionary codes once the string-dictionary pass has run).
+#ifndef QC_COMMON_VALUE_H_
+#define QC_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace qc {
+
+// One untyped 8-byte runtime slot.
+union Slot {
+  int64_t i;
+  double d;
+  const char* s;
+  void* p;
+};
+
+static_assert(sizeof(Slot) == 8, "Slot must stay one machine word");
+
+inline Slot SlotI(int64_t v) {
+  Slot s;
+  s.i = v;
+  return s;
+}
+inline Slot SlotD(double v) {
+  Slot s;
+  s.d = v;
+  return s;
+}
+inline Slot SlotS(const char* v) {
+  Slot s;
+  s.s = v;
+  return s;
+}
+inline Slot SlotP(void* v) {
+  Slot s;
+  s.p = v;
+  return s;
+}
+
+}  // namespace qc
+
+#endif  // QC_COMMON_VALUE_H_

@@ -1,0 +1,450 @@
+#include "exec/interp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str.h"
+
+namespace qc::exec {
+
+using ir::Block;
+using ir::Op;
+using ir::Stmt;
+using ir::Type;
+using ir::TypeKind;
+
+namespace {
+
+storage::ColType ToColType(const Type* t) {
+  switch (t->kind) {
+    case TypeKind::kF64: return storage::ColType::kF64;
+    case TypeKind::kStr: return storage::ColType::kStr;
+    case TypeKind::kDate: return storage::ColType::kDate;
+    default: return storage::ColType::kI64;
+  }
+}
+
+void FindEmitTypes(const Block* b, std::vector<storage::ColType>* types,
+                   bool* found) {
+  for (const Stmt* s : b->stmts) {
+    if (*found) return;
+    if (s->op == Op::kEmit) {
+      for (const Stmt* a : s->args) types->push_back(ToColType(a->type));
+      *found = true;
+      return;
+    }
+    for (const Block* nb : s->blocks) FindEmitTypes(nb, types, found);
+  }
+}
+
+}  // namespace
+
+storage::ResultTable Interpreter::Run(const ir::Function& fn) {
+  regs_.assign(fn.num_stmts(), SlotI(0));
+  std::vector<storage::ColType> types;
+  bool found = false;
+  FindEmitTypes(fn.body(), &types, &found);
+  out_.SetTypes(types);
+  ExecBlock(fn.body());
+  return std::move(out_);
+}
+
+void Interpreter::ExecBlock(const Block* b) {
+  for (const Stmt* s : b->stmts) ExecStmt(s);
+}
+
+bool Interpreter::BlockCond(const Block* b) {
+  ExecBlock(b);
+  return Val(b->result).i != 0;
+}
+
+void Interpreter::ExecStmt(const Stmt* s) {
+  switch (s->op) {
+    case Op::kConst:
+      if (s->type->kind == TypeKind::kStr) {
+        Set(s, SlotS(s->sval.c_str()));
+      } else if (s->type->kind == TypeKind::kF64) {
+        Set(s, SlotD(s->fval));
+      } else {
+        Set(s, SlotI(s->ival));
+      }
+      break;
+    case Op::kNull:
+      Set(s, SlotP(nullptr));
+      break;
+
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod: {
+      Slot a = Val(s->args[0]), b = Val(s->args[1]);
+      if (s->type->kind == TypeKind::kF64) {
+        double r = 0;
+        switch (s->op) {
+          case Op::kAdd: r = a.d + b.d; break;
+          case Op::kSub: r = a.d - b.d; break;
+          case Op::kMul: r = a.d * b.d; break;
+          case Op::kDiv: r = a.d / b.d; break;
+          default: std::abort();
+        }
+        Set(s, SlotD(r));
+      } else {
+        int64_t r = 0;
+        switch (s->op) {
+          case Op::kAdd: r = a.i + b.i; break;
+          case Op::kSub: r = a.i - b.i; break;
+          case Op::kMul: r = a.i * b.i; break;
+          case Op::kDiv: r = b.i == 0 ? 0 : a.i / b.i; break;
+          case Op::kMod: r = b.i == 0 ? 0 : a.i % b.i; break;
+          default: std::abort();
+        }
+        Set(s, SlotI(r));
+      }
+      break;
+    }
+    case Op::kNeg: {
+      Slot a = Val(s->args[0]);
+      Set(s, s->type->kind == TypeKind::kF64 ? SlotD(-a.d) : SlotI(-a.i));
+      break;
+    }
+    case Op::kCast: {
+      Slot a = Val(s->args[0]);
+      TypeKind from = s->args[0]->type->kind;
+      TypeKind to = s->type->kind;
+      if (from == TypeKind::kF64 && to != TypeKind::kF64) {
+        Set(s, SlotI(static_cast<int64_t>(a.d)));
+      } else if (from != TypeKind::kF64 && to == TypeKind::kF64) {
+        Set(s, SlotD(static_cast<double>(a.i)));
+      } else {
+        Set(s, a);
+      }
+      break;
+    }
+
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      Slot a = Val(s->args[0]), b = Val(s->args[1]);
+      bool r = false;
+      if (s->args[0]->type->kind == TypeKind::kF64) {
+        switch (s->op) {
+          case Op::kEq: r = a.d == b.d; break;
+          case Op::kNe: r = a.d != b.d; break;
+          case Op::kLt: r = a.d < b.d; break;
+          case Op::kLe: r = a.d <= b.d; break;
+          case Op::kGt: r = a.d > b.d; break;
+          case Op::kGe: r = a.d >= b.d; break;
+          default: break;
+        }
+      } else {
+        switch (s->op) {
+          case Op::kEq: r = a.i == b.i; break;
+          case Op::kNe: r = a.i != b.i; break;
+          case Op::kLt: r = a.i < b.i; break;
+          case Op::kLe: r = a.i <= b.i; break;
+          case Op::kGt: r = a.i > b.i; break;
+          case Op::kGe: r = a.i >= b.i; break;
+          default: break;
+        }
+      }
+      Set(s, SlotI(r ? 1 : 0));
+      break;
+    }
+
+    case Op::kAnd:
+      Set(s, SlotI(Val(s->args[0]).i != 0 && Val(s->args[1]).i != 0 ? 1 : 0));
+      break;
+    case Op::kOr:
+      Set(s, SlotI(Val(s->args[0]).i != 0 || Val(s->args[1]).i != 0 ? 1 : 0));
+      break;
+    case Op::kNot:
+      Set(s, SlotI(Val(s->args[0]).i == 0 ? 1 : 0));
+      break;
+    case Op::kBitAnd:
+      Set(s, SlotI(Val(s->args[0]).i & Val(s->args[1]).i));
+      break;
+
+    case Op::kStrEq:
+      Set(s, SlotI(std::strcmp(Val(s->args[0]).s, Val(s->args[1]).s) == 0));
+      break;
+    case Op::kStrNe:
+      Set(s, SlotI(std::strcmp(Val(s->args[0]).s, Val(s->args[1]).s) != 0));
+      break;
+    case Op::kStrLt:
+      Set(s, SlotI(std::strcmp(Val(s->args[0]).s, Val(s->args[1]).s) < 0));
+      break;
+    case Op::kStrStartsWith:
+      Set(s, SlotI(StrStartsWith(Val(s->args[0]).s, Val(s->args[1]).s)));
+      break;
+    case Op::kStrEndsWith:
+      Set(s, SlotI(StrEndsWith(Val(s->args[0]).s, Val(s->args[1]).s)));
+      break;
+    case Op::kStrContains:
+      Set(s, SlotI(StrContains(Val(s->args[0]).s, Val(s->args[1]).s)));
+      break;
+    case Op::kStrLike:
+      Set(s, SlotI(StrLike(Val(s->args[0]).s, s->sval)));
+      break;
+    case Op::kStrLen:
+      Set(s, SlotI(static_cast<int64_t>(std::strlen(Val(s->args[0]).s))));
+      break;
+    case Op::kStrSubstr: {
+      const char* str = Val(s->args[0]).s;
+      size_t len = std::strlen(str);
+      size_t start = std::min<size_t>(s->aux0, len);
+      size_t n = std::min<size_t>(s->aux1, len - start);
+      Set(s, SlotS(Intern(std::string(str + start, n))));
+      break;
+    }
+
+    case Op::kVarNew:
+      Set(s, Val(s->args[0]));
+      break;
+    case Op::kVarRead:
+      Set(s, Val(s->args[0]));
+      break;
+    case Op::kVarAssign:
+      Set(s->args[0], Val(s->args[1]));
+      break;
+
+    case Op::kIf:
+      if (Val(s->args[0]).i != 0) {
+        ExecBlock(s->blocks[0]);
+      } else if (s->blocks.size() > 1) {
+        ExecBlock(s->blocks[1]);
+      }
+      break;
+    case Op::kForRange: {
+      int64_t lo = Val(s->args[0]).i;
+      int64_t hi = Val(s->args[1]).i;
+      const Block* body = s->blocks[0];
+      const Stmt* ivar = body->params[0];
+      for (int64_t i = lo; i < hi; ++i) {
+        Set(ivar, SlotI(i));
+        ExecBlock(body);
+      }
+      break;
+    }
+    case Op::kWhile:
+      while (BlockCond(s->blocks[0])) ExecBlock(s->blocks[1]);
+      break;
+
+    case Op::kRecNew: {
+      Slot* rec = records_.AllocHeap(s->args.size());
+      for (size_t i = 0; i < s->args.size(); ++i) rec[i] = Val(s->args[i]);
+      Set(s, SlotP(rec));
+      break;
+    }
+    case Op::kRecGet:
+      Set(s, static_cast<Slot*>(Val(s->args[0]).p)[s->aux0]);
+      break;
+    case Op::kRecSet:
+      static_cast<Slot*>(Val(s->args[0]).p)[s->aux0] = Val(s->args[1]);
+      break;
+
+    case Op::kArrNew:
+    case Op::kMalloc: {
+      arrays_.emplace_back();
+      RtArray& a = arrays_.back();
+      int64_t n = Val(s->args[0]).i;
+      a.data.assign(n, SlotI(0));
+      if (s->op == Op::kMalloc) {
+        stats_.heap_bytes += n * sizeof(Slot);
+        ++stats_.heap_allocs;
+      } else {
+        stats_.vector_bytes += n * sizeof(Slot);
+      }
+      Set(s, SlotP(&a));
+      break;
+    }
+    case Op::kArrGet:
+      Set(s, static_cast<RtArray*>(Val(s->args[0]).p)
+                 ->data[Val(s->args[1]).i]);
+      break;
+    case Op::kArrSet:
+      static_cast<RtArray*>(Val(s->args[0]).p)->data[Val(s->args[1]).i] =
+          Val(s->args[2]);
+      break;
+    case Op::kArrLen:
+      Set(s, SlotI(static_cast<int64_t>(
+                 static_cast<RtArray*>(Val(s->args[0]).p)->data.size())));
+      break;
+    case Op::kArrSortBy: {
+      RtArray* arr = static_cast<RtArray*>(Val(s->args[0]).p);
+      int64_t n = Val(s->args[1]).i;
+      const Block* cmp = s->blocks[0];
+      std::stable_sort(arr->data.begin(), arr->data.begin() + n,
+                       [&](Slot a, Slot b) {
+                         Set(cmp->params[0], a);
+                         Set(cmp->params[1], b);
+                         return BlockCond(cmp);
+                       });
+      break;
+    }
+
+    case Op::kListNew: {
+      lists_.emplace_back();
+      Set(s, SlotP(&lists_.back()));
+      break;
+    }
+    case Op::kListAppend: {
+      RtList* l = static_cast<RtList*>(Val(s->args[0]).p);
+      size_t before = l->items.capacity();
+      l->items.push_back(Val(s->args[1]));
+      stats_.vector_bytes += (l->items.capacity() - before) * sizeof(Slot);
+      break;
+    }
+    case Op::kListForeach: {
+      RtList* l = static_cast<RtList*>(Val(s->args[0]).p);
+      const Block* body = s->blocks[0];
+      const Stmt* e = body->params[0];
+      for (size_t i = 0; i < l->items.size(); ++i) {
+        Set(e, l->items[i]);
+        ExecBlock(body);
+      }
+      break;
+    }
+    case Op::kListSize:
+      Set(s, SlotI(static_cast<int64_t>(
+                 static_cast<RtList*>(Val(s->args[0]).p)->items.size())));
+      break;
+    case Op::kListGet:
+      Set(s, static_cast<RtList*>(Val(s->args[0]).p)
+                 ->items[Val(s->args[1]).i]);
+      break;
+    case Op::kListSortBy: {
+      RtList* l = static_cast<RtList*>(Val(s->args[0]).p);
+      const Block* cmp = s->blocks[0];
+      std::stable_sort(l->items.begin(), l->items.end(), [&](Slot a, Slot b) {
+        Set(cmp->params[0], a);
+        Set(cmp->params[1], b);
+        return BlockCond(cmp);
+      });
+      break;
+    }
+
+    case Op::kMapNew: {
+      maps_.emplace_back(s->type->key, &stats_);
+      Set(s, SlotP(&maps_.back()));
+      break;
+    }
+    case Op::kMapGetOrElseUpdate: {
+      RtHashMap* m = static_cast<RtHashMap*>(Val(s->args[0]).p);
+      Slot key = Val(s->args[1]);
+      RtHashMap::Node* n = m->Find(key);
+      if (n == nullptr) {
+        const Block* init = s->blocks[0];
+        ExecBlock(init);
+        n = m->Insert(key, Val(init->result));
+      }
+      Set(s, n->value);
+      break;
+    }
+    case Op::kMapGetOrNull: {
+      RtHashMap* m = static_cast<RtHashMap*>(Val(s->args[0]).p);
+      RtHashMap::Node* n = m->Find(Val(s->args[1]));
+      Set(s, n == nullptr ? SlotP(nullptr) : n->value);
+      break;
+    }
+    case Op::kMapForeach: {
+      RtHashMap* m = static_cast<RtHashMap*>(Val(s->args[0]).p);
+      const Block* body = s->blocks[0];
+      for (RtHashMap::Node* n : m->entries()) {
+        Set(body->params[0], n->key);
+        Set(body->params[1], n->value);
+        ExecBlock(body);
+      }
+      break;
+    }
+    case Op::kMapSize:
+      Set(s, SlotI(static_cast<int64_t>(
+                 static_cast<RtHashMap*>(Val(s->args[0]).p)->size())));
+      break;
+
+    case Op::kMMapNew: {
+      mmaps_.emplace_back(s->type->key, &stats_);
+      Set(s, SlotP(&mmaps_.back()));
+      break;
+    }
+    case Op::kMMapAdd:
+      static_cast<RtMultiMap*>(Val(s->args[0]).p)
+          ->Add(Val(s->args[1]), Val(s->args[2]));
+      break;
+    case Op::kMMapGetOrNull:
+      Set(s, SlotP(static_cast<RtMultiMap*>(Val(s->args[0]).p)
+                       ->GetOrNull(Val(s->args[1]))));
+      break;
+
+    case Op::kIsNull:
+      Set(s, SlotI(Val(s->args[0]).p == nullptr ? 1 : 0));
+      break;
+
+    case Op::kFree:
+      break;  // arena/deque-owned; modelled as a no-op
+    case Op::kPoolNew: {
+      // The handle only needs to carry the element field count.
+      Set(s, SlotI(static_cast<int64_t>(s->type->elem->record->fields.size())));
+      break;
+    }
+    case Op::kPoolAlloc: {
+      size_t fields = static_cast<size_t>(Val(s->args[0]).i);
+      Set(s, SlotP(records_.AllocPool(fields)));
+      break;
+    }
+    case Op::kPoolRecNew: {
+      Slot* rec = records_.AllocPool(s->args.size() - 1);
+      for (size_t i = 1; i < s->args.size(); ++i) {
+        rec[i - 1] = Val(s->args[i]);
+      }
+      Set(s, SlotP(rec));
+      break;
+    }
+
+    case Op::kTableRows:
+      Set(s, SlotI(db_->table(s->aux0).rows()));
+      break;
+    case Op::kColGet:
+      Set(s, db_->table(s->aux0).column(s->aux1).data[Val(s->args[0]).i]);
+      break;
+    case Op::kColDict:
+      Set(s, SlotI(db_->Dictionary(s->aux0, s->aux1).codes[Val(s->args[0]).i]));
+      break;
+    case Op::kIdxBucketLen:
+      Set(s, SlotI(db_->Partition(s->aux0, s->aux1)
+                       .BucketLen(Val(s->args[0]).i)));
+      break;
+    case Op::kIdxBucketRow:
+      Set(s, SlotI(db_->Partition(s->aux0, s->aux1)
+                       .BucketRow(Val(s->args[0]).i, Val(s->args[1]).i)));
+      break;
+    case Op::kIdxPkRow:
+      Set(s, SlotI(db_->PrimaryIndex(s->aux0, s->aux1).RowOf(Val(s->args[0]).i)));
+      break;
+
+    case Op::kEmit: {
+      std::vector<Slot> row;
+      row.reserve(s->args.size());
+      for (const Stmt* a : s->args) {
+        Slot v = Val(a);
+        if (a->type->kind == TypeKind::kStr) {
+          v = SlotS(out_.InternString(v.s));
+        }
+        row.push_back(v);
+      }
+      out_.AddRow(std::move(row));
+      break;
+    }
+
+    default:
+      std::fprintf(stderr, "interpreter: unhandled op %s\n", OpName(s->op));
+      std::abort();
+  }
+}
+
+}  // namespace qc::exec

@@ -1,0 +1,113 @@
+#include "exec/runtime.h"
+
+#include <cstdlib>
+
+namespace qc::exec {
+
+uint64_t SlotHasher::HashTyped(const ir::Type* t, Slot v) {
+  switch (t->kind) {
+    case ir::TypeKind::kStr:
+      return HashString(v.s);
+    case ir::TypeKind::kRecord: {
+      uint64_t h = 0x42;
+      const Slot* fields = static_cast<const Slot*>(v.p);
+      const auto& defs = t->record->fields;
+      for (size_t i = 0; i < defs.size(); ++i) {
+        h = HashCombine(h, HashTyped(defs[i].type, fields[i]));
+      }
+      return h;
+    }
+    default:
+      return HashMix(static_cast<uint64_t>(v.i));
+  }
+}
+
+bool SlotHasher::EqualTyped(const ir::Type* t, Slot a, Slot b) {
+  switch (t->kind) {
+    case ir::TypeKind::kStr:
+      return std::strcmp(a.s, b.s) == 0;
+    case ir::TypeKind::kRecord: {
+      const Slot* fa = static_cast<const Slot*>(a.p);
+      const Slot* fb = static_cast<const Slot*>(b.p);
+      const auto& defs = t->record->fields;
+      for (size_t i = 0; i < defs.size(); ++i) {
+        if (!EqualTyped(defs[i].type, fa[i], fb[i])) return false;
+      }
+      return true;
+    }
+    default:
+      return a.i == b.i;
+  }
+}
+
+RtHashMap::~RtHashMap() {
+  for (Node* n : entries_) delete n;
+}
+
+RtHashMap::Node* RtHashMap::Find(Slot key) const {
+  uint64_t h = hasher_.Hash(key);
+  Node* n = buckets_[h & (buckets_.size() - 1)];
+  while (n != nullptr) {
+    if (hasher_.Equal(n->key, key)) return n;
+    n = n->next;
+  }
+  return nullptr;
+}
+
+RtHashMap::Node* RtHashMap::Insert(Slot key, Slot value) {
+  MaybeRehash();
+  uint64_t h = hasher_.Hash(key);
+  size_t b = h & (buckets_.size() - 1);
+  Node* n = new Node{key, value, buckets_[b]};
+  stats_->heap_bytes += sizeof(Node);
+  ++stats_->heap_allocs;
+  buckets_[b] = n;
+  entries_.push_back(n);
+  ++size_;
+  return n;
+}
+
+void RtHashMap::MaybeRehash() {
+  if (size_ < buckets_.size()) return;
+  std::vector<Node*> nb(buckets_.size() * 2, nullptr);
+  for (Node* n : entries_) {
+    size_t b = hasher_.Hash(n->key) & (nb.size() - 1);
+    n->next = nb[b];
+    nb[b] = n;
+  }
+  buckets_ = std::move(nb);
+}
+
+void RtMultiMap::Add(Slot key, Slot value) {
+  RtHashMap::Node* n = map_.Find(key);
+  RtList* list;
+  if (n == nullptr) {
+    lists_.emplace_back();
+    list = &lists_.back();
+    map_.Insert(key, SlotP(list));
+  } else {
+    list = static_cast<RtList*>(n->value.p);
+  }
+  size_t before = list->items.capacity();
+  list->items.push_back(value);
+  stats_->vector_bytes += (list->items.capacity() - before) * sizeof(Slot);
+}
+
+RecordHeap::~RecordHeap() {
+  for (Slot* r : heap_records_) ::free(r);
+}
+
+Slot* RecordHeap::AllocHeap(size_t fields) {
+  Slot* r = static_cast<Slot*>(::malloc(fields * sizeof(Slot)));
+  heap_records_.push_back(r);
+  stats_->heap_bytes += fields * sizeof(Slot);
+  ++stats_->heap_allocs;
+  return r;
+}
+
+Slot* RecordHeap::AllocPool(size_t fields) {
+  stats_->pool_bytes += fields * sizeof(Slot);
+  return static_cast<Slot*>(pool_.Allocate(fields * sizeof(Slot)));
+}
+
+}  // namespace qc::exec

@@ -1,0 +1,140 @@
+// Runtime data structures backing the IR interpreter.
+//
+// Two families exist deliberately:
+//   * the *generic* chained hash table / multimap with one heap node per
+//     entry and type-driven key hashing — the GLib stand-in whose
+//     abstraction overhead (function calls, pointer chasing, per-entry
+//     allocation, §B.2) the specialization passes exist to remove; and
+//   * plain vectors/arenas for arrays, lists and pools — what specialized
+//     code lowers to.
+// An AllocStats instance threads through everything so Figure 8 (memory
+// consumption) can be reproduced.
+#ifndef QC_EXEC_RUNTIME_H_
+#define QC_EXEC_RUNTIME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "common/value.h"
+#include "ir/type.h"
+
+namespace qc::exec {
+
+struct AllocStats {
+  size_t heap_bytes = 0;    // per-object heap allocations (records, nodes)
+  size_t heap_allocs = 0;   // number of individual allocations
+  size_t pool_bytes = 0;    // bump-arena bytes (pooled allocations)
+  size_t vector_bytes = 0;  // array/list backing storage
+
+  size_t TotalBytes() const { return heap_bytes + pool_bytes + vector_bytes; }
+};
+
+// Growable list of slots. Generic lists model the library List of
+// ScaLite[List]; after list specialization the same storage is reached
+// through plain array ops instead.
+struct RtList {
+  std::vector<Slot> items;
+};
+
+// Fixed array of slots.
+struct RtArray {
+  std::vector<Slot> data;
+};
+
+// Type-directed hashing/equality over one slot. Records hash their scalar
+// fields; strings hash their contents.
+class SlotHasher {
+ public:
+  explicit SlotHasher(const ir::Type* type) : type_(type) {}
+
+  uint64_t Hash(Slot v) const { return HashTyped(type_, v); }
+  bool Equal(Slot a, Slot b) const { return EqualTyped(type_, a, b); }
+
+ private:
+  static uint64_t HashTyped(const ir::Type* t, Slot v);
+  static bool EqualTyped(const ir::Type* t, Slot a, Slot b);
+  const ir::Type* type_;
+};
+
+// Generic chained hash map (the GLib analogue): per-node heap allocation,
+// load-factor-driven rehashing.
+class RtHashMap {
+ public:
+  struct Node {
+    Slot key;
+    Slot value;
+    Node* next;
+  };
+
+  RtHashMap(const ir::Type* key_type, AllocStats* stats)
+      : hasher_(key_type), stats_(stats) {
+    buckets_.assign(16, nullptr);
+  }
+  ~RtHashMap();
+
+  RtHashMap(const RtHashMap&) = delete;
+  RtHashMap& operator=(const RtHashMap&) = delete;
+
+  // Returns the node for `key`, or nullptr.
+  Node* Find(Slot key) const;
+  // Inserts (key must not be present) and returns the new node.
+  Node* Insert(Slot key, Slot value);
+  size_t size() const { return size_; }
+
+  // In insertion order (deterministic iteration for reproducible output).
+  const std::vector<Node*>& entries() const { return entries_; }
+
+ private:
+  void MaybeRehash();
+
+  SlotHasher hasher_;
+  AllocStats* stats_;
+  std::vector<Node*> buckets_;
+  std::vector<Node*> entries_;
+  size_t size_ = 0;
+};
+
+// Generic multimap: hash map from key to an owned RtList of values.
+class RtMultiMap {
+ public:
+  RtMultiMap(const ir::Type* key_type, AllocStats* stats)
+      : map_(key_type, stats), stats_(stats) {}
+
+  RtList* GetOrNull(Slot key) const {
+    RtHashMap::Node* n = map_.Find(key);
+    return n == nullptr ? nullptr : static_cast<RtList*>(n->value.p);
+  }
+
+  void Add(Slot key, Slot value);
+
+ private:
+  RtHashMap map_;
+  AllocStats* stats_;
+  std::deque<RtList> lists_;
+};
+
+// Record storage: a record value is a Slot* pointing at `n` slots. Heap
+// records model GC allocations (one heap allocation each); pool records are
+// bump allocations.
+class RecordHeap {
+ public:
+  explicit RecordHeap(AllocStats* stats) : stats_(stats) {}
+  ~RecordHeap();
+
+  Slot* AllocHeap(size_t fields);
+  Slot* AllocPool(size_t fields);
+
+ private:
+  AllocStats* stats_;
+  std::vector<Slot*> heap_records_;
+  Arena pool_{1 << 18};
+};
+
+}  // namespace qc::exec
+
+#endif  // QC_EXEC_RUNTIME_H_

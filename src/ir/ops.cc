@@ -1,0 +1,16 @@
+#include "ir/ops.h"
+
+namespace qc::ir {
+
+namespace {
+constexpr OpInfo kOpInfos[] = {
+#define QC_OP_INFO(name, mnem, effect, cse, minl, maxl) \
+  {mnem, effect, cse, minl, maxl},
+    QC_OP_LIST(QC_OP_INFO)
+#undef QC_OP_INFO
+};
+}  // namespace
+
+const OpInfo& GetOpInfo(Op op) { return kOpInfos[static_cast<int>(op)]; }
+
+}  // namespace qc::ir

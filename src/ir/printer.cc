@@ -1,0 +1,105 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace qc::ir {
+
+namespace {
+
+class Printer {
+ public:
+  std::string Run(const Function& fn) {
+    out_ << "fun " << fn.name() << "() {\n";
+    indent_ = 1;
+    PrintBlock(fn.body());
+    out_ << "}\n";
+    return out_.str();
+  }
+
+  void PrintBlock(const Block* b) {
+    for (const Stmt* s : b->stmts) PrintOne(s);
+    if (b->result != nullptr) {
+      Indent();
+      out_ << "yield x" << b->result->id << "\n";
+    }
+  }
+
+  void PrintOne(const Stmt* s) {
+    Indent();
+    if (s->type != nullptr && s->type->kind != TypeKind::kVoid) {
+      out_ << "val x" << s->id << ": " << s->type->ToString() << " = ";
+    }
+    out_ << OpName(s->op);
+    if (s->op == Op::kConst) {
+      out_ << " ";
+      if (s->type->kind == TypeKind::kStr) {
+        out_ << '"' << s->sval << '"';
+      } else if (s->type->kind == TypeKind::kF64) {
+        out_ << s->fval;
+      } else {
+        out_ << s->ival;
+      }
+      out_ << "\n";
+      return;
+    }
+    out_ << "(";
+    bool first = true;
+    for (const Stmt* a : s->args) {
+      if (!first) out_ << ", ";
+      first = false;
+      out_ << "x" << a->id;
+    }
+    if (s->aux0 >= 0) out_ << (first ? "#" : ", #") << s->aux0;
+    if (s->aux1 >= 0) out_ << "." << s->aux1;
+    if (!s->sval.empty()) out_ << " \"" << s->sval << '"';
+    out_ << ")";
+    if (s->lib_call) out_ << " [lib]";
+    if (s->blocks.empty()) {
+      out_ << "\n";
+      return;
+    }
+    out_ << " {\n";
+    ++indent_;
+    for (size_t i = 0; i < s->blocks.size(); ++i) {
+      const Block* b = s->blocks[i];
+      if (i > 0) {
+        --indent_;
+        Indent();
+        out_ << "} else {\n";
+        ++indent_;
+      }
+      if (!b->params.empty()) {
+        Indent();
+        out_ << "params";
+        for (const Stmt* p : b->params) {
+          out_ << " x" << p->id << ": " << p->type->ToString();
+        }
+        out_ << "\n";
+      }
+      PrintBlock(b);
+    }
+    --indent_;
+    Indent();
+    out_ << "}\n";
+  }
+
+ private:
+  void Indent() {
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+  }
+
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string PrintFunction(const Function& fn) { return Printer().Run(fn); }
+
+std::string PrintStmt(const Stmt* s) {
+  std::ostringstream out;
+  out << "x" << s->id << " = " << OpName(s->op);
+  return out.str();
+}
+
+}  // namespace qc::ir

@@ -1,0 +1,17 @@
+// ANF text printer — the human-readable form used in golden tests and for
+// debugging pass pipelines (mirrors the `val x1 = ...` listings in §3.3).
+#ifndef QC_IR_PRINTER_H_
+#define QC_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace qc::ir {
+
+std::string PrintFunction(const Function& fn);
+std::string PrintStmt(const Stmt* s);
+
+}  // namespace qc::ir
+
+#endif  // QC_IR_PRINTER_H_

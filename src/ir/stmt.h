@@ -1,0 +1,113 @@
+// Statements, blocks, and functions of the ANF IR.
+//
+// The IR is structured (no CFG): control flow is expressed with nested
+// blocks (kIf/kForRange/kWhile/foreach bodies). Every statement binds one
+// immutable symbol (its id); arguments are always previously bound symbols
+// — this is exactly the administrative normal form of Section 3.3 of the
+// paper, and gives us single-definition data flow, cheap CSE and trivial
+// dependency analysis.
+#ifndef QC_IR_STMT_H_
+#define QC_IR_STMT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ir/ops.h"
+#include "ir/type.h"
+
+namespace qc::ir {
+
+struct Block;
+
+struct Stmt {
+  int id = -1;  // symbol number: printed as x<id>
+  Op op = Op::kConst;
+  const Type* type = nullptr;
+
+  std::vector<Stmt*> args;    // previously bound symbols
+  std::vector<Block*> blocks;  // nested scopes (loop bodies, branches, ...)
+
+  // Payload (interpretation depends on op).
+  int64_t ival = 0;       // kConst integer/bool/date payload
+  double fval = 0.0;      // kConst f64 payload
+  std::string sval;       // kConst string payload / misc names
+  int aux0 = -1;          // field index / table id
+  int aux1 = -1;          // column id
+
+  // Statement produced by lowering an unspecializable generic collection:
+  // allowed at any level as an external-library call (the GLib analogue).
+  bool lib_call = false;
+
+  bool HasEffect() const { return OpHasEffect(op); }
+};
+
+// A lexical scope: an ordered list of statements plus optional parameters
+// (bound by the surrounding statement, e.g. the loop index of kForRange or
+// the element of kListForeach) and an optional result symbol (used by
+// condition blocks, comparator blocks and kMapGetOrElseUpdate init blocks).
+struct Block {
+  std::vector<Stmt*> params;
+  std::vector<Stmt*> stmts;
+  Stmt* result = nullptr;
+};
+
+// Special op for block parameters: they are plain symbols with no
+// computation. We reuse kConst storage but give them a distinct marker via
+// aux0 == kParamMarker so printers/interpreters can recognize them.
+constexpr int kParamMarker = -1000;
+
+// A compiled query function. Owns all statements and blocks (deque storage:
+// stable addresses, bulk free).
+class Function {
+ public:
+  explicit Function(std::string name, TypeFactory* types)
+      : name_(std::move(name)), types_(types) {
+    body_ = NewBlock();
+  }
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  Stmt* NewStmt(Op op, const Type* type) {
+    stmts_.push_back(Stmt{});
+    Stmt& s = stmts_.back();
+    s.id = next_id_++;
+    s.op = op;
+    s.type = type;
+    return &s;
+  }
+
+  // A block parameter symbol (loop variable, foreach element, ...).
+  Stmt* NewParam(const Type* type) {
+    Stmt* s = NewStmt(Op::kConst, type);
+    s->aux0 = kParamMarker;
+    return s;
+  }
+
+  Block* NewBlock() {
+    blocks_.push_back(Block{});
+    return &blocks_.back();
+  }
+
+  const std::string& name() const { return name_; }
+  Block* body() { return body_; }
+  const Block* body() const { return body_; }
+  TypeFactory* types() const { return types_; }
+  int num_stmts() const { return next_id_; }
+
+ private:
+  std::string name_;
+  TypeFactory* types_;
+  std::deque<Stmt> stmts_;
+  std::deque<Block> blocks_;
+  Block* body_ = nullptr;
+  int next_id_ = 0;
+};
+
+inline bool IsParam(const Stmt* s) { return s->aux0 == kParamMarker; }
+
+}  // namespace qc::ir
+
+#endif  // QC_IR_STMT_H_

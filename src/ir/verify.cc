@@ -1,0 +1,125 @@
+#include "ir/verify.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "ir/printer.h"
+
+namespace qc::ir {
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kCLite: return "C.Lite";
+    case Level::kScaLite: return "ScaLite";
+    case Level::kList: return "ScaLite[List]";
+    case Level::kMapList: return "ScaLite[Map,List]";
+  }
+  return "?";
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(std::vector<std::string>* errors) : errors_(errors) {}
+
+  void CheckBlock(const Block* b) {
+    size_t added = 0;
+    for (const Stmt* p : b->params) {
+      bound_.insert(p);
+      ++added;
+    }
+    std::vector<const Stmt*> local;
+    for (const Stmt* s : b->stmts) {
+      if (seen_.count(s) != 0) {
+        Error("statement x%d bound more than once", s->id);
+      }
+      seen_.insert(s);
+      for (const Stmt* a : s->args) {
+        if (bound_.count(a) == 0) {
+          Error("x%d uses x%d before (or outside) its binding", s->id, a->id);
+        }
+      }
+      for (const Block* nb : s->blocks) {
+        CheckBlock(nb);
+      }
+      bound_.insert(s);
+      local.push_back(s);
+      ++added;
+    }
+    if (b->result != nullptr && bound_.count(b->result) == 0) {
+      Error("block result x%d is not bound in scope", b->result->id);
+    }
+    // Leave scope: remove local bindings (params + stmts of this block).
+    for (const Stmt* p : b->params) bound_.erase(p);
+    for (const Stmt* s : local) bound_.erase(s);
+    (void)added;
+  }
+
+ private:
+  void Error(const char* fmt, int a = 0, int bb = 0) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), fmt, a, bb);
+    errors_->push_back(buf);
+  }
+
+  std::vector<std::string>* errors_;
+  std::unordered_set<const Stmt*> bound_;
+  std::unordered_set<const Stmt*> seen_;
+};
+
+void CollectLevelViolations(const Block* b, Level level, bool allow_lib,
+                            std::vector<std::string>* errors) {
+  for (const Stmt* s : b->stmts) {
+    const OpInfo& info = GetOpInfo(s->op);
+    int l = static_cast<int>(level);
+    bool ok = info.min_level <= l && l <= info.max_level;
+    if (!ok && allow_lib && s->lib_call) ok = true;
+    if (!ok) {
+      errors->push_back(std::string("op '") + info.mnemonic +
+                        "' not expressible at level " + LevelName(level));
+    }
+    for (const Block* nb : s->blocks) {
+      CollectLevelViolations(nb, level, allow_lib, errors);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> VerifyFunction(const Function& fn) {
+  std::vector<std::string> errors;
+  Checker checker(&errors);
+  checker.CheckBlock(fn.body());
+  return errors;
+}
+
+std::vector<std::string> VerifyLevel(const Function& fn, Level level,
+                                     bool allow_lib_calls) {
+  std::vector<std::string> errors = VerifyFunction(fn);
+  CollectLevelViolations(fn.body(), level, allow_lib_calls, &errors);
+  return errors;
+}
+
+void CheckFunction(const Function& fn) {
+  auto errors = VerifyFunction(fn);
+  if (!errors.empty()) {
+    std::fprintf(stderr, "IR verification failed for %s:\n", fn.name().c_str());
+    for (const auto& e : errors) std::fprintf(stderr, "  %s\n", e.c_str());
+    std::fprintf(stderr, "%s\n", PrintFunction(fn).c_str());
+    std::abort();
+  }
+}
+
+void CheckLevel(const Function& fn, Level level, bool allow_lib_calls) {
+  auto errors = VerifyLevel(fn, level, allow_lib_calls);
+  if (!errors.empty()) {
+    std::fprintf(stderr, "Level verification (%s) failed for %s:\n",
+                 LevelName(level), fn.name().c_str());
+    for (const auto& e : errors) std::fprintf(stderr, "  %s\n", e.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace qc::ir

@@ -1,0 +1,43 @@
+// IR well-formedness and DSL-level verification.
+//
+// VerifyFunction enforces the ANF discipline (every argument is a symbol
+// bound earlier in a dominating scope, every statement is bound exactly
+// once). VerifyLevel additionally enforces the *expressibility principle*:
+// a program claimed to be at DSL level L may only use constructs whose
+// [min_level, max_level] range contains L — e.g. MultiMap operations must be
+// gone below ScaLite[Map, List], and malloc/pool constructs may only appear
+// in C.Lite. Statements marked lib_call (unspecializable generic collections
+// kept as external-library calls, the GLib analogue) are exempt from the
+// level check but not from ANF checks.
+#ifndef QC_IR_VERIFY_H_
+#define QC_IR_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace qc::ir {
+
+// DSL levels of the stack, from bottom to top.
+enum class Level : int {
+  kCLite = 0,     // C.Scala: + malloc/pointers/pools
+  kScaLite = 1,   // imperative core
+  kList = 2,      // + List
+  kMapList = 3,   // + HashMap/MultiMap
+};
+
+const char* LevelName(Level level);
+
+// Returns a list of violations (empty = OK).
+std::vector<std::string> VerifyFunction(const Function& fn);
+std::vector<std::string> VerifyLevel(const Function& fn, Level level,
+                                     bool allow_lib_calls = true);
+
+// Convenience: die loudly (used in tests and the pass manager's debug mode).
+void CheckFunction(const Function& fn);
+void CheckLevel(const Function& fn, Level level, bool allow_lib_calls = true);
+
+}  // namespace qc::ir
+
+#endif  // QC_IR_VERIFY_H_

@@ -1,0 +1,26 @@
+#include "legobase/legobase.h"
+
+#include "common/timer.h"
+#include "compiler/compiler.h"
+
+namespace qc::legobase {
+
+LegoBaseResult CompileMonolithic(const qplan::Plan& plan,
+                                 storage::Database* db,
+                                 ir::TypeFactory* types,
+                                 const std::string& name) {
+  Timer t;
+  compiler::StackConfig cfg = compiler::StackConfig::LegoBase();
+  // Monolithic: the composition is fixed and opaque; intermediate levels are
+  // never surfaced or verified (verification is a stack-architecture
+  // affordance).
+  cfg.verify = false;
+  compiler::QueryCompiler qc(db, types);
+  compiler::CompileResult res = qc.Compile(plan, cfg, name);
+  LegoBaseResult out;
+  out.fn = std::move(res.fn);
+  out.compile_ms = t.ElapsedMs();
+  return out;
+}
+
+}  // namespace qc::legobase

@@ -1,0 +1,44 @@
+// The LegoBase-style baseline compiler (the "before" system of the paper's
+// evaluation, [50] re-created in §6).
+//
+// LegoBase compiles queries with an aggressive but *monolithic* optimization
+// set: push-based pipelining, operator inlining, hash-table specialization,
+// string dictionaries and memory pools are all applied in what is externally
+// one compilation leap — there is no user-visible stack of intermediate
+// DSLs, no per-level verification, and no way to slot a new abstraction
+// level (such as the index-inference analysis) between existing
+// transformations. That last limitation is exactly what Table 3 measures:
+// DBLAB/LB's extra level unlocks automatic index inference, which the
+// monolithic pipeline cannot express without rewriting its expander cases.
+//
+// Internally this facade drives the same transformation code as the stack
+// compiler (re-implementing each pass as a literal fork would only reproduce
+// Figure 1's code explosion inside this repository); the architectural
+// difference it models is the *fixed, closed* composition.
+#ifndef QC_LEGOBASE_LEGOBASE_H_
+#define QC_LEGOBASE_LEGOBASE_H_
+
+#include <memory>
+#include <string>
+
+#include "ir/stmt.h"
+#include "qplan/plan.h"
+#include "storage/database.h"
+
+namespace qc::legobase {
+
+struct LegoBaseResult {
+  std::unique_ptr<ir::Function> fn;
+  double compile_ms = 0;
+};
+
+// One-shot compilation with LegoBase's optimization set. `plan` must be
+// resolved against `db`.
+LegoBaseResult CompileMonolithic(const qplan::Plan& plan,
+                                 storage::Database* db,
+                                 ir::TypeFactory* types,
+                                 const std::string& name);
+
+}  // namespace qc::legobase
+
+#endif  // QC_LEGOBASE_LEGOBASE_H_

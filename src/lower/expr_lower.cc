@@ -1,0 +1,150 @@
+#include "lower/expr_lower.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace qc::lower {
+
+using ir::Builder;
+using ir::Stmt;
+using ir::Type;
+using qplan::ExprKind;
+using qplan::ExprPtr;
+using qplan::ValType;
+
+const Type* LowerValType(ir::TypeFactory* types, ValType t) {
+  switch (t) {
+    case ValType::kI64: return types->I64();
+    case ValType::kF64: return types->F64();
+    case ValType::kStr: return types->Str();
+    case ValType::kDate: return types->DateT();
+    case ValType::kBool: return types->Bool();
+  }
+  return types->I64();
+}
+
+Stmt* DefaultValue(Builder& b, const Type* t) {
+  switch (t->kind) {
+    case ir::TypeKind::kF64: return b.F64(0.0);
+    case ir::TypeKind::kStr: return b.StrC("");
+    case ir::TypeKind::kBool: return b.BoolC(false);
+    case ir::TypeKind::kDate: return b.DateC(0);
+    case ir::TypeKind::kI32:
+    case ir::TypeKind::kI64: return b.I64(0);
+    default: return b.NullOf(t);
+  }
+}
+
+namespace {
+
+// String comparisons are expressed with the minimal primitive set
+// {str_eq, str_ne, str_lt} so the string-dictionary pass has few shapes to
+// rewrite (Table 2).
+Stmt* LowerStrCmp(Builder& b, ExprKind kind, Stmt* x, Stmt* y) {
+  switch (kind) {
+    case ExprKind::kEq: return b.StrEq(x, y);
+    case ExprKind::kNe: return b.StrNe(x, y);
+    case ExprKind::kLt: return b.StrLt(x, y);
+    case ExprKind::kGt: return b.StrLt(y, x);
+    case ExprKind::kLe: return b.Not(b.StrLt(y, x));
+    case ExprKind::kGe: return b.Not(b.StrLt(x, y));
+    default: std::abort();
+  }
+}
+
+}  // namespace
+
+Stmt* LowerExpr(Builder& b, const ExprPtr& e, const std::vector<Stmt*>& row) {
+  switch (e->kind) {
+    case ExprKind::kCol:
+      assert(e->col_idx >= 0 && static_cast<size_t>(e->col_idx) < row.size());
+      return row[e->col_idx];
+    case ExprKind::kIntLit: return b.I64(e->ival);
+    case ExprKind::kFloatLit: return b.F64(e->fval);
+    case ExprKind::kStrLit: return b.StrC(e->name);
+    case ExprKind::kDateLit: return b.DateC(static_cast<int32_t>(e->ival));
+    case ExprKind::kBoolLit: return b.BoolC(e->ival != 0);
+
+    case ExprKind::kAdd:
+      return b.Add(LowerExpr(b, e->kids[0], row), LowerExpr(b, e->kids[1], row));
+    case ExprKind::kSub:
+      return b.Sub(LowerExpr(b, e->kids[0], row), LowerExpr(b, e->kids[1], row));
+    case ExprKind::kMul:
+      return b.Mul(LowerExpr(b, e->kids[0], row), LowerExpr(b, e->kids[1], row));
+    case ExprKind::kDiv:
+      return b.Div(LowerExpr(b, e->kids[0], row), LowerExpr(b, e->kids[1], row));
+    case ExprKind::kMod:
+      return b.Mod(LowerExpr(b, e->kids[0], row), LowerExpr(b, e->kids[1], row));
+    case ExprKind::kNeg:
+      return b.Neg(LowerExpr(b, e->kids[0], row));
+
+    case ExprKind::kEq:
+    case ExprKind::kNe:
+    case ExprKind::kLt:
+    case ExprKind::kLe:
+    case ExprKind::kGt:
+    case ExprKind::kGe: {
+      Stmt* x = LowerExpr(b, e->kids[0], row);
+      Stmt* y = LowerExpr(b, e->kids[1], row);
+      if (e->kids[0]->type == ValType::kStr) {
+        return LowerStrCmp(b, e->kind, x, y);
+      }
+      switch (e->kind) {
+        case ExprKind::kEq: return b.Eq(x, y);
+        case ExprKind::kNe: return b.Ne(x, y);
+        case ExprKind::kLt: return b.Lt(x, y);
+        case ExprKind::kLe: return b.Le(x, y);
+        case ExprKind::kGt: return b.Gt(x, y);
+        case ExprKind::kGe: return b.Ge(x, y);
+        default: std::abort();
+      }
+    }
+
+    case ExprKind::kAnd:
+      return b.And(LowerExpr(b, e->kids[0], row),
+                   LowerExpr(b, e->kids[1], row));
+    case ExprKind::kOr:
+      return b.Or(LowerExpr(b, e->kids[0], row),
+                  LowerExpr(b, e->kids[1], row));
+    case ExprKind::kNot:
+      return b.Not(LowerExpr(b, e->kids[0], row));
+
+    case ExprKind::kLike:
+      return b.StrLike(LowerExpr(b, e->kids[0], row), e->name);
+    case ExprKind::kStartsWith:
+      return b.StrStartsWith(LowerExpr(b, e->kids[0], row), b.StrC(e->name));
+    case ExprKind::kEndsWith:
+      return b.StrEndsWith(LowerExpr(b, e->kids[0], row), b.StrC(e->name));
+    case ExprKind::kContains:
+      return b.StrContains(LowerExpr(b, e->kids[0], row), b.StrC(e->name));
+
+    case ExprKind::kCase: {
+      // CASE lowers to a mutable variable assigned in both branches: kIf in
+      // the IR is statement-only, conditional *values* go through vars.
+      const Type* t = LowerValType(b.types(), e->type);
+      Stmt* cond = LowerExpr(b, e->kids[0], row);
+      Stmt* var = b.VarNew(DefaultValue(b, t));
+      b.If(
+          cond,
+          [&] {
+            Stmt* v = b.Cast(LowerExpr(b, e->kids[1], row), t);
+            b.VarAssign(var, v);
+          },
+          [&] {
+            Stmt* v = b.Cast(LowerExpr(b, e->kids[2], row), t);
+            b.VarAssign(var, v);
+          });
+      return b.VarRead(var);
+    }
+
+    case ExprKind::kYearOf: {
+      Stmt* d = LowerExpr(b, e->kids[0], row);
+      return b.Div(b.Cast(d, b.types()->I64()), b.I64(10000));
+    }
+    case ExprKind::kSubstr:
+      return b.StrSubstr(LowerExpr(b, e->kids[0], row), e->aux0, e->aux1);
+  }
+  std::abort();
+}
+
+}  // namespace qc::lower

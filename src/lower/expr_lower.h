@@ -1,0 +1,27 @@
+// Lowers QPlan scalar expressions to ANF IR, given the IR symbols of the
+// current row. Shared by the pipelining lowering (lower/pipeline.cc) and the
+// naive template expansion (lower/naive.cc).
+#ifndef QC_LOWER_EXPR_LOWER_H_
+#define QC_LOWER_EXPR_LOWER_H_
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "qplan/expr.h"
+
+namespace qc::lower {
+
+// Maps a QPlan value type to the IR type.
+const ir::Type* LowerValType(ir::TypeFactory* types, qplan::ValType t);
+
+// Emits IR computing `e` over `row` (one symbol per input-schema column,
+// positions matching the schema the expression was resolved against).
+ir::Stmt* LowerExpr(ir::Builder& b, const qplan::ExprPtr& e,
+                    const std::vector<ir::Stmt*>& row);
+
+// Zero/default value of a type (used for outer-join padding).
+ir::Stmt* DefaultValue(ir::Builder& b, const ir::Type* t);
+
+}  // namespace qc::lower
+
+#endif  // QC_LOWER_EXPR_LOWER_H_

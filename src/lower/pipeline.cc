@@ -1,0 +1,507 @@
+#include "lower/pipeline.h"
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "ir/builder.h"
+#include "lower/expr_lower.h"
+
+namespace qc::lower {
+
+using ir::Builder;
+using ir::Stmt;
+using ir::Type;
+using qplan::AggFn;
+using qplan::ExprPtr;
+using qplan::JoinKind;
+using qplan::Plan;
+using qplan::PlanKind;
+using qplan::ValType;
+
+namespace {
+
+using Row = std::vector<Stmt*>;
+using Consumer = std::function<void(const Row&)>;
+
+bool IsIntegralVal(ValType t) {
+  return t == ValType::kI64 || t == ValType::kDate || t == ValType::kBool;
+}
+
+class PipelineLowering {
+ public:
+  PipelineLowering(storage::Database& db, ir::TypeFactory* types)
+      : db_(db), types_(types) {}
+
+  std::unique_ptr<ir::Function> Run(const Plan& plan,
+                                    const std::string& name) {
+    auto fn = std::make_unique<ir::Function>(name, types_);
+    Builder builder(fn.get());
+    b_ = &builder;
+    Produce(plan, [&](const Row& row) { b_->EmitRow(row); });
+    b_ = nullptr;
+    return fn;
+  }
+
+ private:
+  Builder& b() { return *b_; }
+
+  const Type* LowerColType(storage::ColType t) {
+    switch (t) {
+      case storage::ColType::kI64: return types_->I64();
+      case storage::ColType::kF64: return types_->F64();
+      case storage::ColType::kStr: return types_->Str();
+      case storage::ColType::kDate: return types_->DateT();
+    }
+    return types_->I64();
+  }
+
+  // Fresh record type for a schema (field names keep the column name for
+  // debuggability; extras are appended, e.g. the embedded join key).
+  const Type* TupleType(const qplan::Schema& schema, const std::string& base,
+                        const std::vector<ir::Field>& extras = {}) {
+    std::vector<ir::Field> fields;
+    fields.reserve(schema.size() + extras.size());
+    for (size_t i = 0; i < schema.size(); ++i) {
+      fields.push_back(ir::Field{"f" + std::to_string(i) + "_" +
+                                     schema[i].name,
+                                 LowerValType(types_, schema[i].type)});
+    }
+    for (const ir::Field& f : extras) fields.push_back(f);
+    return types_->Record(base + std::to_string(counter_++), std::move(fields));
+  }
+
+  Row RecFields(Stmt* rec, size_t n) {
+    Row row;
+    row.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      row.push_back(b().RecGet(rec, static_cast<int>(i)));
+    }
+    return row;
+  }
+
+  // Hash-key shape, decidable statically: a single integral key is carried
+  // as a plain i64 (the case the specialization passes can turn into array
+  // partitioning); composite or string keys become a key record handled by
+  // the generic type-directed hash — the GLib path.
+  struct KeySpec {
+    const Type* type = nullptr;
+    bool single_integral = false;
+  };
+
+  KeySpec KeyTypeOf(const std::vector<ExprPtr>& keys) {
+    KeySpec spec;
+    if (keys.empty() || (keys.size() == 1 && IsIntegralVal(keys[0]->type))) {
+      spec.type = types_->I64();
+      spec.single_integral = true;
+      return spec;
+    }
+    std::vector<ir::Field> fields;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      fields.push_back(ir::Field{"k" + std::to_string(i),
+                                 LowerValType(types_, keys[i]->type)});
+    }
+    spec.type =
+        types_->Record("Key" + std::to_string(counter_++), std::move(fields));
+    spec.single_integral = false;
+    return spec;
+  }
+
+  Stmt* MakeKey(const KeySpec& spec, const std::vector<ExprPtr>& keys,
+                const Row& row) {
+    if (keys.empty()) return b().I64(0);
+    std::vector<Stmt*> vals;
+    vals.reserve(keys.size());
+    for (const ExprPtr& k : keys) vals.push_back(LowerExpr(b(), k, row));
+    if (spec.single_integral) return b().Cast(vals[0], types_->I64());
+    return b().RecNew(spec.type, vals);
+  }
+
+  void Produce(const Plan& p, const Consumer& consume) {
+    switch (p.kind) {
+      case PlanKind::kScan: return ProduceScan(p, consume);
+      case PlanKind::kSelect: return ProduceSelect(p, consume);
+      case PlanKind::kProject: return ProduceProject(p, consume);
+      case PlanKind::kJoin: return ProduceJoin(p, consume);
+      case PlanKind::kAgg: return ProduceAgg(p, consume);
+      case PlanKind::kSort: return ProduceSort(p, consume);
+      case PlanKind::kLimit: return ProduceLimit(p, consume);
+    }
+  }
+
+  void ProduceScan(const Plan& p, const Consumer& consume) {
+    const storage::Table& t = db_.table(p.table_id);
+    Stmt* n = b().TableRows(p.table_id);
+    b().ForRange(b().I64(0), n, [&](Stmt* i) {
+      Row row;
+      row.reserve(t.num_columns());
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        row.push_back(b().ColGet(p.table_id, static_cast<int>(c), i,
+                                 LowerColType(t.def().columns[c].type)));
+      }
+      consume(row);
+    });
+  }
+
+  void ProduceSelect(const Plan& p, const Consumer& consume) {
+    Produce(*p.children[0], [&](const Row& row) {
+      Stmt* pred = LowerExpr(b(), p.predicate, row);
+      b().If(pred, [&] { consume(row); });
+    });
+  }
+
+  void ProduceProject(const Plan& p, const Consumer& consume) {
+    Produce(*p.children[0], [&](const Row& row) {
+      Row out;
+      out.reserve(p.projections.size());
+      for (const auto& ne : p.projections) {
+        out.push_back(LowerExpr(b(), ne.expr, row));
+      }
+      consume(out);
+    });
+  }
+
+  // Hash joins build a MultiMap over the *right* child and stream the left
+  // child through it (first/second phase of Fig. 4d). Semi/anti joins check
+  // match existence; outer joins track a `matched` flag and emit a padded
+  // row for unmatched probes.
+  void ProduceJoin(const Plan& p, const Consumer& consume) {
+    const qplan::Schema& lschema = p.children[0]->schema;
+    const qplan::Schema& rschema = p.children[1]->schema;
+    KeySpec spec = KeyTypeOf(p.right_keys);
+
+    std::vector<ir::Field> extras;
+    if (spec.single_integral) {
+      extras.push_back(ir::Field{"__key", types_->I64()});
+    }
+    const Type* tup = TupleType(rschema, "JoinTup", extras);
+
+    Stmt* mm = b().MMapNew(spec.type, tup);
+    mm->aux0 = spec.single_integral ? static_cast<int>(rschema.size()) : -1;
+
+    // Phase 1: build.
+    Produce(*p.children[1], [&](const Row& row) {
+      Stmt* key = MakeKey(spec, p.right_keys, row);
+      Row fields = row;
+      if (spec.single_integral) fields.push_back(key);
+      Stmt* rec = b().RecNew(tup, fields);
+      b().MMapAdd(mm, key, rec);
+    });
+
+    // Phase 2: probe.
+    Produce(*p.children[0], [&](const Row& lrow) {
+      KeySpec lspec = spec;  // key representation must match the build side
+      Stmt* key = MakeKey(lspec, p.left_keys, lrow);
+      Stmt* lst = b().MMapGetOrNull(mm, key);
+
+      auto foreach_match = [&](const std::function<void(const Row&)>& on_match) {
+        b().If(b().Not(b().IsNull(lst)), [&] {
+          b().ListForeach(lst, [&](Stmt* rec) {
+            Row rrow = RecFields(rec, rschema.size());
+            if (p.predicate != nullptr) {
+              Row concat = lrow;
+              concat.insert(concat.end(), rrow.begin(), rrow.end());
+              Stmt* res = LowerExpr(b(), p.predicate, concat);
+              b().If(res, [&] { on_match(rrow); });
+            } else {
+              on_match(rrow);
+            }
+          });
+        });
+      };
+
+      switch (p.join_kind) {
+        case JoinKind::kInner: {
+          foreach_match([&](const Row& rrow) {
+            Row out = lrow;
+            out.insert(out.end(), rrow.begin(), rrow.end());
+            consume(out);
+          });
+          break;
+        }
+        case JoinKind::kSemi:
+        case JoinKind::kAnti: {
+          Stmt* found = b().VarNew(b().BoolC(false));
+          foreach_match([&](const Row&) {
+            b().VarAssign(found, b().BoolC(true));
+          });
+          Stmt* flag = b().VarRead(found);
+          if (p.join_kind == JoinKind::kAnti) flag = b().Not(flag);
+          b().If(flag, [&] { consume(lrow); });
+          break;
+        }
+        case JoinKind::kLeftOuter: {
+          Stmt* matched = b().VarNew(b().BoolC(false));
+          foreach_match([&](const Row& rrow) {
+            b().VarAssign(matched, b().BoolC(true));
+            Row out = lrow;
+            out.insert(out.end(), rrow.begin(), rrow.end());
+            out.push_back(b().BoolC(true));
+            consume(out);
+          });
+          b().If(b().Not(b().VarRead(matched)), [&] {
+            Row out = lrow;
+            for (const auto& c : rschema) {
+              out.push_back(DefaultValue(b(), LowerValType(types_, c.type)));
+            }
+            out.push_back(b().BoolC(false));
+            consume(out);
+          });
+          break;
+        }
+      }
+    });
+    (void)lschema;
+  }
+
+  // Aggregation: grouped aggregation keeps one mutable record per group in a
+  // HashMap (records hold group values, one accumulator per aggregate, and a
+  // shared row count `n`); global aggregation uses plain mutable variables.
+  void ProduceAgg(const Plan& p, const Consumer& consume) {
+    if (p.group_by.empty()) return ProduceGlobalAgg(p, consume);
+
+    KeySpec spec;
+    {
+      std::vector<ExprPtr> key_exprs;
+      for (const auto& g : p.group_by) key_exprs.push_back(g.expr);
+      spec = KeyTypeOf(key_exprs);
+    }
+
+    // Aggregation record: group fields, accumulators, shared count.
+    std::vector<ir::Field> fields;
+    for (size_t i = 0; i < p.group_by.size(); ++i) {
+      fields.push_back(ir::Field{
+          "g" + std::to_string(i),
+          LowerValType(types_, p.group_by[i].expr->type)});
+    }
+    for (size_t a = 0; a < p.aggs.size(); ++a) {
+      const Type* acc_t =
+          p.aggs[a].fn == AggFn::kCount
+              ? types_->I64()
+              : (p.aggs[a].fn == AggFn::kAvg
+                     ? types_->F64()
+                     : LowerValType(types_, p.aggs[a].arg->type));
+      fields.push_back(ir::Field{"a" + std::to_string(a), acc_t});
+    }
+    fields.push_back(ir::Field{"n", types_->I64()});
+    const Type* agg_rec =
+        types_->Record("AggRec" + std::to_string(counter_++), std::move(fields));
+    size_t acc_base = p.group_by.size();
+    int n_idx = static_cast<int>(agg_rec->record->fields.size()) - 1;
+
+    Stmt* map = b().MapNew(spec.type, agg_rec);
+    map->aux0 = spec.single_integral ? 0 : -1;
+    map->aux1 = static_cast<int>(p.group_by.size());
+
+    Produce(*p.children[0], [&](const Row& row) {
+      Row gvals;
+      for (const auto& g : p.group_by) {
+        gvals.push_back(LowerExpr(b(), g.expr, row));
+      }
+      Stmt* key;
+      if (spec.single_integral) {
+        key = b().Cast(gvals[0], types_->I64());
+      } else {
+        key = b().RecNew(spec.type, gvals);
+      }
+      Stmt* rec = b().MapGetOrElseUpdate(map, key, [&]() -> Stmt* {
+        Row init = gvals;
+        for (size_t a = 0; a < p.aggs.size(); ++a) {
+          init.push_back(DefaultValue(
+              b(), agg_rec->record->fields[acc_base + a].type));
+        }
+        init.push_back(b().I64(0));
+        return b().RecNew(agg_rec, init);
+      });
+
+      Stmt* n0 = b().RecGet(rec, n_idx);
+      for (size_t a = 0; a < p.aggs.size(); ++a) {
+        const qplan::AggSpec& sp = p.aggs[a];
+        int fidx = static_cast<int>(acc_base + a);
+        if (sp.fn == AggFn::kCount) continue;  // shared count handles it
+        Stmt* v = LowerExpr(b(), sp.arg, row);
+        const Type* acc_t = agg_rec->record->fields[fidx].type;
+        v = b().Cast(v, acc_t);
+        Stmt* cur = b().RecGet(rec, fidx);
+        switch (sp.fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg:
+            b().RecSet(rec, fidx, b().Add(cur, v));
+            break;
+          case AggFn::kMin: {
+            Stmt* take = b().Or(b().Eq(n0, b().I64(0)), b().Lt(v, cur));
+            b().If(take, [&] { b().RecSet(rec, fidx, v); });
+            break;
+          }
+          case AggFn::kMax: {
+            Stmt* take = b().Or(b().Eq(n0, b().I64(0)), b().Gt(v, cur));
+            b().If(take, [&] { b().RecSet(rec, fidx, v); });
+            break;
+          }
+          case AggFn::kCount:
+            break;
+        }
+      }
+      b().RecSet(rec, n_idx, b().Add(n0, b().I64(1)));
+    });
+
+    b().MapForeach(map, [&](Stmt* /*key*/, Stmt* rec) {
+      Row out;
+      for (size_t i = 0; i < p.group_by.size(); ++i) {
+        out.push_back(b().RecGet(rec, static_cast<int>(i)));
+      }
+      Stmt* n = b().RecGet(rec, n_idx);
+      for (size_t a = 0; a < p.aggs.size(); ++a) {
+        const qplan::AggSpec& sp = p.aggs[a];
+        int fidx = static_cast<int>(acc_base + a);
+        switch (sp.fn) {
+          case AggFn::kCount:
+            out.push_back(n);
+            break;
+          case AggFn::kAvg:
+            out.push_back(
+                b().Div(b().RecGet(rec, fidx), b().Cast(n, types_->F64())));
+            break;
+          default:
+            out.push_back(b().RecGet(rec, fidx));
+        }
+      }
+      consume(out);
+    });
+  }
+
+  void ProduceGlobalAgg(const Plan& p, const Consumer& consume) {
+    std::vector<Stmt*> accs(p.aggs.size(), nullptr);
+    std::vector<const Type*> acc_types(p.aggs.size(), nullptr);
+    for (size_t a = 0; a < p.aggs.size(); ++a) {
+      const qplan::AggSpec& sp = p.aggs[a];
+      acc_types[a] = sp.fn == AggFn::kCount
+                         ? types_->I64()
+                         : (sp.fn == AggFn::kAvg
+                                ? types_->F64()
+                                : LowerValType(types_, sp.arg->type));
+      accs[a] = b().VarNew(DefaultValue(b(), acc_types[a]));
+    }
+    Stmt* n_var = b().VarNew(b().I64(0));
+
+    Produce(*p.children[0], [&](const Row& row) {
+      Stmt* n0 = b().VarRead(n_var);
+      for (size_t a = 0; a < p.aggs.size(); ++a) {
+        const qplan::AggSpec& sp = p.aggs[a];
+        if (sp.fn == AggFn::kCount) continue;
+        Stmt* v = b().Cast(LowerExpr(b(), sp.arg, row), acc_types[a]);
+        Stmt* cur = b().VarRead(accs[a]);
+        switch (sp.fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg:
+            b().VarAssign(accs[a], b().Add(cur, v));
+            break;
+          case AggFn::kMin: {
+            Stmt* take = b().Or(b().Eq(n0, b().I64(0)), b().Lt(v, cur));
+            b().If(take, [&] { b().VarAssign(accs[a], v); });
+            break;
+          }
+          case AggFn::kMax: {
+            Stmt* take = b().Or(b().Eq(n0, b().I64(0)), b().Gt(v, cur));
+            b().If(take, [&] { b().VarAssign(accs[a], v); });
+            break;
+          }
+          case AggFn::kCount:
+            break;
+        }
+      }
+      b().VarAssign(n_var, b().Add(n0, b().I64(1)));
+    });
+
+    Row out;
+    Stmt* n = b().VarRead(n_var);
+    for (size_t a = 0; a < p.aggs.size(); ++a) {
+      const qplan::AggSpec& sp = p.aggs[a];
+      switch (sp.fn) {
+        case AggFn::kCount:
+          out.push_back(n);
+          break;
+        case AggFn::kAvg: {
+          // Guard the empty-input case: average of zero rows is 0.
+          Stmt* res = b().VarNew(b().F64(0.0));
+          b().If(b().Gt(n, b().I64(0)), [&] {
+            b().VarAssign(res, b().Div(b().VarRead(accs[a]),
+                                       b().Cast(n, types_->F64())));
+          });
+          out.push_back(b().VarRead(res));
+          break;
+        }
+        default:
+          out.push_back(b().VarRead(accs[a]));
+      }
+    }
+    consume(out);
+  }
+
+  // Sort materializes child rows as records in a List, sorts it with a
+  // lexicographic comparator over the sort keys, then streams it.
+  void ProduceSort(const Plan& p, const Consumer& consume) {
+    const qplan::Schema& schema = p.children[0]->schema;
+    const Type* tup = TupleType(schema, "SortTup");
+    Stmt* lst = b().ListNew(tup);
+
+    Produce(*p.children[0], [&](const Row& row) {
+      b().ListAppend(lst, b().RecNew(tup, row));
+    });
+
+    b().ListSortBy(lst, [&](Stmt* x, Stmt* y) -> Stmt* {
+      Row rx = RecFields(x, schema.size());
+      Row ry = RecFields(y, schema.size());
+      // Lexicographic: less = k0<k0' || (k0==k0' && (k1<k1' || ...)).
+      Stmt* less = b().BoolC(false);
+      for (size_t i = p.sort_keys.size(); i-- > 0;) {
+        const qplan::SortKey& k = p.sort_keys[i];
+        Stmt* a = LowerExpr(b(), k.expr, rx);
+        Stmt* c = LowerExpr(b(), k.expr, ry);
+        if (k.desc) std::swap(a, c);
+        Stmt *lt, *eq;
+        if (k.expr->type == ValType::kStr) {
+          lt = b().StrLt(a, c);
+          eq = b().StrEq(a, c);
+        } else {
+          lt = b().Lt(a, c);
+          eq = b().Eq(a, c);
+        }
+        less = b().Or(lt, b().And(eq, less));
+      }
+      return less;
+    });
+
+    b().ListForeach(lst, [&](Stmt* rec) {
+      consume(RecFields(rec, schema.size()));
+    });
+  }
+
+  void ProduceLimit(const Plan& p, const Consumer& consume) {
+    Stmt* count = b().VarNew(b().I64(0));
+    Produce(*p.children[0], [&](const Row& row) {
+      Stmt* c = b().VarRead(count);
+      b().If(b().Lt(c, b().I64(p.limit)), [&] {
+        consume(row);
+        b().VarAssign(count, b().Add(c, b().I64(1)));
+      });
+    });
+  }
+
+  storage::Database& db_;
+  ir::TypeFactory* types_;
+  Builder* b_ = nullptr;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Function> LowerPlanPipelined(const qplan::Plan& plan,
+                                                 storage::Database& db,
+                                                 ir::TypeFactory* types,
+                                                 const std::string& name) {
+  PipelineLowering lowering(db, types);
+  return lowering.Run(plan, name);
+}
+
+}  // namespace qc::lower

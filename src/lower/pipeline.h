@@ -1,0 +1,43 @@
+// Pipelining: the lowering from QPlan to ScaLite[Map, List] (§5.1).
+//
+// The implementation is the push-engine / producer-consumer encoding (Fig. 6
+// of the paper): each operator is a producer that invokes its consumer
+// continuation once per row, so operator boundaries are fused away and no
+// intermediate collections are materialized except where the algebra demands
+// it (hash tables of joins and aggregations, sort buffers). This is the
+// transformation the paper reports as "Pipelining in QPlan: 0 LoC" in Scala
+// because the operator encoding *is* the transformation; here it is the
+// plan-to-IR lowering itself.
+//
+// The emitted IR is at DSL level 3 (ScaLite[Map, List]): abstract HashMap /
+// MultiMap / List constructs that later lowerings specialize.
+#ifndef QC_LOWER_PIPELINE_H_
+#define QC_LOWER_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "ir/stmt.h"
+#include "qplan/plan.h"
+#include "storage/database.h"
+
+namespace qc::lower {
+
+// `plan` must be resolved. The returned function verifies at
+// Level::kMapList.
+std::unique_ptr<ir::Function> LowerPlanPipelined(const qplan::Plan& plan,
+                                                 storage::Database& db,
+                                                 ir::TypeFactory* types,
+                                                 const std::string& name);
+
+// Annotation conventions produced by this lowering and consumed by the
+// data-structure specialization passes:
+//  * kMMapNew.aux0 — field index of the join key copied into each stored
+//    build record (single integral keys only), or -1.
+//  * kMapNew.aux0  — field index of the grouping key inside the aggregation
+//    record (0 for single integral keys), or -1; kMapNew.aux1 — number of
+//    grouping fields.
+
+}  // namespace qc::lower
+
+#endif  // QC_LOWER_PIPELINE_H_

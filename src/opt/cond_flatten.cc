@@ -1,0 +1,23 @@
+#include "opt/cond_flatten.h"
+
+#include "ir/rewrite.h"
+
+namespace qc::opt {
+
+namespace {
+
+class CondFlattener : public ir::Cloner {
+ protected:
+  ir::Stmt* Transform(const ir::Stmt* s) override {
+    if (s->op != ir::Op::kAnd) return nullptr;
+    return b().BitAnd(Lookup(s->args[0]), Lookup(s->args[1]));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Function> FlattenConditions(const ir::Function& fn) {
+  return CondFlattener().Run(fn);
+}
+
+}  // namespace qc::opt

@@ -1,0 +1,19 @@
+// Fine-grained optimization (Appendix E): rewrites `x && y` into the
+// non-short-circuiting `x & y` when the second operand is side-effect free
+// (always true for IR booleans, which are pure by construction). The C
+// backend emits `&`, trading a branch for straight-line evaluation to help
+// branch prediction.
+#ifndef QC_OPT_COND_FLATTEN_H_
+#define QC_OPT_COND_FLATTEN_H_
+
+#include <memory>
+
+#include "ir/stmt.h"
+
+namespace qc::opt {
+
+std::unique_ptr<ir::Function> FlattenConditions(const ir::Function& fn);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_COND_FLATTEN_H_

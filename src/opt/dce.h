@@ -1,0 +1,26 @@
+// Dead code elimination over the ANF IR.
+//
+// Liveness rules (fixpoint):
+//   1. kEmit statements are live.
+//   2. A live statement makes all of its arguments live, and the result
+//      symbol of each of its nested blocks live.
+//   3. A control statement (if / loops / foreach) is live iff some statement
+//      inside one of its blocks is live.
+//   4. A store (var_assign, rec_set, arr_set, list_append, mmap_add, sorts,
+//      map_get_or_else_update, free) is live iff its target (args[0]) is
+//      live.
+// Everything else (allocations, reads, pure computation) is live iff used by
+// a live statement. Statements that stay dead are pruned in place.
+#ifndef QC_OPT_DCE_H_
+#define QC_OPT_DCE_H_
+
+#include "ir/stmt.h"
+
+namespace qc::opt {
+
+// Returns the number of statements removed.
+int DeadCodeElimination(ir::Function* fn);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_DCE_H_

@@ -1,0 +1,38 @@
+// Automatic index inference (Fig. 7, Appendix B.1). When a hash join builds
+// its MultiMap by scanning a *base relation* keyed on an annotated
+// primary-/foreign-key column, the whole build phase is removed: the probe
+// side instead walks a partitioned index that the database constructs at
+// *load* time (domain-specific code motion — query-time work traded for
+// loading-time work). Build-side filter predicates move into the probe loop
+// exactly as in Fig. 7c; primary-key columns use the dense 1-D row index of
+// Fig. 7d, so the bucket iteration disappears entirely.
+//
+// Pattern recognized (the shape the pipelining lowering emits):
+//
+//   mm = mmap_new
+//   for i in 0 .. table_rows(T):        [only pure stmts and If-filters]
+//     if (pred(i)) { rec = rec_new(cols of T at i); mmap_add(mm, col, rec) }
+//   ...
+//   lst = mmap_get_or_null(mm, k); if (!is_null(lst)) foreach(lst) {...}
+//
+// becomes, for a foreign-key column,
+//
+//   for j in 0 .. idx_bucket_len(T.col, k):
+//     row = idx_bucket_row(T.col, k, j)
+//     if (pred(row)) { ...body with rec fields replaced by column reads... }
+#ifndef QC_OPT_INDEX_INFER_H_
+#define QC_OPT_INDEX_INFER_H_
+
+#include <memory>
+
+#include "ir/stmt.h"
+#include "storage/database.h"
+
+namespace qc::opt {
+
+std::unique_ptr<ir::Function> InferIndexes(const ir::Function& fn,
+                                           storage::Database* db);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_INDEX_INFER_H_

@@ -1,0 +1,49 @@
+#include "opt/mark_lib.h"
+
+namespace qc::opt {
+
+using ir::Block;
+using ir::Op;
+using ir::Stmt;
+
+namespace {
+
+bool IsCollectionOp(Op op) {
+  switch (op) {
+    case Op::kMapNew:
+    case Op::kMapGetOrElseUpdate:
+    case Op::kMapGetOrNull:
+    case Op::kMapForeach:
+    case Op::kMapSize:
+    case Op::kMMapNew:
+    case Op::kMMapAdd:
+    case Op::kMMapGetOrNull:
+    case Op::kListNew:
+    case Op::kListAppend:
+    case Op::kListForeach:
+    case Op::kListSize:
+    case Op::kListGet:
+    case Op::kListSortBy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int MarkBlock(Block* b) {
+  int n = 0;
+  for (Stmt* s : b->stmts) {
+    if (IsCollectionOp(s->op) && !s->lib_call) {
+      s->lib_call = true;
+      ++n;
+    }
+    for (Block* nb : s->blocks) n += MarkBlock(nb);
+  }
+  return n;
+}
+
+}  // namespace
+
+int MarkLibraryCollections(ir::Function* fn) { return MarkBlock(fn->body()); }
+
+}  // namespace qc::opt

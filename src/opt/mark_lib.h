@@ -1,0 +1,18 @@
+// Final step of lowering to C.Lite: any HashMap / MultiMap / List construct
+// that survived the specialization passes (composite or string keys,
+// unbounded collections) is marked as an external-library call — the GLib
+// linkage of the paper's generated C. The level verifier then accepts the
+// program at Level::kCLite.
+#ifndef QC_OPT_MARK_LIB_H_
+#define QC_OPT_MARK_LIB_H_
+
+#include "ir/stmt.h"
+
+namespace qc::opt {
+
+// In place; returns the number of statements marked.
+int MarkLibraryCollections(ir::Function* fn);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_MARK_LIB_H_

@@ -1,0 +1,70 @@
+#include "opt/pool_hoist.h"
+
+#include <map>
+#include <vector>
+
+#include "ir/rewrite.h"
+
+namespace qc::opt {
+
+using ir::Block;
+using ir::Op;
+using ir::Stmt;
+using ir::Type;
+
+namespace {
+
+void CollectRecordTypes(const Block* b, std::vector<const Type*>* out) {
+  for (const Stmt* s : b->stmts) {
+    if (s->op == Op::kRecNew) {
+      bool seen = false;
+      for (const Type* t : *out) seen |= (t == s->type);
+      if (!seen) out->push_back(s->type);
+    }
+    for (const Block* nb : s->blocks) CollectRecordTypes(nb, out);
+  }
+}
+
+class PoolHoister : public ir::Cloner {
+ public:
+  explicit PoolHoister(const storage::Database& db) : db_(&db) {}
+
+ protected:
+  void Prologue(const ir::Function& src) override {
+    std::vector<const Type*> rec_types;
+    CollectRecordTypes(src.body(), &rec_types);
+    // Worst-case cardinality: no intermediate collection in our operator
+    // repertoire exceeds the total number of base rows feeding the query
+    // (joins are key--foreign-key), so the sum of base-table cardinalities
+    // is the static upper bound the paper derives from load-time statistics.
+    int64_t worst_case = 0;
+    for (int t = 0; t < db_->num_tables(); ++t) {
+      worst_case += db_->table(t).rows();
+    }
+    for (const Type* t : rec_types) {
+      pools_[t] = b().PoolNew(t, b().I64(worst_case));
+    }
+  }
+
+  Stmt* Transform(const Stmt* s) override {
+    if (s->op != Op::kRecNew) return nullptr;
+    std::vector<Stmt*> args;
+    args.reserve(s->args.size() + 1);
+    args.push_back(pools_.at(s->type));
+    for (const Stmt* a : s->args) args.push_back(Lookup(a));
+    return b().Emit(Op::kPoolRecNew, s->type, std::move(args));
+  }
+
+ private:
+  const storage::Database* db_;
+  std::map<const Type*, Stmt*> pools_;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Function> HoistMemoryAllocations(
+    const ir::Function& fn, const storage::Database& db) {
+  return PoolHoister(db).Run(fn);
+}
+
+}  // namespace qc::opt

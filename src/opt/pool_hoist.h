@@ -1,0 +1,21 @@
+// Memory-allocation hoisting (Appendix D.1): part of the ScaLite -> C.Lite
+// lowering. Every record allocation (kRecNew, which at C level means one
+// malloc per record) is replaced by an allocation from a per-record-type
+// memory pool created once at the top of the function. Pool capacities carry
+// the worst-case cardinality estimate derived from base-table statistics.
+#ifndef QC_OPT_POOL_HOIST_H_
+#define QC_OPT_POOL_HOIST_H_
+
+#include <memory>
+
+#include "ir/stmt.h"
+#include "storage/database.h"
+
+namespace qc::opt {
+
+std::unique_ptr<ir::Function> HoistMemoryAllocations(
+    const ir::Function& fn, const storage::Database& db);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_POOL_HOIST_H_

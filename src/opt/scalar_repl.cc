@@ -1,0 +1,66 @@
+#include "opt/scalar_repl.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/rewrite.h"
+
+namespace qc::opt {
+
+using ir::Block;
+using ir::Op;
+using ir::Stmt;
+
+namespace {
+
+// Records eligible for replacement: every use is a kRecGet (no escape into
+// collections, no kRecSet mutation, not a block result).
+void FindReplaceable(const Block* b,
+                     std::unordered_map<const Stmt*, bool>* eligible) {
+  for (const Stmt* s : b->stmts) {
+    if (s->op == Op::kRecNew) eligible->emplace(s, true);
+    for (size_t i = 0; i < s->args.size(); ++i) {
+      const Stmt* a = s->args[i];
+      if (s->op == Op::kRecGet && i == 0) continue;  // reading is fine
+      auto it = eligible->find(a);
+      if (it != eligible->end()) it->second = false;
+    }
+    if (b->result != nullptr) {
+      auto it = eligible->find(b->result);
+      if (it != eligible->end()) it->second = false;
+    }
+    for (const Block* nb : s->blocks) FindReplaceable(nb, eligible);
+  }
+}
+
+class ScalarReplacer : public ir::Cloner {
+ public:
+  void Analyze(const ir::Function& fn) {
+    FindReplaceable(fn.body(), &eligible_);
+  }
+
+ protected:
+  Stmt* Transform(const Stmt* s) override {
+    if (s->op == Op::kRecGet) {
+      auto it = eligible_.find(s->args[0]);
+      if (it != eligible_.end() && it->second) {
+        // Field value flows directly; the record is never materialized.
+        return Lookup(s->args[0]->args[s->aux0]);
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::unordered_map<const Stmt*, bool> eligible_;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Function> ScalarReplacement(const ir::Function& fn) {
+  ScalarReplacer r;
+  r.Analyze(fn);
+  return r.Run(fn);
+}
+
+}  // namespace qc::opt

@@ -1,0 +1,18 @@
+// Scalar replacement (Appendix C): records whose only observers are field
+// reads never need to exist — every kRecGet is replaced by the value the
+// field was constructed with, and the allocation becomes dead. Removes a
+// memory access (and an allocation) from the critical path.
+#ifndef QC_OPT_SCALAR_REPL_H_
+#define QC_OPT_SCALAR_REPL_H_
+
+#include <memory>
+
+#include "ir/stmt.h"
+
+namespace qc::opt {
+
+std::unique_ptr<ir::Function> ScalarReplacement(const ir::Function& fn);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_SCALAR_REPL_H_

@@ -1,0 +1,23 @@
+#include "opt/users.h"
+
+namespace qc::opt {
+
+namespace {
+
+void Walk(const ir::Block* b, const ir::Stmt* parent, UseIndex* idx) {
+  for (const ir::Stmt* s : b->stmts) {
+    idx->parent[s] = parent;
+    for (const ir::Stmt* a : s->args) idx->users[a].push_back(s);
+    for (const ir::Block* nb : s->blocks) Walk(nb, s, idx);
+  }
+}
+
+}  // namespace
+
+UseIndex BuildUseIndex(const ir::Function& fn) {
+  UseIndex idx;
+  Walk(fn.body(), nullptr, &idx);
+  return idx;
+}
+
+}  // namespace qc::opt

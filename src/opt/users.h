@@ -1,0 +1,30 @@
+// Shared def-use indexing over the ANF IR (single-definition symbols make
+// this a plain multimap). Used by the analysis-driven passes.
+#ifndef QC_OPT_USERS_H_
+#define QC_OPT_USERS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace qc::opt {
+
+struct UseIndex {
+  // statement -> statements using it as an argument
+  std::unordered_map<const ir::Stmt*, std::vector<const ir::Stmt*>> users;
+  // statement -> the block-carrying statement whose block contains it
+  std::unordered_map<const ir::Stmt*, const ir::Stmt*> parent;
+
+  const std::vector<const ir::Stmt*>& UsersOf(const ir::Stmt* s) const {
+    static const std::vector<const ir::Stmt*> kEmpty;
+    auto it = users.find(s);
+    return it == users.end() ? kEmpty : it->second;
+  }
+};
+
+UseIndex BuildUseIndex(const ir::Function& fn);
+
+}  // namespace qc::opt
+
+#endif  // QC_OPT_USERS_H_

@@ -1,0 +1,111 @@
+// QMonad: the collection-programming front-end (§4.5, Fig. 4c). A functional
+// DSL of chained higher-order collection operators (map / filter / hashJoin
+// / groupBy / fold / count / sortBy / take) over base tables, in the spirit
+// of monad calculus and Spark-style APIs.
+//
+// Two lowerings to the shared IR exist, and their contrast is the paper's
+// §5.1 story:
+//
+//  * LowerFused — the producer/consumer (build/foreach) encoding of Fig. 6:
+//    inlining the operator definitions *is* shortcut fusion, every operator
+//    chain becomes one loop nest, intermediate collections disappear, and
+//    the result lands in ScaLite[Map, List] exactly like pipelined QPlan.
+//    The encoding needs O(n) operator definitions.
+//
+//  * LowerUnfused — each operator materializes its full output into a List
+//    before the next operator runs: the naive semantics a template expander
+//    without fusion machinery produces. Used as the fusion ablation
+//    (bench/fig1_explosion) and by tests as a second semantics reference.
+//
+// FusionRuleAccounting quantifies Fig. 1 / §5.1's O(n^2)-rewrite-rules
+// argument from the operator registry itself.
+#ifndef QC_QMONAD_QMONAD_H_
+#define QC_QMONAD_QMONAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "qplan/plan.h"
+#include "storage/database.h"
+
+namespace qc::qmonad {
+
+enum class MKind {
+  kSource,
+  kMap,
+  kFilter,
+  kHashJoin,
+  kGroupBy,
+  kFold,   // global aggregation -> one row
+  kCount,  // global count -> one row
+  kSortBy,
+  kTake,
+};
+
+constexpr int kNumConstructs = 9;
+
+struct MonadOp;
+using MonadPtr = std::shared_ptr<MonadOp>;
+
+struct MonadOp {
+  MKind kind;
+  MonadPtr child;   // upstream collection
+  MonadPtr other;   // hashJoin: right collection
+
+  std::string table;                          // kSource
+  int table_id = -1;
+  qplan::ExprPtr pred;                        // kFilter
+  std::vector<qplan::NamedExpr> projections;  // kMap
+  qplan::ExprPtr left_key, right_key;         // kHashJoin (single keys)
+  std::vector<qplan::NamedExpr> group_by;     // kGroupBy
+  std::vector<qplan::AggSpec> aggs;           // kGroupBy / kFold
+  std::vector<qplan::SortKey> sort_keys;      // kSortBy
+  int64_t take_n = -1;                        // kTake
+
+  qplan::Schema schema;  // filled by ResolveMonad
+};
+
+// --- fluent constructors -----------------------------------------------------
+
+MonadPtr Source(const std::string& table);
+MonadPtr Map(MonadPtr child, std::vector<qplan::NamedExpr> projections);
+MonadPtr Filter(MonadPtr child, qplan::ExprPtr pred);
+MonadPtr HashJoin(MonadPtr left, MonadPtr right, qplan::ExprPtr left_key,
+                  qplan::ExprPtr right_key);
+MonadPtr GroupBy(MonadPtr child, std::vector<qplan::NamedExpr> keys,
+                 std::vector<qplan::AggSpec> aggs);
+MonadPtr Fold(MonadPtr child, std::vector<qplan::AggSpec> aggs);
+MonadPtr Count(MonadPtr child);
+MonadPtr SortBy(MonadPtr child, std::vector<qplan::SortKey> keys);
+MonadPtr Take(MonadPtr child, int64_t n);
+
+// Resolves tables, column references and schemas bottom-up.
+void ResolveMonad(MonadOp* op, const storage::Database& db);
+
+// Shortcut-fusion lowering (Fig. 6): one pipelined loop nest, no
+// intermediate collections. Output verifies at Level::kMapList.
+std::unique_ptr<ir::Function> LowerFused(const MonadOp& op,
+                                         storage::Database& db,
+                                         ir::TypeFactory* types,
+                                         const std::string& name);
+
+// Materializing lowering: every operator produces a full List first.
+std::unique_ptr<ir::Function> LowerUnfused(const MonadOp& op,
+                                           storage::Database& db,
+                                           ir::TypeFactory* types,
+                                           const std::string& name);
+
+// Fig. 1 accounting: pairwise fusion needs a rule per (producer, consumer)
+// combination; the build/foreach encoding needs one definition per operator.
+struct FusionRuleAccounting {
+  int constructs = kNumConstructs;
+  int pairwise_rules = kNumConstructs * kNumConstructs;
+  int shortcut_rules = kNumConstructs;
+};
+FusionRuleAccounting CountFusionRules();
+
+}  // namespace qc::qmonad
+
+#endif  // QC_QMONAD_QMONAD_H_

@@ -1,0 +1,52 @@
+// Query result container plus the comparison helpers the test suite uses to
+// check compiled results against the Volcano oracle.
+#ifndef QC_STORAGE_RESULT_H_
+#define QC_STORAGE_RESULT_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace qc::storage {
+
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::vector<ColType> types)
+      : types_(std::move(types)) {}
+
+  void SetTypes(std::vector<ColType> types) { types_ = std::move(types); }
+  const std::vector<ColType>& types() const { return types_; }
+
+  void AddRow(std::vector<Slot> row) { rows_.push_back(std::move(row)); }
+  size_t size() const { return rows_.size(); }
+  const std::vector<Slot>& row(size_t i) const { return rows_[i]; }
+
+  // Strings appended to a result may point into transient memory; this
+  // copies them into storage owned by the result.
+  const char* InternString(const std::string& s);
+
+  // Canonical text form of one row: doubles rounded to 2 decimals (TPC-H
+  // money semantics), dates as yyyy-mm-dd.
+  std::string RowToString(size_t i) const;
+  std::string ToString(size_t max_rows = 100) const;
+
+  // Multiset equality on canonical row text. Query-level ordering is checked
+  // separately by the sort unit tests; multiset comparison keeps the oracle
+  // check robust to tie-breaking differences.
+  bool SameRows(const ResultTable& other, std::string* diff = nullptr) const;
+
+ private:
+  std::vector<ColType> types_;
+  std::vector<std::vector<Slot>> rows_;
+  // deque: interned c_str() pointers must survive later insertions (SSO
+  // strings relocate when a vector grows).
+  std::deque<std::string> owned_strings_;
+};
+
+}  // namespace qc::storage
+
+#endif  // QC_STORAGE_RESULT_H_

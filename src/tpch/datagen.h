@@ -1,0 +1,30 @@
+// Synthetic TPC-H data generator (the dbgen substitute; see DESIGN.md).
+// Reproduces the schema, key structure, value domains and correlations the
+// 22 queries depend on (ship/commit/receipt date ordering, returnflag /
+// linestatus derivation, phone country codes, dbgen's word pools for the
+// LIKE predicates, Brand#MN / type / container vocabularies), deterministic
+// under a seed. Differences from dbgen are documented in DESIGN.md — chiefly
+// dense order keys and uniform (instead of comment-grammar) text.
+#ifndef QC_TPCH_DATAGEN_H_
+#define QC_TPCH_DATAGEN_H_
+
+#include <cstdint>
+
+#include "storage/database.h"
+
+namespace qc::tpch {
+
+struct GenConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+// Populates a database that already carries the TPC-H schema.
+void Generate(storage::Database* db, const GenConfig& config);
+
+// Convenience: schema + data.
+storage::Database MakeTpchDatabase(double scale_factor, uint64_t seed = 42);
+
+}  // namespace qc::tpch
+
+#endif  // QC_TPCH_DATAGEN_H_

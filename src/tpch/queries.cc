@@ -1,0 +1,626 @@
+#include "tpch/queries.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/date.h"
+
+namespace qc::tpch {
+
+using namespace qc::qplan;  // NOLINT — plan-builder DSL
+
+namespace {
+
+// --- small helpers -----------------------------------------------------------
+
+ExprPtr Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(F(1.0), Col("l_discount")));
+}
+
+NamedExpr NE(const std::string& name, ExprPtr e) {
+  return NamedExpr{name, std::move(e)};
+}
+
+NamedExpr Keep(const std::string& name) { return NamedExpr{name, Col(name)}; }
+
+// nation joined with a region filtered by name (nation probes, region builds).
+PlanPtr NationOfRegion(const std::string& region_name) {
+  return JoinOp(JoinKind::kInner, ScanOp("nation"),
+                SelectOp(ScanOp("region"), Eq(Col("r_name"), S(region_name))),
+                {Col("n_regionkey")}, {Col("r_regionkey")});
+}
+
+// nation projected to renamed columns (for self-join disambiguation).
+PlanPtr NationAs(const std::string& prefix) {
+  return ProjectOp(ScanOp("nation"),
+                   {NE(prefix + "_nationkey", Col("n_nationkey")),
+                    NE(prefix + "_name", Col("n_name"))});
+}
+
+// --- Q1: pricing summary report ---------------------------------------------
+
+PlanPtr Q1() {
+  PlanPtr li = SelectOp(ScanOp("lineitem"),
+                        Le(Col("l_shipdate"), D(MakeDate(1998, 9, 2))));
+  ExprPtr disc_price = Revenue();
+  ExprPtr charge = Mul(Revenue(), Add(F(1.0), Col("l_tax")));
+  PlanPtr agg = AggOp(
+      std::move(li),
+      {Keep("l_returnflag"), Keep("l_linestatus")},
+      {Sum(Col("l_quantity"), "sum_qty"),
+       Sum(Col("l_extendedprice"), "sum_base_price"),
+       Sum(disc_price, "sum_disc_price"), Sum(charge, "sum_charge"),
+       Avg(Col("l_quantity"), "avg_qty"),
+       Avg(Col("l_extendedprice"), "avg_price"),
+       Avg(Col("l_discount"), "avg_disc"), Count("count_order")});
+  return SortOp(std::move(agg),
+                {Asc(Col("l_returnflag")), Asc(Col("l_linestatus"))});
+}
+
+// --- Q2: minimum cost supplier ------------------------------------------------
+
+PlanPtr Q2PartsuppEurope() {
+  PlanPtr s_n = JoinOp(JoinKind::kInner, ScanOp("supplier"),
+                       NationOfRegion("EUROPE"), {Col("s_nationkey")},
+                       {Col("n_nationkey")});
+  return JoinOp(JoinKind::kInner, ScanOp("partsupp"), std::move(s_n),
+                {Col("ps_suppkey")}, {Col("s_suppkey")});
+}
+
+PlanPtr Q2() {
+  PlanPtr parts = SelectOp(
+      ScanOp("part"),
+      And(Eq(Col("p_size"), I(15)), EndsWith(Col("p_type"), "BRASS")));
+  PlanPtr main = JoinOp(JoinKind::kInner, Q2PartsuppEurope(),
+                        std::move(parts), {Col("ps_partkey")},
+                        {Col("p_partkey")});
+  PlanPtr mincost =
+      AggOp(Q2PartsuppEurope(), {NE("mc_partkey", Col("ps_partkey"))},
+            {Min(Col("ps_supplycost"), "min_cost")});
+  PlanPtr filtered =
+      JoinOp(JoinKind::kInner, std::move(main), std::move(mincost),
+             {Col("ps_partkey")}, {Col("mc_partkey")},
+             Eq(Col("ps_supplycost"), Col("min_cost")));
+  PlanPtr proj = ProjectOp(
+      std::move(filtered),
+      {Keep("s_acctbal"), Keep("s_name"), Keep("n_name"), Keep("p_partkey"),
+       Keep("p_mfgr"), Keep("s_address"), Keep("s_phone"),
+       Keep("s_comment")});
+  return LimitOp(SortOp(std::move(proj),
+                        {Desc(Col("s_acctbal")), Asc(Col("n_name")),
+                         Asc(Col("s_name")), Asc(Col("p_partkey"))}),
+                 100);
+}
+
+// --- Q3: shipping priority -----------------------------------------------------
+
+PlanPtr Q3() {
+  PlanPtr cust = SelectOp(ScanOp("customer"),
+                          Eq(Col("c_mktsegment"), S("BUILDING")));
+  PlanPtr ord = SelectOp(ScanOp("orders"),
+                         Lt(Col("o_orderdate"), D(MakeDate(1995, 3, 15))));
+  PlanPtr oc = JoinOp(JoinKind::kInner, std::move(ord), std::move(cust),
+                      {Col("o_custkey")}, {Col("c_custkey")});
+  PlanPtr li = SelectOp(ScanOp("lineitem"),
+                        Gt(Col("l_shipdate"), D(MakeDate(1995, 3, 15))));
+  PlanPtr main = JoinOp(JoinKind::kInner, std::move(li), std::move(oc),
+                        {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr agg = AggOp(std::move(main),
+                      {Keep("l_orderkey"), Keep("o_orderdate"),
+                       Keep("o_shippriority")},
+                      {Sum(Revenue(), "revenue")});
+  return LimitOp(
+      SortOp(std::move(agg), {Desc(Col("revenue")), Asc(Col("o_orderdate"))}),
+      10);
+}
+
+// --- Q4: order priority checking ----------------------------------------------
+
+PlanPtr Q4() {
+  PlanPtr ord = SelectOp(
+      ScanOp("orders"),
+      Between(Col("o_orderdate"), D(MakeDate(1993, 7, 1)),
+              D(MakeDate(1993, 10, 1))));
+  PlanPtr li = SelectOp(ScanOp("lineitem"),
+                        Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  PlanPtr semi = JoinOp(JoinKind::kSemi, std::move(ord), std::move(li),
+                        {Col("o_orderkey")}, {Col("l_orderkey")});
+  PlanPtr agg =
+      AggOp(std::move(semi), {Keep("o_orderpriority")}, {Count("order_count")});
+  return SortOp(std::move(agg), {Asc(Col("o_orderpriority"))});
+}
+
+// --- Q5: local supplier volume --------------------------------------------------
+
+PlanPtr Q5() {
+  PlanPtr c_n = JoinOp(JoinKind::kInner, ScanOp("customer"),
+                       NationOfRegion("ASIA"), {Col("c_nationkey")},
+                       {Col("n_nationkey")});
+  PlanPtr ord = SelectOp(
+      ScanOp("orders"),
+      Between(Col("o_orderdate"), D(MakeDate(1994, 1, 1)),
+              D(MakeDate(1995, 1, 1))));
+  PlanPtr oc = JoinOp(JoinKind::kInner, std::move(ord), std::move(c_n),
+                      {Col("o_custkey")}, {Col("c_custkey")});
+  PlanPtr lo = JoinOp(JoinKind::kInner, ScanOp("lineitem"), std::move(oc),
+                      {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr ls = JoinOp(JoinKind::kInner, std::move(lo), ScanOp("supplier"),
+                      {Col("l_suppkey")}, {Col("s_suppkey")},
+                      Eq(Col("c_nationkey"), Col("s_nationkey")));
+  PlanPtr agg =
+      AggOp(std::move(ls), {Keep("n_name")}, {Sum(Revenue(), "revenue")});
+  return SortOp(std::move(agg), {Desc(Col("revenue"))});
+}
+
+// --- Q6: forecasting revenue change ---------------------------------------------
+
+PlanPtr Q6() {
+  ExprPtr pred = AllOf(
+      {Ge(Col("l_shipdate"), D(MakeDate(1994, 1, 1))),
+       Lt(Col("l_shipdate"), D(MakeDate(1995, 1, 1))),
+       Ge(Col("l_discount"), F(0.05)), Le(Col("l_discount"), F(0.07)),
+       Lt(Col("l_quantity"), F(24.0))});
+  return AggOp(SelectOp(ScanOp("lineitem"), pred), {},
+               {Sum(Mul(Col("l_extendedprice"), Col("l_discount")),
+                    "revenue")});
+}
+
+// --- Q7: volume shipping ---------------------------------------------------------
+
+PlanPtr Q7() {
+  PlanPtr s_n1 = JoinOp(JoinKind::kInner, ScanOp("supplier"), NationAs("n1"),
+                        {Col("s_nationkey")}, {Col("n1_nationkey")});
+  PlanPtr c_n2 = JoinOp(JoinKind::kInner, ScanOp("customer"), NationAs("n2"),
+                        {Col("c_nationkey")}, {Col("n2_nationkey")});
+  PlanPtr o_c = JoinOp(JoinKind::kInner, ScanOp("orders"), std::move(c_n2),
+                       {Col("o_custkey")}, {Col("c_custkey")});
+  PlanPtr li = SelectOp(
+      ScanOp("lineitem"),
+      And(Ge(Col("l_shipdate"), D(MakeDate(1995, 1, 1))),
+          Le(Col("l_shipdate"), D(MakeDate(1996, 12, 31)))));
+  PlanPtr ls = JoinOp(JoinKind::kInner, std::move(li), std::move(s_n1),
+                      {Col("l_suppkey")}, {Col("s_suppkey")});
+  ExprPtr nations =
+      Or(And(Eq(Col("n1_name"), S("FRANCE")), Eq(Col("n2_name"), S("GERMANY"))),
+         And(Eq(Col("n1_name"), S("GERMANY")), Eq(Col("n2_name"), S("FRANCE"))));
+  PlanPtr main = JoinOp(JoinKind::kInner, std::move(ls), std::move(o_c),
+                        {Col("l_orderkey")}, {Col("o_orderkey")}, nations);
+  PlanPtr proj = ProjectOp(
+      std::move(main),
+      {NE("supp_nation", Col("n1_name")), NE("cust_nation", Col("n2_name")),
+       NE("l_year", YearOf(Col("l_shipdate"))), NE("volume", Revenue())});
+  PlanPtr agg = AggOp(std::move(proj),
+                      {Keep("supp_nation"), Keep("cust_nation"),
+                       Keep("l_year")},
+                      {Sum(Col("volume"), "revenue")});
+  return SortOp(std::move(agg),
+                {Asc(Col("supp_nation")), Asc(Col("cust_nation")),
+                 Asc(Col("l_year"))});
+}
+
+// --- Q8: national market share ----------------------------------------------------
+
+PlanPtr Q8() {
+  PlanPtr part = SelectOp(ScanOp("part"),
+                          Eq(Col("p_type"), S("ECONOMY ANODIZED STEEL")));
+  PlanPtr lp = JoinOp(JoinKind::kInner, ScanOp("lineitem"), std::move(part),
+                      {Col("l_partkey")}, {Col("p_partkey")});
+  PlanPtr ord = SelectOp(
+      ScanOp("orders"),
+      And(Ge(Col("o_orderdate"), D(MakeDate(1995, 1, 1))),
+          Le(Col("o_orderdate"), D(MakeDate(1996, 12, 31)))));
+  PlanPtr lo = JoinOp(JoinKind::kInner, std::move(lp), std::move(ord),
+                      {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr c_r = JoinOp(JoinKind::kInner, ScanOp("customer"),
+                       NationOfRegion("AMERICA"), {Col("c_nationkey")},
+                       {Col("n_nationkey")});
+  PlanPtr loc = JoinOp(JoinKind::kInner, std::move(lo), std::move(c_r),
+                       {Col("o_custkey")}, {Col("c_custkey")});
+  PlanPtr s_n2 = JoinOp(JoinKind::kInner, ScanOp("supplier"), NationAs("n2"),
+                        {Col("s_nationkey")}, {Col("n2_nationkey")});
+  PlanPtr all = JoinOp(JoinKind::kInner, std::move(loc), std::move(s_n2),
+                       {Col("l_suppkey")}, {Col("s_suppkey")});
+  PlanPtr proj = ProjectOp(
+      std::move(all),
+      {NE("o_year", YearOf(Col("o_orderdate"))), NE("volume", Revenue()),
+       NE("nation", Col("n2_name"))});
+  PlanPtr agg = AggOp(
+      std::move(proj), {Keep("o_year")},
+      {Sum(Case(Eq(Col("nation"), S("BRAZIL")), Col("volume"), F(0.0)),
+           "brazil_volume"),
+       Sum(Col("volume"), "total_volume")});
+  PlanPtr share = ProjectOp(
+      std::move(agg),
+      {Keep("o_year"),
+       NE("mkt_share", DivE(Col("brazil_volume"), Col("total_volume")))});
+  return SortOp(std::move(share), {Asc(Col("o_year"))});
+}
+
+// --- Q9: product type profit measure ------------------------------------------------
+
+PlanPtr Q9() {
+  PlanPtr part =
+      SelectOp(ScanOp("part"), Contains(Col("p_name"), "green"));
+  PlanPtr lp = JoinOp(JoinKind::kInner, ScanOp("lineitem"), std::move(part),
+                      {Col("l_partkey")}, {Col("p_partkey")});
+  PlanPtr lps = JoinOp(JoinKind::kInner, std::move(lp), ScanOp("partsupp"),
+                       {Col("l_suppkey"), Col("l_partkey")},
+                       {Col("ps_suppkey"), Col("ps_partkey")});
+  PlanPtr ls = JoinOp(JoinKind::kInner, std::move(lps), ScanOp("supplier"),
+                      {Col("l_suppkey")}, {Col("s_suppkey")});
+  PlanPtr lo = JoinOp(JoinKind::kInner, std::move(ls), ScanOp("orders"),
+                      {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr ln = JoinOp(JoinKind::kInner, std::move(lo), ScanOp("nation"),
+                      {Col("s_nationkey")}, {Col("n_nationkey")});
+  ExprPtr amount = Sub(Revenue(), Mul(Col("ps_supplycost"),
+                                      Col("l_quantity")));
+  PlanPtr proj = ProjectOp(std::move(ln),
+                           {NE("nation", Col("n_name")),
+                            NE("o_year", YearOf(Col("o_orderdate"))),
+                            NE("amount", amount)});
+  PlanPtr agg = AggOp(std::move(proj), {Keep("nation"), Keep("o_year")},
+                      {Sum(Col("amount"), "sum_profit")});
+  return SortOp(std::move(agg), {Asc(Col("nation")), Desc(Col("o_year"))});
+}
+
+// --- Q10: returned item reporting ---------------------------------------------------
+
+PlanPtr Q10() {
+  PlanPtr ord = SelectOp(
+      ScanOp("orders"),
+      Between(Col("o_orderdate"), D(MakeDate(1993, 10, 1)),
+              D(MakeDate(1994, 1, 1))));
+  PlanPtr oc = JoinOp(JoinKind::kInner, std::move(ord), ScanOp("customer"),
+                      {Col("o_custkey")}, {Col("c_custkey")});
+  PlanPtr li =
+      SelectOp(ScanOp("lineitem"), Eq(Col("l_returnflag"), S("R")));
+  PlanPtr main = JoinOp(JoinKind::kInner, std::move(li), std::move(oc),
+                        {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr mn = JoinOp(JoinKind::kInner, std::move(main), ScanOp("nation"),
+                      {Col("c_nationkey")}, {Col("n_nationkey")});
+  PlanPtr agg = AggOp(
+      std::move(mn),
+      {Keep("c_custkey"), Keep("c_name"), Keep("c_acctbal"), Keep("c_phone"),
+       Keep("n_name"), Keep("c_address"), Keep("c_comment")},
+      {Sum(Revenue(), "revenue")});
+  return LimitOp(SortOp(std::move(agg), {Desc(Col("revenue"))}), 20);
+}
+
+// --- Q11: important stock identification --------------------------------------------
+
+PlanPtr Q11Partsupp() {
+  PlanPtr s_n = JoinOp(
+      JoinKind::kInner, ScanOp("supplier"),
+      SelectOp(ScanOp("nation"), Eq(Col("n_name"), S("GERMANY"))),
+      {Col("s_nationkey")}, {Col("n_nationkey")});
+  return JoinOp(JoinKind::kInner, ScanOp("partsupp"), std::move(s_n),
+                {Col("ps_suppkey")}, {Col("s_suppkey")});
+}
+
+PlanPtr Q11() {
+  ExprPtr value = Mul(Col("ps_supplycost"), Col("ps_availqty"));
+  PlanPtr v = AggOp(Q11Partsupp(), {Keep("ps_partkey")},
+                    {Sum(value, "value")});
+  ExprPtr value2 = Mul(Col("ps_supplycost"), Col("ps_availqty"));
+  PlanPtr t = ProjectOp(
+      AggOp(Q11Partsupp(), {}, {Sum(value2, "total")}),
+      {NE("threshold", Mul(Col("total"), F(0.0001)))});
+  PlanPtr joined = JoinOp(JoinKind::kInner, std::move(v), std::move(t), {},
+                          {}, Gt(Col("value"), Col("threshold")));
+  PlanPtr proj =
+      ProjectOp(std::move(joined), {Keep("ps_partkey"), Keep("value")});
+  return SortOp(std::move(proj), {Desc(Col("value"))});
+}
+
+// --- Q12: shipping modes and order priority ------------------------------------------
+
+PlanPtr Q12() {
+  ExprPtr pred = AllOf(
+      {InStr(Col("l_shipmode"), {"MAIL", "SHIP"}),
+       Lt(Col("l_commitdate"), Col("l_receiptdate")),
+       Lt(Col("l_shipdate"), Col("l_commitdate")),
+       Ge(Col("l_receiptdate"), D(MakeDate(1994, 1, 1))),
+       Lt(Col("l_receiptdate"), D(MakeDate(1995, 1, 1)))});
+  PlanPtr li = SelectOp(ScanOp("lineitem"), pred);
+  PlanPtr main = JoinOp(JoinKind::kInner, ScanOp("orders"), std::move(li),
+                        {Col("o_orderkey")}, {Col("l_orderkey")});
+  ExprPtr high = Case(
+      InStr(Col("o_orderpriority"), {"1-URGENT", "2-HIGH"}), I(1), I(0));
+  ExprPtr low = Case(
+      InStr(Col("o_orderpriority"), {"1-URGENT", "2-HIGH"}), I(0), I(1));
+  PlanPtr agg = AggOp(std::move(main), {Keep("l_shipmode")},
+                      {Sum(high, "high_line_count"),
+                       Sum(low, "low_line_count")});
+  return SortOp(std::move(agg), {Asc(Col("l_shipmode"))});
+}
+
+// --- Q13: customer distribution --------------------------------------------------------
+
+PlanPtr Q13() {
+  PlanPtr ord = SelectOp(
+      ScanOp("orders"),
+      Not(Like(Col("o_comment"), "%special%requests%")));
+  PlanPtr oj = JoinOp(JoinKind::kLeftOuter, ScanOp("customer"),
+                      std::move(ord), {Col("c_custkey")}, {Col("o_custkey")});
+  PlanPtr counts =
+      AggOp(std::move(oj), {Keep("c_custkey")},
+            {Sum(Case(Col("matched"), I(1), I(0)), "c_count")});
+  PlanPtr dist =
+      AggOp(std::move(counts), {Keep("c_count")}, {Count("custdist")});
+  return SortOp(std::move(dist),
+                {Desc(Col("custdist")), Desc(Col("c_count"))});
+}
+
+// --- Q14: promotion effect ---------------------------------------------------------------
+
+PlanPtr Q14() {
+  PlanPtr li = SelectOp(
+      ScanOp("lineitem"),
+      Between(Col("l_shipdate"), D(MakeDate(1995, 9, 1)),
+              D(MakeDate(1995, 10, 1))));
+  PlanPtr main = JoinOp(JoinKind::kInner, std::move(li), ScanOp("part"),
+                        {Col("l_partkey")}, {Col("p_partkey")});
+  PlanPtr agg = AggOp(
+      std::move(main), {},
+      {Sum(Case(StartsWith(Col("p_type"), "PROMO"), Revenue(), F(0.0)),
+           "promo"),
+       Sum(Revenue(), "total")});
+  return ProjectOp(std::move(agg),
+                   {NE("promo_revenue",
+                       DivE(Mul(F(100.0), Col("promo")), Col("total")))});
+}
+
+// --- Q15: top supplier --------------------------------------------------------------------
+
+PlanPtr Q15Revenue() {
+  PlanPtr li = SelectOp(
+      ScanOp("lineitem"),
+      Between(Col("l_shipdate"), D(MakeDate(1996, 1, 1)),
+              D(MakeDate(1996, 4, 1))));
+  return AggOp(std::move(li), {NE("supplier_no", Col("l_suppkey"))},
+               {Sum(Revenue(), "total_revenue")});
+}
+
+PlanPtr Q15() {
+  PlanPtr max_rev = AggOp(Q15Revenue(), {},
+                          {Max(Col("total_revenue"), "max_revenue")});
+  PlanPtr sr = JoinOp(JoinKind::kInner, ScanOp("supplier"), Q15Revenue(),
+                      {Col("s_suppkey")}, {Col("supplier_no")});
+  PlanPtr top = JoinOp(JoinKind::kInner, std::move(sr), std::move(max_rev),
+                       {}, {}, Eq(Col("total_revenue"), Col("max_revenue")));
+  PlanPtr proj = ProjectOp(std::move(top),
+                           {Keep("s_suppkey"), Keep("s_name"),
+                            Keep("s_address"), Keep("s_phone"),
+                            Keep("total_revenue")});
+  return SortOp(std::move(proj), {Asc(Col("s_suppkey"))});
+}
+
+// --- Q16: parts/supplier relationship ---------------------------------------------------
+
+PlanPtr Q16() {
+  ExprPtr size_in = AnyOf({Eq(Col("p_size"), I(49)), Eq(Col("p_size"), I(14)),
+                           Eq(Col("p_size"), I(23)), Eq(Col("p_size"), I(45)),
+                           Eq(Col("p_size"), I(19)), Eq(Col("p_size"), I(3)),
+                           Eq(Col("p_size"), I(36)), Eq(Col("p_size"), I(9))});
+  PlanPtr part = SelectOp(
+      ScanOp("part"),
+      AllOf({Ne(Col("p_brand"), S("Brand#45")),
+             Not(StartsWith(Col("p_type"), "MEDIUM POLISHED")), size_in}));
+  PlanPtr ps = JoinOp(JoinKind::kInner, ScanOp("partsupp"), std::move(part),
+                      {Col("ps_partkey")}, {Col("p_partkey")});
+  PlanPtr bad_supp = SelectOp(
+      ScanOp("supplier"), Like(Col("s_comment"), "%Customer%Complaints%"));
+  PlanPtr filtered = JoinOp(JoinKind::kAnti, std::move(ps),
+                            std::move(bad_supp), {Col("ps_suppkey")},
+                            {Col("s_suppkey")});
+  // count(distinct ps_suppkey): dedupe then count.
+  PlanPtr dedup = AggOp(std::move(filtered),
+                        {Keep("p_brand"), Keep("p_type"), Keep("p_size"),
+                         Keep("ps_suppkey")},
+                        {Count("dummy")});
+  PlanPtr agg = AggOp(std::move(dedup),
+                      {Keep("p_brand"), Keep("p_type"), Keep("p_size")},
+                      {Count("supplier_cnt")});
+  return SortOp(std::move(agg),
+                {Desc(Col("supplier_cnt")), Asc(Col("p_brand")),
+                 Asc(Col("p_type")), Asc(Col("p_size"))});
+}
+
+// --- Q17: small-quantity-order revenue ----------------------------------------------------
+
+PlanPtr Q17() {
+  PlanPtr part = SelectOp(ScanOp("part"),
+                          And(Eq(Col("p_brand"), S("Brand#23")),
+                              Eq(Col("p_container"), S("MED BOX"))));
+  PlanPtr lp = JoinOp(JoinKind::kInner, ScanOp("lineitem"), std::move(part),
+                      {Col("l_partkey")}, {Col("p_partkey")});
+  PlanPtr avg_qty = AggOp(ScanOp("lineitem"),
+                          {NE("a_partkey", Col("l_partkey"))},
+                          {Avg(Col("l_quantity"), "avg_quantity")});
+  PlanPtr main =
+      JoinOp(JoinKind::kInner, std::move(lp), std::move(avg_qty),
+             {Col("l_partkey")}, {Col("a_partkey")},
+             Lt(Col("l_quantity"), Mul(F(0.2), Col("avg_quantity"))));
+  PlanPtr agg = AggOp(std::move(main), {},
+                      {Sum(Col("l_extendedprice"), "total")});
+  return ProjectOp(std::move(agg),
+                   {NE("avg_yearly", DivE(Col("total"), F(7.0)))});
+}
+
+// --- Q18: large volume customers -----------------------------------------------------------
+
+PlanPtr Q18() {
+  PlanPtr big = SelectOp(
+      AggOp(ScanOp("lineitem"), {NE("t_orderkey", Col("l_orderkey"))},
+            {Sum(Col("l_quantity"), "t_sum_qty")}),
+      Gt(Col("t_sum_qty"), F(300.0)));
+  PlanPtr ot = JoinOp(JoinKind::kSemi, ScanOp("orders"), std::move(big),
+                      {Col("o_orderkey")}, {Col("t_orderkey")});
+  PlanPtr oc = JoinOp(JoinKind::kInner, std::move(ot), ScanOp("customer"),
+                      {Col("o_custkey")}, {Col("c_custkey")});
+  PlanPtr main = JoinOp(JoinKind::kInner, ScanOp("lineitem"), std::move(oc),
+                        {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr agg = AggOp(
+      std::move(main),
+      {Keep("c_name"), Keep("c_custkey"), Keep("o_orderkey"),
+       Keep("o_orderdate"), Keep("o_totalprice")},
+      {Sum(Col("l_quantity"), "sum_qty")});
+  return LimitOp(SortOp(std::move(agg), {Desc(Col("o_totalprice")),
+                                         Asc(Col("o_orderdate"))}),
+                 100);
+}
+
+// --- Q19: discounted revenue ----------------------------------------------------------------
+
+PlanPtr Q19() {
+  ExprPtr common =
+      And(InStr(Col("l_shipmode"), {"AIR", "AIR REG"}),
+          Eq(Col("l_shipinstruct"), S("DELIVER IN PERSON")));
+  ExprPtr b1 = AllOf(
+      {Eq(Col("p_brand"), S("Brand#12")),
+       InStr(Col("p_container"), {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}),
+       Ge(Col("l_quantity"), F(1.0)), Le(Col("l_quantity"), F(11.0)),
+       Ge(Col("p_size"), I(1)), Le(Col("p_size"), I(5))});
+  ExprPtr b2 = AllOf(
+      {Eq(Col("p_brand"), S("Brand#23")),
+       InStr(Col("p_container"), {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}),
+       Ge(Col("l_quantity"), F(10.0)), Le(Col("l_quantity"), F(20.0)),
+       Ge(Col("p_size"), I(1)), Le(Col("p_size"), I(10))});
+  ExprPtr b3 = AllOf(
+      {Eq(Col("p_brand"), S("Brand#34")),
+       InStr(Col("p_container"), {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}),
+       Ge(Col("l_quantity"), F(20.0)), Le(Col("l_quantity"), F(30.0)),
+       Ge(Col("p_size"), I(1)), Le(Col("p_size"), I(15))});
+  PlanPtr main = JoinOp(JoinKind::kInner, ScanOp("lineitem"), ScanOp("part"),
+                        {Col("l_partkey")}, {Col("p_partkey")},
+                        And(common, AnyOf({b1, b2, b3})));
+  return AggOp(std::move(main), {}, {Sum(Revenue(), "revenue")});
+}
+
+// --- Q20: potential part promotion ------------------------------------------------------------
+
+PlanPtr Q20() {
+  PlanPtr forest_parts =
+      SelectOp(ScanOp("part"), StartsWith(Col("p_name"), "forest"));
+  PlanPtr ps = JoinOp(JoinKind::kSemi, ScanOp("partsupp"),
+                      std::move(forest_parts), {Col("ps_partkey")},
+                      {Col("p_partkey")});
+  PlanPtr li94 = SelectOp(
+      ScanOp("lineitem"),
+      Between(Col("l_shipdate"), D(MakeDate(1994, 1, 1)),
+              D(MakeDate(1995, 1, 1))));
+  PlanPtr qty = AggOp(std::move(li94),
+                      {NE("q_partkey", Col("l_partkey")),
+                       NE("q_suppkey", Col("l_suppkey"))},
+                      {Sum(Col("l_quantity"), "sum_qty")});
+  PlanPtr psq =
+      JoinOp(JoinKind::kInner, std::move(ps), std::move(qty),
+             {Col("ps_partkey"), Col("ps_suppkey")},
+             {Col("q_partkey"), Col("q_suppkey")},
+             Gt(Col("ps_availqty"), Mul(F(0.5), Col("sum_qty"))));
+  PlanPtr supp = JoinOp(JoinKind::kSemi, ScanOp("supplier"), std::move(psq),
+                        {Col("s_suppkey")}, {Col("ps_suppkey")});
+  PlanPtr sn = JoinOp(JoinKind::kInner, std::move(supp),
+                      SelectOp(ScanOp("nation"),
+                               Eq(Col("n_name"), S("CANADA"))),
+                      {Col("s_nationkey")}, {Col("n_nationkey")});
+  PlanPtr proj = ProjectOp(std::move(sn), {Keep("s_name"), Keep("s_address")});
+  return SortOp(std::move(proj), {Asc(Col("s_name"))});
+}
+
+// --- Q21: suppliers who kept orders waiting ----------------------------------------------------
+
+PlanPtr Q21() {
+  PlanPtr supp = JoinOp(JoinKind::kInner, ScanOp("supplier"),
+                        SelectOp(ScanOp("nation"),
+                                 Eq(Col("n_name"), S("SAUDI ARABIA"))),
+                        {Col("s_nationkey")}, {Col("n_nationkey")});
+  PlanPtr l1 = SelectOp(ScanOp("lineitem"),
+                        Gt(Col("l_receiptdate"), Col("l_commitdate")));
+  PlanPtr l1s = JoinOp(JoinKind::kInner, std::move(l1), std::move(supp),
+                       {Col("l_suppkey")}, {Col("s_suppkey")});
+  PlanPtr ordF =
+      SelectOp(ScanOp("orders"), Eq(Col("o_orderstatus"), S("F")));
+  PlanPtr l1so = JoinOp(JoinKind::kInner, std::move(l1s), std::move(ordF),
+                        {Col("l_orderkey")}, {Col("o_orderkey")});
+  PlanPtr l2 = ProjectOp(ScanOp("lineitem"),
+                         {NE("l2_orderkey", Col("l_orderkey")),
+                          NE("l2_suppkey", Col("l_suppkey"))});
+  PlanPtr sj = JoinOp(JoinKind::kSemi, std::move(l1so), std::move(l2),
+                      {Col("l_orderkey")}, {Col("l2_orderkey")},
+                      Ne(Col("l2_suppkey"), Col("l_suppkey")));
+  PlanPtr l3 = ProjectOp(
+      SelectOp(ScanOp("lineitem"),
+               Gt(Col("l_receiptdate"), Col("l_commitdate"))),
+      {NE("l3_orderkey", Col("l_orderkey")),
+       NE("l3_suppkey", Col("l_suppkey"))});
+  PlanPtr aj = JoinOp(JoinKind::kAnti, std::move(sj), std::move(l3),
+                      {Col("l_orderkey")}, {Col("l3_orderkey")},
+                      Ne(Col("l3_suppkey"), Col("l_suppkey")));
+  PlanPtr agg = AggOp(std::move(aj), {Keep("s_name")}, {Count("numwait")});
+  return LimitOp(
+      SortOp(std::move(agg), {Desc(Col("numwait")), Asc(Col("s_name"))}),
+      100);
+}
+
+// --- Q22: global sales opportunity --------------------------------------------------------------
+
+ExprPtr Q22CodePred() {
+  std::vector<ExprPtr> codes;
+  for (const char* code : {"13", "31", "23", "29", "30", "18", "17"}) {
+    codes.push_back(StartsWith(Col("c_phone"), code));
+  }
+  return AnyOf(std::move(codes));
+}
+
+PlanPtr Q22() {
+  PlanPtr c1 = SelectOp(ScanOp("customer"), Q22CodePred());
+  PlanPtr avg_bal = AggOp(
+      SelectOp(SelectOp(ScanOp("customer"), Q22CodePred()),
+               Gt(Col("c_acctbal"), F(0.0))),
+      {}, {Avg(Col("c_acctbal"), "avg_bal")});
+  PlanPtr cj = JoinOp(JoinKind::kInner, std::move(c1), std::move(avg_bal),
+                      {}, {}, Gt(Col("c_acctbal"), Col("avg_bal")));
+  PlanPtr co = JoinOp(JoinKind::kAnti, std::move(cj), ScanOp("orders"),
+                      {Col("c_custkey")}, {Col("o_custkey")});
+  PlanPtr proj = ProjectOp(std::move(co),
+                           {NE("cntrycode", Substr(Col("c_phone"), 0, 2)),
+                            Keep("c_acctbal")});
+  PlanPtr agg = AggOp(std::move(proj), {Keep("cntrycode")},
+                      {Count("numcust"), Sum(Col("c_acctbal"), "totacctbal")});
+  return SortOp(std::move(agg), {Asc(Col("cntrycode"))});
+}
+
+}  // namespace
+
+qplan::PlanPtr MakeQuery(int q) {
+  switch (q) {
+    case 1: return Q1();
+    case 2: return Q2();
+    case 3: return Q3();
+    case 4: return Q4();
+    case 5: return Q5();
+    case 6: return Q6();
+    case 7: return Q7();
+    case 8: return Q8();
+    case 9: return Q9();
+    case 10: return Q10();
+    case 11: return Q11();
+    case 12: return Q12();
+    case 13: return Q13();
+    case 14: return Q14();
+    case 15: return Q15();
+    case 16: return Q16();
+    case 17: return Q17();
+    case 18: return Q18();
+    case 19: return Q19();
+    case 20: return Q20();
+    case 21: return Q21();
+    case 22: return Q22();
+    default:
+      std::fprintf(stderr, "unknown TPC-H query %d\n", q);
+      std::abort();
+  }
+}
+
+}  // namespace qc::tpch

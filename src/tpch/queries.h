@@ -1,0 +1,25 @@
+// The 22 TPC-H queries expressed as QPlan physical plans (validation
+// parameter values from the TPC-H specification). Each call builds a fresh
+// plan tree; resolve it against a database before use.
+//
+// Conventions: our hash join builds its hash table over the *right* child
+// and streams the left child, so plans put the smaller/filtered input on the
+// right. Correlated subqueries are expressed relationally (aggregate +
+// re-join), scalar subqueries as key-less joins with a residual predicate,
+// EXISTS/NOT EXISTS as semi/anti joins, and Q13's outer join aggregates over
+// the generated `matched` flag.
+#ifndef QC_TPCH_QUERIES_H_
+#define QC_TPCH_QUERIES_H_
+
+#include "qplan/plan.h"
+
+namespace qc::tpch {
+
+// q in [1, 22]. Aborts on out-of-range.
+qplan::PlanPtr MakeQuery(int q);
+
+constexpr int kNumQueries = 22;
+
+}  // namespace qc::tpch
+
+#endif  // QC_TPCH_QUERIES_H_

@@ -1,0 +1,17 @@
+// TPC-H logical schema (all eight relations) with primary-/foreign-key
+// annotations — the schema-definition-time annotations the paper's automatic
+// index inference and partitioning depend on (Appendix B.1).
+#ifndef QC_TPCH_SCHEMA_H_
+#define QC_TPCH_SCHEMA_H_
+
+#include "storage/database.h"
+
+namespace qc::tpch {
+
+// Adds the eight empty TPC-H tables to `db` (region, nation, supplier,
+// customer, part, partsupp, orders, lineitem).
+void AddTpchSchema(storage::Database* db);
+
+}  // namespace qc::tpch
+
+#endif  // QC_TPCH_SCHEMA_H_

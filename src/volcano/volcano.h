@@ -1,0 +1,22 @@
+// Operator-at-a-time evaluator of QPlan trees. This is (a) the correctness
+// oracle every compiled configuration is property-tested against, and (b)
+// the classical "query interpretation" baseline of the paper's System R
+// framing — each operator materializes its full output before the parent
+// consumes it, paying exactly the interpretation and materialization
+// overheads the compiler stack removes.
+#ifndef QC_VOLCANO_VOLCANO_H_
+#define QC_VOLCANO_VOLCANO_H_
+
+#include "qplan/plan.h"
+#include "storage/database.h"
+#include "storage/result.h"
+
+namespace qc::volcano {
+
+// Runs a resolved plan (ResolvePlan must have been called). Returns the
+// materialized result with one column per schema entry.
+storage::ResultTable Execute(const qplan::Plan& plan, storage::Database& db);
+
+}  // namespace qc::volcano
+
+#endif  // QC_VOLCANO_VOLCANO_H_

@@ -1,0 +1,160 @@
+// Unit tests for the common substrate: date arithmetic, LIKE matching,
+// arenas, deterministic RNG, hashing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/arena.h"
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/str.h"
+
+namespace qc {
+namespace {
+
+TEST(Date, PackAndExtract) {
+  Date d = MakeDate(1995, 6, 17);
+  EXPECT_EQ(DateYear(d), 1995);
+  EXPECT_EQ(DateMonth(d), 6);
+  EXPECT_EQ(DateDay(d), 17);
+}
+
+TEST(Date, ComparisonIsIntegerComparison) {
+  EXPECT_LT(MakeDate(1994, 12, 31), MakeDate(1995, 1, 1));
+  EXPECT_LT(MakeDate(1995, 1, 31), MakeDate(1995, 2, 1));
+  EXPECT_LT(MakeDate(1995, 2, 1), MakeDate(1995, 2, 2));
+}
+
+TEST(Date, AddMonthsClampsDay) {
+  EXPECT_EQ(DateAddMonths(MakeDate(1995, 1, 31), 1), MakeDate(1995, 2, 28));
+  EXPECT_EQ(DateAddMonths(MakeDate(1995, 11, 30), 3), MakeDate(1996, 2, 28));
+  EXPECT_EQ(DateAddMonths(MakeDate(1995, 6, 15), 12), MakeDate(1996, 6, 15));
+  EXPECT_EQ(DateAddMonths(MakeDate(1995, 6, 15), -6), MakeDate(1994, 12, 15));
+}
+
+TEST(Date, AddDaysWalksBoundaries) {
+  EXPECT_EQ(DateAddDays(MakeDate(1995, 1, 31), 1), MakeDate(1995, 2, 1));
+  EXPECT_EQ(DateAddDays(MakeDate(1995, 12, 31), 1), MakeDate(1996, 1, 1));
+  EXPECT_EQ(DateAddDays(MakeDate(1995, 1, 1), -1), MakeDate(1994, 12, 31));
+}
+
+TEST(Date, ParseFormatRoundtrip) {
+  EXPECT_EQ(ParseDate("1998-09-02"), MakeDate(1998, 9, 2));
+  EXPECT_EQ(FormatDate(MakeDate(1998, 9, 2)), "1998-09-02");
+  EXPECT_EQ(ParseDate("bogus"), 0);
+}
+
+class DateOrdinalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateOrdinalTest, OrdinalRoundtrip) {
+  int ordinal = GetParam();
+  Date d = OrdinalToDate(ordinal);
+  EXPECT_EQ(DateToOrdinal(d), ordinal);
+  // Consecutive ordinals are consecutive dates.
+  EXPECT_EQ(OrdinalToDate(ordinal + 1), DateAddDays(d, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DateOrdinalTest,
+                         ::testing::Values(0, 1, 27, 58, 364, 365, 1000, 2000,
+                                           2399));
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class StrLikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(StrLikeTest, MatchesSqlSemantics) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(StrLike(c.text, c.pattern), c.match)
+      << "'" << c.text << "' LIKE '" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrLikeTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "hell", false},
+        LikeCase{"hello world", "hello%", true},
+        LikeCase{"hello world", "%world", true},
+        LikeCase{"hello world", "%lo wo%", true},
+        LikeCase{"hello world", "hello%world", true},
+        LikeCase{"hello world", "%o%o%", true},
+        LikeCase{"hello world", "%x%", false},
+        LikeCase{"special packages requests", "%special%requests%", true},
+        LikeCase{"requests then special", "%special%requests%", false},
+        LikeCase{"", "%", true}, LikeCase{"", "", true},
+        LikeCase{"abc", "%", true}, LikeCase{"abc", "%%", true},
+        LikeCase{"MEDIUM POLISHED TIN", "MEDIUM POLISHED%", true},
+        LikeCase{"PROMO BRUSHED TIN", "PROMO%", true},
+        LikeCase{"Customer complains Complaints", "%Customer%Complaints%",
+                 true}));
+
+TEST(StrHelpers, PrefixSuffixInfix) {
+  EXPECT_TRUE(StrStartsWith("forest green", "forest"));
+  EXPECT_FALSE(StrStartsWith("fo", "forest"));
+  EXPECT_TRUE(StrEndsWith("ECONOMY ANODIZED BRASS", "BRASS"));
+  EXPECT_FALSE(StrEndsWith("BRASS", "ECONOMY ANODIZED BRASS"));
+  EXPECT_TRUE(StrContains("dark green ivory", "green"));
+  EXPECT_FALSE(StrContains("dark grey ivory", "green"));
+}
+
+TEST(Arena, AllocatesAlignedAndTracks) {
+  Arena a(128);
+  void* p1 = a.Allocate(10);
+  void* p2 = a.Allocate(10);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % alignof(std::max_align_t), 0u);
+  EXPECT_EQ(a.bytes_used(), 20u);
+  // Oversized allocations get their own block.
+  void* big = a.Allocate(1000);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(a.bytes_reserved(), 1000u);
+}
+
+TEST(Arena, NewConstructsObjects) {
+  Arena a;
+  struct Pt { int x, y; };
+  Pt* p = a.New<Pt>(Pt{3, 4});
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal &= (va == vb);
+    any_diff |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(5, 17);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 17);
+    double d = r.UniformDouble(0.0, 1.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Hash, DistributesAndIsStable) {
+  EXPECT_EQ(HashMix(42), HashMix(42));
+  EXPECT_NE(HashMix(42), HashMix(43));
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(HashMix(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace qc

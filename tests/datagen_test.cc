@@ -1,0 +1,179 @@
+// Property tests for the synthetic TPC-H generator: determinism, scaling,
+// referential integrity of every declared foreign key, the date-ordering
+// correlations the queries rely on, and the presence of the value domains
+// behind each query's predicates.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/date.h"
+#include "common/str.h"
+#include "tpch/datagen.h"
+
+namespace qc {
+namespace {
+
+storage::Database* Db() {
+  static storage::Database* db =
+      new storage::Database(tpch::MakeTpchDatabase(0.005, 42));
+  return db;
+}
+
+TEST(Datagen, DeterministicUnderSeed) {
+  storage::Database a = tpch::MakeTpchDatabase(0.002, 9);
+  storage::Database b = tpch::MakeTpchDatabase(0.002, 9);
+  for (int t = 0; t < a.num_tables(); ++t) {
+    ASSERT_EQ(a.table(t).rows(), b.table(t).rows());
+    for (size_t c = 0; c < a.table(t).num_columns(); ++c) {
+      const auto& ca = a.table(t).column(static_cast<int>(c));
+      const auto& cb = b.table(t).column(static_cast<int>(c));
+      for (int64_t r = 0; r < a.table(t).rows(); ++r) {
+        if (ca.def.type == storage::ColType::kStr) {
+          ASSERT_STREQ(ca.data[r].s, cb.data[r].s);
+        } else {
+          ASSERT_EQ(ca.data[r].i, cb.data[r].i);
+        }
+      }
+    }
+  }
+}
+
+TEST(Datagen, CardinalitiesScale) {
+  storage::Database small = tpch::MakeTpchDatabase(0.002);
+  storage::Database big = tpch::MakeTpchDatabase(0.01);
+  EXPECT_EQ(small.table(small.TableId("nation")).rows(), 25);
+  EXPECT_EQ(small.table(small.TableId("region")).rows(), 5);
+  EXPECT_GT(big.table(big.TableId("lineitem")).rows(),
+            small.table(small.TableId("lineitem")).rows() * 3);
+  // partsupp is exactly 4 rows per part.
+  EXPECT_EQ(big.table(big.TableId("partsupp")).rows(),
+            big.table(big.TableId("part")).rows() * 4);
+}
+
+// Every declared foreign key refers to an existing primary key value.
+TEST(Datagen, ReferentialIntegrity) {
+  storage::Database& db = *Db();
+  for (int t = 0; t < db.num_tables(); ++t) {
+    const storage::TableDef& def = db.table(t).def();
+    for (const storage::ForeignKey& fk : def.foreign_keys) {
+      int ref = db.TableId(fk.ref_table);
+      ASSERT_GE(ref, 0);
+      std::set<int64_t> keys;
+      const auto& ref_col = db.table(ref).column(fk.ref_column);
+      for (const Slot& s : ref_col.data) keys.insert(s.i);
+      const auto& col = db.table(t).column(fk.column);
+      for (const Slot& s : col.data) {
+        ASSERT_TRUE(keys.count(s.i) != 0)
+            << def.name << "." << def.columns[fk.column].name << " -> "
+            << fk.ref_table << " dangling key " << s.i;
+      }
+    }
+  }
+}
+
+TEST(Datagen, LineitemDateCorrelations) {
+  storage::Database& db = *Db();
+  int li = db.TableId("lineitem");
+  int ord = db.TableId("orders");
+  const auto& t = db.table(li);
+  // Map order key -> order date (dense keys).
+  std::vector<int64_t> odate(db.table(ord).rows() + 1, 0);
+  for (int64_t r = 0; r < db.table(ord).rows(); ++r) {
+    odate[db.table(ord).column(0).data[r].i] =
+        db.table(ord).column(4).data[r].i;
+  }
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    int64_t ok = t.column(0).data[r].i;
+    Date ship = static_cast<Date>(t.column(10).data[r].i);
+    Date receipt = static_cast<Date>(t.column(12).data[r].i);
+    ASSERT_GT(ship, static_cast<Date>(odate[ok]));  // shipped after ordered
+    ASSERT_GT(receipt, ship);                       // received after shipped
+  }
+}
+
+TEST(Datagen, ReturnFlagAndStatusDomains) {
+  storage::Database& db = *Db();
+  const auto& t = db.table(db.TableId("lineitem"));
+  std::set<std::string> flags, statuses;
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    flags.insert(t.column(8).data[r].s);
+    statuses.insert(t.column(9).data[r].s);
+  }
+  for (const auto& f : flags) {
+    EXPECT_TRUE(f == "R" || f == "A" || f == "N") << f;
+  }
+  for (const auto& s : statuses) EXPECT_TRUE(s == "O" || s == "F") << s;
+  EXPECT_GE(flags.size(), 2u);
+}
+
+// Each query's headline predicate must select a non-trivial subset.
+TEST(Datagen, PredicateDomainsPopulated) {
+  storage::Database& db = *Db();
+  {
+    // Q19/Q12/Q14 string domains.
+    const auto& li = db.table(db.TableId("lineitem"));
+    int air = 0, person = 0;
+    for (int64_t r = 0; r < li.rows(); ++r) {
+      air += std::string(li.column(14).data[r].s) == "AIR";
+      person +=
+          std::string(li.column(13).data[r].s) == "DELIVER IN PERSON";
+    }
+    EXPECT_GT(air, 0);
+    EXPECT_GT(person, 0);
+  }
+  {
+    // Q9 '%green%' and Q20 'forest%' part names.
+    const auto& p = db.table(db.TableId("part"));
+    int green = 0, forest = 0;
+    for (int64_t r = 0; r < p.rows(); ++r) {
+      green += StrContains(p.column(1).data[r].s, "green");
+      forest += StrStartsWith(p.column(1).data[r].s, "forest");
+    }
+    EXPECT_GT(green, 0);
+    EXPECT_GT(forest, 0);
+  }
+  {
+    // Q13 comment marker and one-third customers without orders.
+    const auto& o = db.table(db.TableId("orders"));
+    int special = 0;
+    std::set<int64_t> custs;
+    for (int64_t r = 0; r < o.rows(); ++r) {
+      special += StrLike(o.column(8).data[r].s, "%special%requests%");
+      custs.insert(o.column(1).data[r].i);
+    }
+    EXPECT_GT(special, 0);
+    for (int64_t c : custs) EXPECT_NE(c % 3, 0);
+  }
+  {
+    // Q16 supplier complaints.
+    const auto& s = db.table(db.TableId("supplier"));
+    int complaints = 0;
+    for (int64_t r = 0; r < s.rows(); ++r) {
+      complaints += StrLike(s.column(6).data[r].s, "%Customer%Complaints%");
+    }
+    EXPECT_GT(complaints, 0);
+  }
+  {
+    // Q22 phone country codes are two digits derived from the nation.
+    const auto& c = db.table(db.TableId("customer"));
+    for (int64_t r = 0; r < std::min<int64_t>(c.rows(), 50); ++r) {
+      std::string phone = c.column(4).data[r].s;
+      int code = std::stoi(phone.substr(0, 2));
+      EXPECT_EQ(code, c.column(3).data[r].i + 10);
+    }
+  }
+}
+
+TEST(Datagen, PrimaryKeysAreDense) {
+  storage::Database& db = *Db();
+  for (const char* name : {"part", "supplier", "customer", "orders"}) {
+    const auto& t = db.table(db.TableId(name));
+    for (int64_t r = 0; r < t.rows(); ++r) {
+      ASSERT_EQ(t.column(0).data[r].i, r + 1) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qc
