@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "cgen/emit.h"
 #include "compiler/compiler.h"
+#include "exec/interp.h"
 #include "tpch/datagen.h"
 #include "tpch/queries.h"
 
@@ -25,6 +26,16 @@ struct NativeRun {
   double generate_ms = 0;  // DBLAB/LB-side: lowering + passes + C emission
   double cc_ms = 0;        // C compiler time
   size_t mem_bytes = 0;
+  int64_t rows = 0;
+};
+
+// One in-process interpreter measurement (either engine).
+struct InterpRun {
+  bool ok = false;
+  // Best-of-N execution time. Bytecode translation happens lazily inside
+  // repetition 1's Run() and is discarded by best-of-N (reps >= 2).
+  double query_ms = 0;
+  double compile_ms = 0;  // stack lowering (qc.Compile) only
   int64_t rows = 0;
 };
 
@@ -81,6 +92,41 @@ class Harness {
     return out;
   }
 
+  // Runs a query compiled under `cfg` on the in-process executor with the
+  // selected engine — the dual-engine "interpreted" rows of Table 3. The
+  // first repetition's Run() pays bytecode translation (the program is
+  // cached inside the Interpreter afterwards); best-of-N over >= 2 reps
+  // reports steady-state execution.
+  InterpRun RunInterp(int query, const compiler::StackConfig& cfg,
+                      exec::InterpOptions::Engine engine,
+                      int repetitions = 3) {
+    InterpRun out;
+    qplan::PlanPtr plan = tpch::MakeQuery(query);
+    qplan::ResolvePlan(plan.get(), db_);
+
+    Timer gen;
+    ir::TypeFactory types;
+    compiler::QueryCompiler qc(&db_, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, cfg, "q" + std::to_string(query));
+    out.compile_ms = gen.ElapsedMs();
+
+    exec::InterpOptions opts;
+    opts.engine = engine;
+    exec::Interpreter interp(&db_, opts);
+    double best = 1e300;
+    for (int r = 0; r < repetitions; ++r) {
+      Timer t;
+      storage::ResultTable result = interp.Run(*res.fn);
+      double ms = t.ElapsedMs();
+      if (ms < best) best = ms;
+      out.rows = static_cast<int64_t>(result.size());
+    }
+    out.query_ms = best;
+    out.ok = true;
+    return out;
+  }
+
  private:
   storage::Database db_;
   std::string dir_;
@@ -90,6 +136,21 @@ class Harness {
 inline double BenchScaleFactor() {
   const char* sf = std::getenv("QC_BENCH_SF");
   return sf != nullptr ? std::atof(sf) : 0.05;
+}
+
+// True when the native (generated-C) measurement columns should be skipped —
+// CI tracks the in-process engines only, which needs no external compiler.
+inline bool BenchInterpOnly() {
+  const char* v = std::getenv("QC_BENCH_INTERP_ONLY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Path for machine-readable benchmark output, or "" when disabled. Set
+// QC_BENCH_JSON=1 for the default file name, or to an explicit path.
+inline std::string BenchJsonPath(const std::string& default_name) {
+  const char* v = std::getenv("QC_BENCH_JSON");
+  if (v == nullptr || v[0] == '\0' || (v[0] == '0' && v[1] == '\0')) return "";
+  return std::string(v) == "1" ? default_name : std::string(v);
 }
 
 }  // namespace qc::bench

@@ -1,16 +1,27 @@
 // Reproduces Table 3: execution time (ms) of all 22 TPC-H queries for the
-// Volcano interpreter (context row), the LegoBase-style monolithic expander,
-// DBLAB/LB with 2..5 stack levels, and the TPC-H-compliant configuration.
-// Queries run as generated C programs compiled with the system compiler
+// Volcano interpreter (context row), the two in-process IR engines
+// (tree-walking interpreter vs. register-bytecode VM, both executing the
+// 5-level-stack output), the LegoBase-style monolithic expander, DBLAB/LB
+// with 2..5 stack levels, and the TPC-H-compliant configuration. Native
+// queries run as generated C programs compiled with the system compiler
 // (the paper's pipeline); times are query-only (loading excluded).
 //
-// Environment: QC_BENCH_SF sets the scale factor (default 0.05). Absolute
-// numbers differ from the paper (different hardware, synthetic dbgen, SF);
-// the reproduced claim is the *shape*: L2 slowest, a large 3->4 jump as
-// data-structure specialization and index inference unlock, L5 fastest or
-// tied, compliant close to the 3-level stack, and DBLAB/LB 5 at least
-// comparable to LegoBase on most queries.
+// Environment:
+//   QC_BENCH_SF           scale factor (default 0.05)
+//   QC_BENCH_INTERP_ONLY  skip the generated-C columns (no external cc)
+//   QC_BENCH_JSON         "1" or a path: also write BENCH_table3.json
+//
+// Absolute numbers differ from the paper (different hardware, synthetic
+// dbgen, SF); the reproduced claims are the *shapes*: L2 slowest, a large
+// 3->4 jump as data-structure specialization and index inference unlock, L5
+// fastest or tied, compliant close to the 3-level stack, DBLAB/LB 5 at
+// least comparable to LegoBase on most queries — and, for the in-process
+// engines, the bytecode VM several times faster than the tree walker on the
+// same IR.
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
@@ -19,9 +30,41 @@
 using namespace qc;           // NOLINT
 using compiler::StackConfig;
 
+namespace {
+
+struct Row {
+  int query = 0;
+  std::vector<std::pair<std::string, double>> cells;  // column -> ms
+};
+
+void WriteJson(const std::string& path, double sf,
+               const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table3_tpch\",\n  \"sf\": %g,\n", sf);
+  std::fprintf(f, "  \"unit\": \"ms\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    {\"query\": %d", rows[i].query);
+    for (const auto& [name, ms] : rows[i].cells) {
+      std::fprintf(f, ", \"%s\": %.4f", name.c_str(), ms);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
 int main() {
   double sf = bench::BenchScaleFactor();
-  std::printf("=== Table 3: TPC-H performance (ms), SF=%.3f ===\n", sf);
+  bool interp_only = bench::BenchInterpOnly();
+  std::printf("=== Table 3: TPC-H performance (ms), SF=%.3f%s ===\n", sf,
+              interp_only ? " (interpreters only)" : "");
   bench::Harness harness(sf, "table3");
 
   std::vector<StackConfig> configs = {
@@ -29,12 +72,20 @@ int main() {
       StackConfig::Level(4),    StackConfig::Level(5),
       StackConfig::Compliant()};
 
-  std::printf("%-4s %10s %10s %10s %10s %10s %10s %10s\n", "Q", "volcano",
-              "legobase", "dblab-2", "dblab-3", "dblab-4", "dblab-5",
-              "compliant");
+  std::printf("%-4s %10s %10s %10s", "Q", "volcano", "ir-tree", "ir-bc");
+  if (!interp_only) {
+    std::printf(" %10s %10s %10s %10s %10s %10s", "legobase", "dblab-2",
+                "dblab-3", "dblab-4", "dblab-5", "compliant");
+  }
+  std::printf("\n");
 
+  std::vector<Row> json_rows;
   int dblab5_wins = 0, total = 0;
+  double speedup_log_sum = 0;
+  int speedup_count = 0;
   for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    Row row;
+    row.query = q;
     std::printf("Q%-3d", q);
     // Interpretation baseline (in-process Volcano evaluator).
     {
@@ -42,24 +93,57 @@ int main() {
       qplan::ResolvePlan(plan.get(), harness.db());
       Timer t;
       storage::ResultTable r = volcano::Execute(*plan, harness.db());
-      std::printf(" %10.2f", t.ElapsedMs());
+      double ms = t.ElapsedMs();
+      std::printf(" %10.2f", ms);
+      row.cells.emplace_back("volcano", ms);
+    }
+    // The dual-engine IR-interpreter rows: the same 5-level-stack function
+    // on the tree walker and on the bytecode VM.
+    {
+      bench::InterpRun tree = harness.RunInterp(
+          q, StackConfig::Level(5), exec::InterpOptions::Engine::kTreeWalk);
+      bench::InterpRun bc = harness.RunInterp(
+          q, StackConfig::Level(5), exec::InterpOptions::Engine::kBytecode);
+      std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
+      row.cells.emplace_back("ir-tree", tree.query_ms);
+      row.cells.emplace_back("ir-bc", bc.query_ms);
+      if (tree.ok && bc.ok && bc.query_ms > 0) {
+        speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
+        ++speedup_count;
+      }
     }
     double legobase_ms = 0, dblab5_ms = 0;
-    for (const StackConfig& cfg : configs) {
-      bench::NativeRun run = harness.RunNative(q, cfg);
-      std::printf(" %10.2f", run.ok ? run.query_ms : -1.0);
-      std::fflush(stdout);
-      if (cfg.name == "legobase") legobase_ms = run.query_ms;
-      if (cfg.name == "dblab-lb-5") dblab5_ms = run.query_ms;
+    if (!interp_only) {
+      for (const StackConfig& cfg : configs) {
+        bench::NativeRun run = harness.RunNative(q, cfg);
+        std::printf(" %10.2f", run.ok ? run.query_ms : -1.0);
+        std::fflush(stdout);
+        row.cells.emplace_back(cfg.name, run.ok ? run.query_ms : -1.0);
+        if (cfg.name == "legobase") legobase_ms = run.query_ms;
+        if (cfg.name == "dblab-lb-5") dblab5_ms = run.query_ms;
+      }
     }
     std::printf("\n");
-    ++total;
-    if (dblab5_ms <= legobase_ms * 1.10) ++dblab5_wins;
+    std::fflush(stdout);
+    json_rows.push_back(std::move(row));
+    if (!interp_only) {
+      ++total;
+      if (dblab5_ms <= legobase_ms * 1.10) ++dblab5_wins;
+    }
   }
-  std::printf(
-      "\nDBLAB/LB 5 at least comparable (<=1.1x) to LegoBase on %d/%d "
-      "queries\n",
-      dblab5_wins, total);
-  std::printf("(paper: 20/22 queries, avg 5x speedup over LegoBase)\n");
+  if (speedup_count > 0) {
+    std::printf("\nbytecode VM vs tree-walk: %.2fx geomean speedup (%d "
+                "queries)\n",
+                std::exp(speedup_log_sum / speedup_count), speedup_count);
+  }
+  if (!interp_only) {
+    std::printf(
+        "DBLAB/LB 5 at least comparable (<=1.1x) to LegoBase on %d/%d "
+        "queries\n",
+        dblab5_wins, total);
+    std::printf("(paper: 20/22 queries, avg 5x speedup over LegoBase)\n");
+  }
+  std::string json = bench::BenchJsonPath("BENCH_table3.json");
+  if (!json.empty()) WriteJson(json, sf, json_rows);
   return 0;
 }

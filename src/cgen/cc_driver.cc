@@ -1,10 +1,15 @@
 #include "cgen/cc_driver.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 
+#include "common/hash.h"
 #include "common/timer.h"
 
 namespace qc::cgen {
@@ -23,19 +28,60 @@ int RunCommand(const std::string& cmd, std::string* out) {
   return pclose(pipe);
 }
 
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+// Generated programs #include the runtime header from the source tree, so
+// its contents must be part of the cache key — otherwise editing it would
+// silently reuse stale binaries.
+uint64_t RuntimeHeaderHash() {
+  static const uint64_t h = [] {
+#ifdef QC_SOURCE_DIR
+    std::ifstream f(std::string(QC_SOURCE_DIR) + "/src/cgen/qc_runtime.h");
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    return HashString(text);
+#else
+    return uint64_t{0};
+#endif
+  }();
+  return h;
+}
+
 }  // namespace
 
 std::string CcDriver::Compile(const std::string& name,
                               const std::string& source, double* compile_ms,
                               std::string* error) {
+  // Generated code is C-style C++ (sort lambdas): compile with -x c++.
+  const char* kFlags = "-O2 -x c++ -std=c++17";
+  // Binaries are cached keyed by a hash of the generated source plus the
+  // compiler flags: re-running a bench configuration that produces
+  // identical code skips the external compiler entirely.
+  uint64_t key = HashCombine(HashCombine(HashString(source),
+                                         HashString(kFlags)),
+                             RuntimeHeaderHash());
+  char tag[32];
+  std::snprintf(tag, sizeof(tag), "_%016llx",
+                static_cast<unsigned long long>(key));
   std::string src_path = work_dir_ + "/" + name + ".c";
-  std::string bin_path = work_dir_ + "/" + name + ".bin";
+  std::string bin_path = work_dir_ + "/" + name + tag + ".bin";
+  if (FileExists(bin_path)) {
+    if (compile_ms != nullptr) *compile_ms = 0;  // cache hit: no cc run
+    return bin_path;  // the matching .c is still there from the cache fill
+  }
   {
     std::ofstream f(src_path);
     f << source;
   }
-  // Generated code is C-style C++ (sort lambdas): compile with -x c++.
-  std::string cmd = "c++ -O2 -x c++ -std=c++17 -o " + bin_path + " " +
+  // Compile to a process-unique temp name and rename on success, so neither
+  // an interrupted compiler nor a concurrent compile of the same source can
+  // install a partial binary that later reads as a cache hit.
+  std::string tmp_path =
+      bin_path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::string cmd = std::string("c++ ") + kFlags + " -o " + tmp_path + " " +
                     src_path;
   Timer t;
   std::string log;
@@ -43,6 +89,11 @@ std::string CcDriver::Compile(const std::string& name,
   if (compile_ms != nullptr) *compile_ms = t.ElapsedMs();
   if (rc != 0) {
     if (error != nullptr) *error = log;
+    return "";
+  }
+  if (std::rename(tmp_path.c_str(), bin_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    if (error != nullptr) *error = "rename to " + bin_path + " failed";
     return "";
   }
   return bin_path;

@@ -26,6 +26,8 @@ class CcDriver {
 
   // Writes `source` to <name>.c and compiles it. Returns the binary path
   // (empty on failure). `compile_ms` receives the C-compiler wall time.
+  // Binaries are cached in the work dir keyed by a hash of source + flags;
+  // a cache hit skips the compiler and reports 0 ms.
   std::string Compile(const std::string& name, const std::string& source,
                       double* compile_ms, std::string* error = nullptr);
 

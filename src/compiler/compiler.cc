@@ -1,6 +1,7 @@
 #include "compiler/compiler.h"
 
 #include "common/timer.h"
+#include "ir/numbering.h"
 #include "lower/pipeline.h"
 #include "opt/cond_flatten.h"
 #include "opt/dce.h"
@@ -135,6 +136,9 @@ CompileResult QueryCompiler::Compile(const qplan::Plan& plan,
   phase("finalize", [&] {
     opt::MarkLibraryCollections(fn.get());
     opt::DeadCodeElimination(fn.get());
+    // Passes leave holes in the id space; ids double as executor register
+    // indices, so compact them to shrink the register file.
+    ir::RenumberDense(fn.get());
   });
   if (config.verify) ir::CheckLevel(*fn, ir::Level::kCLite, true);
 

@@ -1,0 +1,284 @@
+// Register-bytecode execution engine for the ANF IR.
+//
+// The tree-walking interpreter (exec/interp.cc) re-resolves operand pointers
+// and re-dispatches on Stmt::op for every node of every loop iteration —
+// exactly the megamorphic-dispatch/pointer-chasing overhead the paper's
+// lowering story is about (§B.2). This layer removes it in one flattening
+// step, mirroring in miniature what the DSL stack does to queries:
+//
+//   BytecodeCompiler  flattens a verified ir::Function into a dense
+//                     std::vector<Insn> of fixed-width register
+//                     instructions. Operands are pre-resolved register
+//                     indices (statement ids), constants are materialized
+//                     once into a preset image, base-table columns and
+//                     load-time indexes become raw pre-resolved pointers,
+//                     and the structured block tree (kIf/kForRange/kWhile/
+//                     foreach) is lowered to relative jumps.
+//
+//   BytecodeVM        executes the flat code with computed-goto
+//                     direct-threaded dispatch (portable switch fallback
+//                     behind QC_BC_NO_COMPUTED_GOTO), type-specialized
+//                     arithmetic opcodes (separate i64/f64 add/mul/cmp so
+//                     the per-op type->kind branch disappears) and fused
+//                     super-instructions for the hot scan idiom: column
+//                     read + compare, and loop-index increment + bound
+//                     check + back edge.
+//
+// The VM shares the runtime data structures (exec/runtime.h) and the
+// AllocStats accounting with the tree walker, so results — including the
+// Figure 8 memory numbers — are bit-identical between the two engines.
+#ifndef QC_EXEC_BYTECODE_H_
+#define QC_EXEC_BYTECODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/runtime.h"
+#include "ir/stmt.h"
+#include "storage/database.h"
+#include "storage/result.h"
+
+namespace qc::exec {
+
+// X(name) — opcode list. Order defines the encoding and the direct-threaded
+// label table, so the enum and the VM handlers are generated from the same
+// macro.
+#define QC_BC_OP_LIST(X)                                                     \
+  /* control flow (d = relative offset from the following insn) */          \
+  X(kRet)     /* return from the current Exec activation */                 \
+  X(kJmp)     /* pc += d */                                                 \
+  X(kJz)      /* if R[a].i == 0: pc += d */                                 \
+  X(kJnz)     /* if R[a].i != 0: pc += d */                                 \
+  X(kJgeI)    /* if R[a].i >= R[b].i: pc += d (loop-head guard) */          \
+  X(kForNext) /* ++R[a].i; if R[a].i < R[b].i: pc += d (fused back edge) */ \
+  X(kIncJmp)  /* ++R[a].i; pc += d (back edge with re-checked bound) */     \
+  /* moves */                                                               \
+  X(kLoadK)   /* R[a] = consts[b] */                                        \
+  X(kMov)     /* R[a] = R[b] */                                             \
+  /* i64 arithmetic (also i32/bool/date: all integral slots) */             \
+  X(kAddI) X(kSubI) X(kMulI) X(kDivI) X(kModI) X(kNegI)                     \
+  /* f64 arithmetic */                                                      \
+  X(kAddF) X(kSubF) X(kMulF) X(kDivF) X(kNegF)                              \
+  X(kCastIF)  /* R[a].d = (double)R[b].i */                                 \
+  X(kCastFI)  /* R[a].i = (int64)R[b].d */                                  \
+  /* comparisons -> 0/1 */                                                  \
+  X(kEqI) X(kNeI) X(kLtI) X(kLeI) X(kGtI) X(kGeI)                           \
+  X(kEqF) X(kNeF) X(kLtF) X(kLeF) X(kGtF) X(kGeF)                           \
+  /* booleans */                                                            \
+  X(kAnd) X(kOr) X(kNot) X(kBitAnd)                                         \
+  /* strings */                                                             \
+  X(kStrEq) X(kStrNe) X(kStrLt)                                             \
+  X(kStrStarts) X(kStrEnds) X(kStrContains)                                 \
+  X(kStrLike)   /* b = source reg, c = pattern-pool index */                \
+  X(kStrLen)                                                                \
+  X(kStrSubstr) /* b = source reg, c = start, d = length */                 \
+  /* records and pools */                                                   \
+  X(kRecNew)    /* a = dst, b = extra offset, n = field count */            \
+  X(kRecGet)    /* a = dst, b = record reg, c = field index */              \
+  X(kRecSet)    /* a = record reg, b = field index, c = src reg */          \
+  X(kPoolAlloc) /* a = dst, b = pool-handle reg (field count) */            \
+  X(kPoolRecNew) /* a = dst, b = extra offset, n = field count */           \
+  /* arrays */                                                              \
+  X(kArrNew) X(kMallocArr) /* a = dst, b = length reg */                    \
+  X(kArrGet)  /* a = dst, b = array reg, c = index reg */                   \
+  X(kArrSet)  /* a = array reg, b = index reg, c = src reg */               \
+  X(kArrLen)                                                                \
+  X(kArrSort) /* a = array, b = n reg, c = cmp entry pc, d = extra off */   \
+  /* lists */                                                               \
+  X(kListNew) X(kListAppend) X(kListSize) X(kListGet)                       \
+  X(kListSort) /* a = list, c = cmp entry pc, d = extra off */              \
+  /* generic hash maps */                                                   \
+  X(kMapNew)       /* a = dst, b = key-type pool index */                   \
+  X(kMapFind)      /* a = node dst, b = map reg, c = key reg */             \
+  X(kMapInsert)    /* a = node dst, b = map, c = key, d = value reg */      \
+  X(kMapNodeVal)   /* a = dst, b = node reg */                              \
+  X(kMapGetOrNull) /* a = dst, b = map, c = key */                          \
+  X(kMapSize)                                                               \
+  X(kMapEntryKV)   /* a = key dst, b = value dst, c = map, d = index reg */ \
+  /* multimaps */                                                           \
+  X(kMMapNew) X(kMMapAdd) X(kMMapGetOrNull)                                 \
+  X(kIsNull)                                                                \
+  /* base-table access through pre-resolved pointers */                     \
+  X(kColGet)  /* a = dst, b = ptr-pool index, c = row reg */                \
+  X(kColDict)                                                               \
+  X(kIdxBucketLen) /* a = dst, b = ptr index, c = key reg */                \
+  X(kIdxBucketRow) /* a = dst, b = ptr index, c = key reg, d = j reg */     \
+  X(kIdxPkRow)                                                              \
+  /* fused scan super-instructions: column read + compare */                \
+  X(kColGetEqI) X(kColGetNeI) X(kColGetLtI)                                 \
+  X(kColGetLeI) X(kColGetGtI) X(kColGetGeI)                                 \
+  X(kColGetEqF) X(kColGetNeF) X(kColGetLtF)                                 \
+  X(kColGetLeF) X(kColGetGtF) X(kColGetGeF)                                 \
+  /* fused filter branches: jump (d) when the comparison is FALSE.         \
+     kJn*: a = lhs reg, b = rhs reg. */                                     \
+  X(kJnEqI) X(kJnNeI) X(kJnLtI) X(kJnLeI) X(kJnGtI) X(kJnGeI)               \
+  X(kJnEqF) X(kJnNeF) X(kJnLtF) X(kJnLeF) X(kJnGtF) X(kJnGeF)               \
+  /* fused scan filters: column read + compare + branch-if-false.          \
+     a = rhs reg, b = ptr-pool index, c = row reg. */                       \
+  X(kJnColEqI) X(kJnColNeI) X(kJnColLtI)                                    \
+  X(kJnColLeI) X(kJnColGtI) X(kJnColGeI)                                    \
+  X(kJnColEqF) X(kJnColNeF) X(kJnColLtF)                                    \
+  X(kJnColLeF) X(kJnColGtF) X(kJnColGeF)                                    \
+  /* fused aggregate updates: load + add + store back.                     \
+     rec: a = record reg, b = field, c = addend reg.                       \
+     arr: a = array reg, b = index reg, c = addend reg. */                  \
+  X(kRecAccAddI) X(kRecAccAddF) X(kArrAccAddI) X(kArrAccAddF)               \
+  /* result emission: n = arg count, a = extra offset, c = string mask */   \
+  X(kEmit)
+
+enum class BcOp : uint16_t {
+#define QC_BC_OP_ENUM(name) name,
+  QC_BC_OP_LIST(QC_BC_OP_ENUM)
+#undef QC_BC_OP_ENUM
+      kNumOps
+};
+
+const char* BcOpName(BcOp op);
+
+// One fixed-width instruction. Operands a/b/c are register indices or pool
+// indices depending on the opcode (see QC_BC_OP_LIST); d is a relative jump
+// offset (from the instruction *after* this one) or a fourth operand.
+struct Insn {
+  uint16_t op = 0;
+  uint16_t n = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  int32_t d = 0;
+};
+static_assert(sizeof(Insn) == 20, "Insn must stay fixed-width and dense");
+
+// A compiled program. Owns every payload the instructions reference, so a
+// program outlives the Function it was compiled from — but NOT the Database:
+// column/index pointers are pre-resolved into `ptrs`.
+struct BytecodeProgram {
+  std::vector<Insn> code;
+  // Registers preloaded before execution: constants, table row counts and
+  // pool handles never change, so they cost zero instructions at runtime.
+  std::vector<std::pair<uint32_t, Slot>> presets;
+  std::vector<Slot> consts;              // kLoadK pool (loop-counter seeds)
+  std::vector<uint32_t> extra;           // variable-length operand lists
+  std::vector<const void*> ptrs;         // pre-resolved column/index data
+  std::vector<const ir::Type*> types;    // map/mmap key types
+  std::vector<std::string> patterns;     // kStrLike patterns
+  std::deque<std::string> strings;       // owned string constants (stable)
+  std::vector<storage::ColType> emit_types;
+  uint32_t num_regs = 0;
+  int fused = 0;  // number of super-instructions formed (introspection)
+};
+
+// Human-readable listing of a compiled program (one instruction per line,
+// "pc: op a b c d [-> target]"). Debugging and test aid.
+std::string Disassemble(const BytecodeProgram& prog);
+
+// Emit-row column types of a function (the schema of its kEmit statements).
+// Shared by both engines; walking the tree once per compile replaces the
+// tree walker's per-Run rediscovery.
+std::vector<storage::ColType> EmitRowTypes(const ir::Function& fn);
+
+// Flattens one verified function. The database is consulted at compile time
+// to pre-resolve column arrays, dictionaries and load-time indexes; the
+// resulting program is only valid against that database.
+class BytecodeCompiler {
+ public:
+  explicit BytecodeCompiler(storage::Database* db) : db_(db) {}
+
+  BytecodeProgram Compile(const ir::Function& fn);
+
+ private:
+  uint32_t Reg(const ir::Stmt* s) const;
+  uint32_t NewTemp() { return num_regs_++; }
+
+  size_t Emit(BcOp op, uint32_t a = 0, uint32_t b = 0, uint32_t c = 0,
+              int32_t d = 0, uint16_t n = 0);
+  // Patches the jump at `at` to land on the next emitted instruction.
+  void PatchToHere(size_t at);
+  int32_t OffsetTo(size_t target) const;
+
+  uint32_t PtrIdx(const void* p);
+  uint32_t TypeIdx(const ir::Type* t);
+  uint32_t KonstI(int64_t v);
+  uint32_t ExtraList(const std::vector<uint32_t>& regs);
+
+  void Preset(const ir::Stmt* s, Slot v);
+  void CompileBlock(const ir::Block* b);
+  void CompileStmt(const ir::Stmt* s);
+  // Emits Mov dst <- src, or — when src was produced by the immediately
+  // preceding instruction and has no other use — retargets that
+  // instruction's destination instead (write-back elimination).
+  void EmitMovOrRetarget(uint32_t dst, const ir::Stmt* src);
+  bool TryFuseColScan(const ir::Stmt* s, const ir::Stmt* next);
+  // Filter fusion over the preset-filtered statement view: recognizes a run
+  // of pure condition statements (column reads, comparisons, BitAnd chains,
+  // null tests) feeding a kIf — the shape cond_flatten produces — and
+  // compiles it as a cascade of branch-if-false super-instructions with no
+  // materialized booleans. Returns statements consumed (0 = no fusion); the
+  // kIf's blocks are compiled as part of the fusion.
+  size_t TryFuseBranch(const std::vector<const ir::Stmt*>& stmts, size_t i,
+                       const ir::Stmt* block_result);
+  // Fuses [x = load(container, k)] -> [y = add(x, v)] -> [store(container,
+  // k, y)] into one accumulate instruction. Returns statements consumed.
+  size_t TryFuseAccumulate(const std::vector<const ir::Stmt*>& stmts,
+                           size_t i);
+  // Emits the branch-if-false instruction for one conjunct of a fused
+  // filter; `folded` collects statements whose computation disappeared.
+  size_t EmitLeafBranch(const ir::Stmt* leaf,
+                        const std::vector<const ir::Stmt*>& window,
+                        std::vector<const ir::Stmt*>* folded);
+  // Compiles kIf's then/else blocks given already-emitted branch-if-false
+  // instructions, all patched to the else/end target.
+  void CompileIfBody(const ir::Stmt* ifstmt,
+                     const std::vector<size_t>& branches);
+  // True when `s` is only used by `user`, as a direct argument.
+  bool SoleUseBy(const ir::Stmt* s, const ir::Stmt* user) const;
+  // Compiles a comparator block as a skipped-over subroutine; returns its
+  // entry pc.
+  uint32_t CompileSubroutine(const ir::Block* b);
+
+  storage::Database* db_;
+  BytecodeProgram prog_;
+  std::vector<int> uses_;
+  uint32_t num_regs_ = 0;
+  // Copy propagation: statement id -> register it aliases (kVarRead
+  // forwarding), and retargeting state for write-back elimination.
+  std::unordered_map<int, uint32_t> alias_;
+  const ir::Stmt* last_value_stmt_ = nullptr;  // stmt whose insn is
+                                               // code.back() with dst in `a`
+};
+
+// Executes compiled programs. Owns the runtime heap (lists, arrays, maps,
+// records) exactly like the tree walker does, and threads the same
+// AllocStats so Figure 8 memory accounting is engine-independent.
+class BytecodeVM {
+ public:
+  explicit BytecodeVM(AllocStats* stats) : stats_(stats), records_(stats) {}
+
+  storage::ResultTable Run(const BytecodeProgram& prog);
+
+ private:
+  void Exec(uint32_t pc);
+
+  const char* Intern(std::string s) {
+    strings_.push_back(std::move(s));
+    return strings_.back().c_str();
+  }
+
+  const BytecodeProgram* prog_ = nullptr;
+  AllocStats* stats_;
+  RecordHeap records_;
+  std::vector<Slot> regs_;
+  std::deque<RtList> lists_;
+  std::deque<RtArray> arrays_;
+  std::deque<RtHashMap> maps_;
+  std::deque<RtMultiMap> mmaps_;
+  std::deque<std::string> strings_;
+  storage::ResultTable out_;
+};
+
+}  // namespace qc::exec
+
+#endif  // QC_EXEC_BYTECODE_H_

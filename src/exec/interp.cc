@@ -15,38 +15,40 @@ using ir::Stmt;
 using ir::Type;
 using ir::TypeKind;
 
-namespace {
-
-storage::ColType ToColType(const Type* t) {
-  switch (t->kind) {
-    case TypeKind::kF64: return storage::ColType::kF64;
-    case TypeKind::kStr: return storage::ColType::kStr;
-    case TypeKind::kDate: return storage::ColType::kDate;
-    default: return storage::ColType::kI64;
-  }
-}
-
-void FindEmitTypes(const Block* b, std::vector<storage::ColType>* types,
-                   bool* found) {
-  for (const Stmt* s : b->stmts) {
-    if (*found) return;
-    if (s->op == Op::kEmit) {
-      for (const Stmt* a : s->args) types->push_back(ToColType(a->type));
-      *found = true;
-      return;
-    }
-    for (const Block* nb : s->blocks) FindEmitTypes(nb, types, found);
-  }
-}
-
-}  // namespace
-
 storage::ResultTable Interpreter::Run(const ir::Function& fn) {
+  if (opts_.engine == InterpOptions::Engine::kBytecode) {
+    auto it = programs_.find(&fn);
+    if (it == programs_.end() || it->second.fn_name != fn.name() ||
+        it->second.num_stmts != fn.num_stmts()) {
+      CachedProgram cached{fn.name(), fn.num_stmts(),
+                           BytecodeCompiler(db_).Compile(fn)};
+      it = programs_.insert_or_assign(&fn, std::move(cached)).first;
+    }
+    return vm_.Run(it->second.prog);
+  }
+  return RunTreeWalk(fn);
+}
+
+storage::ResultTable Interpreter::RunTreeWalk(const ir::Function& fn) {
+  // Emit-type discovery walks the whole block tree; do it once per function
+  // and reuse the register storage's capacity across runs.
+  if (prepared_fn_ != &fn || prepared_name_ != fn.name() ||
+      prepared_stmts_ != fn.num_stmts()) {
+    emit_types_ = EmitRowTypes(fn);
+    prepared_fn_ = &fn;
+    prepared_name_ = fn.name();
+    prepared_stmts_ = fn.num_stmts();
+  }
+  // Release the previous run's working set (results own their strings).
+  lists_.clear();
+  arrays_.clear();
+  maps_.clear();
+  mmaps_.clear();
+  strings_.clear();
+  records_.Reset();
   regs_.assign(fn.num_stmts(), SlotI(0));
-  std::vector<storage::ColType> types;
-  bool found = false;
-  FindEmitTypes(fn.body(), &types, &found);
-  out_.SetTypes(types);
+  out_ = storage::ResultTable();
+  out_.SetTypes(emit_types_);
   ExecBlock(fn.body());
   return std::move(out_);
 }

@@ -1,17 +1,27 @@
-// Register-file interpreter over the ANF IR. Every DSL level of the stack is
-// directly executable (the paper's "each DSL is executable" property): the
-// interpreter implements the full construct set, from generic MultiMaps at
+// In-process execution of the ANF IR. Every DSL level of the stack is
+// directly executable (the paper's "each DSL is executable" property): both
+// engines implement the full construct set, from generic MultiMaps at
 // ScaLite[Map,List] down to malloc/pool operations at C.Lite. Compiled
 // queries at different stack levels therefore run on identical machinery and
 // differ only in the code the compiler produced — which is exactly what
 // Table 3 measures.
+//
+// Two engines share this facade:
+//   * kBytecode (default) — flattens the function once into register
+//     bytecode and runs it on the direct-threaded VM (exec/bytecode.h).
+//     Programs are cached per Function, so repeated Run() calls skip
+//     translation.
+//   * kTreeWalk — the original pointer-walking interpreter, kept as the
+//     executable-semantics reference and as an escape hatch.
 #ifndef QC_EXEC_INTERP_H_
 #define QC_EXEC_INTERP_H_
 
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "exec/bytecode.h"
 #include "exec/runtime.h"
 #include "ir/stmt.h"
 #include "storage/database.h"
@@ -19,11 +29,26 @@
 
 namespace qc::exec {
 
+struct InterpOptions {
+  enum class Engine {
+    kBytecode,  // register bytecode on the direct-threaded VM
+    kTreeWalk,  // node-by-node Stmt-graph walk (reference engine)
+  };
+  Engine engine = Engine::kBytecode;
+};
+
 class Interpreter {
  public:
-  explicit Interpreter(storage::Database* db) : db_(db), records_(&stats_) {}
+  explicit Interpreter(storage::Database* db,
+                       InterpOptions opts = InterpOptions())
+      : db_(db), opts_(opts), records_(&stats_), vm_(&stats_) {}
 
-  // Executes the function; rows produced by kEmit statements form the result.
+  // Executes the function; rows produced by kEmit statements form the
+  // result. Cached per-function state (bytecode, emit types, register
+  // storage) is keyed by the Function's address, so a Function passed here
+  // should outlive the Interpreter. Address reuse by a different function
+  // is detected via a name/size fingerprint and recompiles (a same-named,
+  // same-sized different function at the same address would still alias).
   storage::ResultTable Run(const ir::Function& fn);
 
   const AllocStats& stats() const { return stats_; }
@@ -32,6 +57,7 @@ class Interpreter {
   Slot Val(const ir::Stmt* s) const { return regs_[s->id]; }
   void Set(const ir::Stmt* s, Slot v) { regs_[s->id] = v; }
 
+  storage::ResultTable RunTreeWalk(const ir::Function& fn);
   void ExecBlock(const ir::Block* b);
   void ExecStmt(const ir::Stmt* s);
   bool BlockCond(const ir::Block* b);
@@ -42,6 +68,7 @@ class Interpreter {
   }
 
   storage::Database* db_;
+  InterpOptions opts_;
   AllocStats stats_;
   RecordHeap records_;
   std::vector<Slot> regs_;
@@ -51,7 +78,22 @@ class Interpreter {
   std::deque<RtMultiMap> mmaps_;
   std::deque<std::string> strings_;
   storage::ResultTable out_;
-  bool out_types_set_ = false;
+
+  // Bytecode engine: compiled programs cached per function, with a
+  // fingerprint to catch allocator address reuse.
+  struct CachedProgram {
+    std::string fn_name;
+    int num_stmts = -1;
+    BytecodeProgram prog;
+  };
+  BytecodeVM vm_;
+  std::unordered_map<const ir::Function*, CachedProgram> programs_;
+
+  // Tree-walk engine: emit types discovered once per function, not per Run.
+  const ir::Function* prepared_fn_ = nullptr;
+  std::string prepared_name_;
+  int prepared_stmts_ = -1;
+  std::vector<storage::ColType> emit_types_;
 };
 
 }  // namespace qc::exec

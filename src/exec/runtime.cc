@@ -97,6 +97,12 @@ RecordHeap::~RecordHeap() {
   for (Slot* r : heap_records_) ::free(r);
 }
 
+void RecordHeap::Reset() {
+  for (Slot* r : heap_records_) ::free(r);
+  heap_records_.clear();
+  pool_.Reset();
+}
+
 Slot* RecordHeap::AllocHeap(size_t fields) {
   Slot* r = static_cast<Slot*>(::malloc(fields * sizeof(Slot)));
   heap_records_.push_back(r);

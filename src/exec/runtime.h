@@ -129,6 +129,10 @@ class RecordHeap {
   Slot* AllocHeap(size_t fields);
   Slot* AllocPool(size_t fields);
 
+  // Frees every record (heap and pooled). AllocStats are left untouched —
+  // they account for lifetime totals (Figure 8).
+  void Reset();
+
  private:
   AllocStats* stats_;
   std::vector<Slot*> heap_records_;

@@ -1,0 +1,37 @@
+#include "ir/numbering.h"
+
+namespace qc::ir {
+
+namespace {
+
+void CountBlock(const Block* b, std::vector<int>* counts) {
+  for (const Stmt* s : b->stmts) {
+    for (const Stmt* a : s->args) ++(*counts)[a->id];
+    for (const Block* nb : s->blocks) CountBlock(nb, counts);
+  }
+  if (b->result != nullptr) ++(*counts)[b->result->id];
+}
+
+void RenumberBlock(Block* b, int* next) {
+  for (Stmt* p : b->params) p->id = (*next)++;
+  for (Stmt* s : b->stmts) {
+    s->id = (*next)++;
+    for (Block* nb : s->blocks) RenumberBlock(nb, next);
+  }
+}
+
+}  // namespace
+
+std::vector<int> ComputeUseCounts(const Function& fn) {
+  std::vector<int> counts(fn.num_stmts(), 0);
+  CountBlock(fn.body(), &counts);
+  return counts;
+}
+
+void RenumberDense(Function* fn) {
+  int next = 0;
+  RenumberBlock(fn->body(), &next);
+  fn->SetNumStmts(next);
+}
+
+}  // namespace qc::ir

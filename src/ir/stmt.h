@@ -97,6 +97,10 @@ class Function {
   TypeFactory* types() const { return types_; }
   int num_stmts() const { return next_id_; }
 
+  // Used by ir::RenumberDense after compacting ids: `n` becomes both the
+  // executor register-file size and the next id handed out by NewStmt.
+  void SetNumStmts(int n) { next_id_ = n; }
+
  private:
   std::string name_;
   TypeFactory* types_;

@@ -1,0 +1,422 @@
+// The bytecode VM must be observationally identical to the tree-walking
+// interpreter: bit-exact result equality (not just canonical-text equality)
+// across all 22 TPC-H queries under every stack configuration, plus unit
+// tests for the bytecode compiler itself — jump lowering, constant presets,
+// and the fused super-instructions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "exec/bytecode.h"
+#include "exec/interp.h"
+#include "ir/builder.h"
+#include "lower/pipeline.h"
+#include "storage/database.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace qc {
+namespace {
+
+using compiler::QueryCompiler;
+using compiler::StackConfig;
+using exec::BcOp;
+using exec::BytecodeCompiler;
+using exec::BytecodeProgram;
+using exec::InterpOptions;
+using ir::Builder;
+using ir::Function;
+using ir::Stmt;
+using ir::TypeFactory;
+
+InterpOptions TreeWalk() {
+  InterpOptions o;
+  o.engine = InterpOptions::Engine::kTreeWalk;
+  return o;
+}
+
+InterpOptions Bytecode() {
+  InterpOptions o;
+  o.engine = InterpOptions::Engine::kBytecode;
+  return o;
+}
+
+// Bit-exact, position-exact equality. Doubles are compared on their bit
+// patterns (via the .i view of the slot union), so even sign-of-zero or
+// associativity differences would be caught.
+void ExpectBitExact(const storage::ResultTable& bc,
+                    const storage::ResultTable& tree, const std::string& tag) {
+  ASSERT_EQ(bc.size(), tree.size()) << tag << ": row count";
+  ASSERT_EQ(bc.types().size(), tree.types().size()) << tag << ": arity";
+  for (size_t r = 0; r < bc.size(); ++r) {
+    for (size_t c = 0; c < bc.types().size(); ++c) {
+      if (bc.types()[c] == storage::ColType::kStr) {
+        EXPECT_STREQ(bc.row(r)[c].s, tree.row(r)[c].s)
+            << tag << ": row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(bc.row(r)[c].i, tree.row(r)[c].i)
+            << tag << ": row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+// Runs `fn` on both engines against `db` and checks bit-exact agreement.
+void ExpectEnginesAgree(storage::Database* db, const Function& fn,
+                        const std::string& tag) {
+  exec::Interpreter tree(db, TreeWalk());
+  exec::Interpreter bc(db, Bytecode());
+  storage::ResultTable rt = tree.Run(fn);
+  storage::ResultTable rb = bc.Run(fn);
+  ExpectBitExact(rb, rt, tag);
+}
+
+int CountOp(const BytecodeProgram& prog, BcOp op) {
+  int n = 0;
+  for (const exec::Insn& insn : prog.code) {
+    if (insn.op == static_cast<uint16_t>(op)) ++n;
+  }
+  return n;
+}
+
+bool IsJumpOp(BcOp op) {
+  if (op == BcOp::kForNext || op == BcOp::kIncJmp) return true;
+  const char* name = BcOpName(op);
+  return name[0] == 'k' && name[1] == 'J';
+}
+
+// Every jump target must land inside the program; ArrSort/ListSort
+// subroutine entries must too.
+void ExpectJumpsInBounds(const BytecodeProgram& prog) {
+  for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+    const exec::Insn& insn = prog.code[pc];
+    BcOp op = static_cast<BcOp>(insn.op);
+    if (IsJumpOp(op)) {
+      ptrdiff_t target = static_cast<ptrdiff_t>(pc) + 1 + insn.d;
+      EXPECT_GE(target, 0) << "pc " << pc << " " << BcOpName(op);
+      EXPECT_LT(target, static_cast<ptrdiff_t>(prog.code.size()))
+          << "pc " << pc << " " << BcOpName(op);
+    }
+    if (op == BcOp::kArrSort || op == BcOp::kListSort) {
+      EXPECT_LT(insn.c, prog.code.size()) << "subroutine entry, pc " << pc;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// All 22 TPC-H queries, every stack level: bit-exact engine agreement.
+// --------------------------------------------------------------------------
+
+class BytecodeVmTpchTest : public ::testing::TestWithParam<int> {
+ protected:
+  static storage::Database* db() {
+    static storage::Database* db =
+        new storage::Database(tpch::MakeTpchDatabase(0.002, 7));
+    return db;
+  }
+};
+
+TEST_P(BytecodeVmTpchTest, BitExactAcrossAllStackLevels) {
+  int q = GetParam();
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *db());
+
+  // The pipelining-only lowering (the oracle-test configuration).
+  {
+    ir::TypeFactory types;
+    auto fn = lower::LowerPlanPipelined(*plan, *db(), &types,
+                                        "q" + std::to_string(q));
+    ExpectEnginesAgree(db(), *fn, "Q" + std::to_string(q) + " pipelined");
+  }
+
+  // Every compiler configuration.
+  ir::TypeFactory types;
+  QueryCompiler qc(db(), &types);
+  for (const StackConfig& cfg :
+       {StackConfig::Level(2), StackConfig::Level(3), StackConfig::Level(4),
+        StackConfig::Level(5), StackConfig::Compliant(),
+        StackConfig::LegoBase()}) {
+    compiler::CompileResult res =
+        qc.Compile(*plan, cfg, "q" + std::to_string(q) + "_" + cfg.name);
+    ExpectEnginesAgree(db(), *res.fn,
+                       "Q" + std::to_string(q) + " " + cfg.name);
+    BytecodeProgram prog = BytecodeCompiler(db()).Compile(*res.fn);
+    ExpectJumpsInBounds(prog);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, BytecodeVmTpchTest,
+                         ::testing::Range(1, 23));
+
+// --------------------------------------------------------------------------
+// Jump lowering
+// --------------------------------------------------------------------------
+
+TEST(BytecodeJumps, IfElseLowersToForwardJumps) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* v = b.VarNew(b.I64(0));
+  b.If(
+      b.Gt(b.VarRead(v), b.I64(10)), [&] { b.VarAssign(v, b.I64(1)); },
+      [&] { b.VarAssign(v, b.I64(2)); });
+  b.EmitRow({b.VarRead(v)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  ExpectJumpsInBounds(prog);
+  // The else-arm requires a then-exit jump.
+  EXPECT_GE(CountOp(prog, BcOp::kJmp), 1);
+  ExpectEnginesAgree(&db, fn, "if-else");
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 2);
+}
+
+TEST(BytecodeJumps, ForRangeUsesFusedBackEdge) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* sum = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(100),
+             [&](Stmt* i) { b.VarAssign(sum, b.Add(b.VarRead(sum), i)); });
+  b.EmitRow({b.VarRead(sum)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  ExpectJumpsInBounds(prog);
+  // Loop head guard + fused increment/bound-check/back-edge.
+  EXPECT_EQ(CountOp(prog, BcOp::kJgeI), 1);
+  EXPECT_EQ(CountOp(prog, BcOp::kForNext), 1);
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 4950);
+}
+
+TEST(BytecodeJumps, ZeroIterationLoopSkipsBody) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* n = b.VarNew(b.I64(7));
+  b.ForRange(b.I64(5), b.I64(3),
+             [&](Stmt* i) { b.VarAssign(n, b.Add(b.VarRead(n), i)); });
+  b.EmitRow({b.VarRead(n)});
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 7);
+}
+
+TEST(BytecodeJumps, WhileLowersToBackwardJump) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* x = b.VarNew(b.I64(1));
+  b.While([&] { return b.Lt(b.VarRead(x), b.I64(1000)); },
+          [&] { b.VarAssign(x, b.Mul(b.VarRead(x), b.I64(2))); });
+  b.EmitRow({b.VarRead(x)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  ExpectJumpsInBounds(prog);
+  bool has_backward = false;
+  for (const exec::Insn& insn : prog.code) {
+    if (insn.op == static_cast<uint16_t>(BcOp::kJmp) && insn.d < 0) {
+      has_backward = true;
+    }
+  }
+  EXPECT_TRUE(has_backward);
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 1024);
+}
+
+// --------------------------------------------------------------------------
+// Constant presets
+// --------------------------------------------------------------------------
+
+TEST(BytecodePresets, ConstantsCostNoInstructions) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  // Several distinct constants; none may appear as loads in the loop.
+  Stmt* sum = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(10), [&](Stmt* i) {
+    b.VarAssign(sum, b.Add(b.VarRead(sum), b.Mul(i, b.I64(3))));
+  });
+  b.EmitRow({b.VarRead(sum), b.F64(2.5), b.StrC("tag")});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  EXPECT_GE(prog.presets.size(), 4u);  // 0, 10, 3, 2.5, "tag" (CSE may share)
+  exec::Interpreter interp(&db);
+  storage::ResultTable r = interp.Run(fn);
+  EXPECT_EQ(r.row(0)[0].i, 135);
+  EXPECT_DOUBLE_EQ(r.row(0)[1].d, 2.5);
+  EXPECT_STREQ(r.row(0)[2].s, "tag");
+}
+
+// --------------------------------------------------------------------------
+// Fused super-instructions
+// --------------------------------------------------------------------------
+
+storage::Database ScanDb() {
+  storage::Database db;
+  storage::TableDef t;
+  t.name = "T";
+  t.columns = {{"k", storage::ColType::kI64},
+               {"v", storage::ColType::kF64}};
+  storage::Table* tt = db.AddTable(t);
+  for (int i = 0; i < 100; ++i) {
+    tt->column(0).data.push_back(SlotI(i % 17));
+    tt->column(1).data.push_back(SlotD(i * 0.25));
+  }
+  return db;
+}
+
+TEST(BytecodeFusion, ColumnScanFilterFusesToOneBranch) {
+  storage::Database db = ScanDb();
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* count = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.TableRows(0), [&](Stmt* row) {
+    Stmt* k = b.ColGet(0, 0, row, types.I64());
+    b.If(b.Lt(k, b.I64(5)),
+         [&] { b.VarAssign(count, b.Add(b.VarRead(count), b.I64(1))); });
+  });
+  b.EmitRow({b.VarRead(count)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  // col_get + compare + branch collapse into one super-instruction: no
+  // standalone kColGet, no materialized boolean.
+  EXPECT_EQ(CountOp(prog, BcOp::kJnColLtI), 1);
+  EXPECT_EQ(CountOp(prog, BcOp::kColGet), 0);
+  EXPECT_EQ(CountOp(prog, BcOp::kLtI), 0);
+  EXPECT_GE(prog.fused, 2);
+  ExpectEnginesAgree(&db, fn, "fused scan filter");
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 30);  // k in {0..4}: 6*5 rows
+}
+
+TEST(BytecodeFusion, FlattenedConjunctionBecomesBranchCascade) {
+  storage::Database db = ScanDb();
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* count = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.TableRows(0), [&](Stmt* row) {
+    Stmt* k = b.ColGet(0, 0, row, types.I64());
+    Stmt* v = b.ColGet(0, 1, row, types.F64());
+    // The cond_flatten idiom: predicates combined with BitAnd.
+    Stmt* cond = b.BitAnd(b.Ge(k, b.I64(2)), b.Lt(v, b.F64(20.0)));
+    b.If(cond,
+         [&] { b.VarAssign(count, b.Add(b.VarRead(count), b.I64(1))); });
+  });
+  b.EmitRow({b.VarRead(count)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  // Both conjuncts become fused column-compare branches; the BitAnd and the
+  // boolean registers disappear.
+  EXPECT_EQ(CountOp(prog, BcOp::kJnColGeI) + CountOp(prog, BcOp::kJnColLtF),
+            2);
+  EXPECT_EQ(CountOp(prog, BcOp::kBitAnd), 0);
+  ExpectEnginesAgree(&db, fn, "branch cascade");
+}
+
+TEST(BytecodeFusion, RecordAccumulateFuses) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  const ir::Type* rec = types.Record("Acc", {{"sum", types.I64()}});
+  Stmt* r = b.RecNew(rec, {b.I64(0)});
+  b.ForRange(b.I64(1), b.I64(11), [&](Stmt* i) {
+    b.RecSet(r, 0, b.Add(b.RecGet(r, 0), i));
+  });
+  b.EmitRow({b.RecGet(r, 0)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  EXPECT_EQ(CountOp(prog, BcOp::kRecAccAddI), 1);
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 55);
+}
+
+TEST(BytecodeFusion, ArrayAccumulateFuses) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* arr = b.ArrNew(types.F64(), b.I64(4));
+  b.ForRange(b.I64(0), b.I64(20), [&](Stmt* i) {
+    Stmt* slot = b.Mod(i, b.I64(4));
+    b.ArrSet(arr, slot, b.Add(b.ArrGet(arr, slot), b.F64(0.5)));
+  });
+  b.ForRange(b.I64(0), b.I64(4),
+             [&](Stmt* i) { b.EmitRow({b.ArrGet(arr, i)}); });
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  EXPECT_EQ(CountOp(prog, BcOp::kArrAccAddF), 1);
+  exec::Interpreter interp(&db);
+  storage::ResultTable res = interp.Run(fn);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(res.row(i)[0].d, 2.5);
+}
+
+// --------------------------------------------------------------------------
+// Comparator subroutines and string interning
+// --------------------------------------------------------------------------
+
+TEST(BytecodeVm, SortComparatorRunsAsSubroutine) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* list = b.ListNew(types.I64());
+  int64_t vals[] = {9, 1, 8, 2, 7, 3};
+  for (int64_t v : vals) b.ListAppend(list, b.I64(v));
+  b.ListSortBy(list, [&](Stmt* x, Stmt* y) { return b.Lt(x, y); });
+  b.ListForeach(list, [&](Stmt* e) { b.EmitRow({e}); });
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  EXPECT_EQ(CountOp(prog, BcOp::kListSort), 1);
+  EXPECT_GE(CountOp(prog, BcOp::kRet), 2);  // program end + subroutine
+  ExpectEnginesAgree(&db, fn, "list sort");
+  exec::Interpreter interp(&db);
+  storage::ResultTable r = interp.Run(fn);
+  int64_t expect[] = {1, 2, 3, 7, 8, 9};
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(r.row(i)[0].i, expect[i]);
+}
+
+TEST(BytecodeVm, EmittedStringsAreInterned) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* s = b.StrC("hello world");
+  b.EmitRow({b.StrSubstr(s, 0, 5), b.StrLen(s)});
+  ExpectEnginesAgree(&db, fn, "string interning");
+  exec::Interpreter interp(&db);
+  storage::ResultTable r = interp.Run(fn);
+  EXPECT_STREQ(r.row(0)[0].s, "hello");
+  EXPECT_EQ(r.row(0)[1].i, 11);
+}
+
+// Repeated Run() calls on one Interpreter must reuse the cached program and
+// still produce fresh, correct results.
+TEST(BytecodeVm, RepeatedRunsReuseCachedProgram) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* sum = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(5),
+             [&](Stmt* i) { b.VarAssign(sum, b.Add(b.VarRead(sum), i)); });
+  b.EmitRow({b.VarRead(sum)});
+  exec::Interpreter interp(&db);
+  for (int rep = 0; rep < 3; ++rep) {
+    storage::ResultTable r = interp.Run(fn);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.row(0)[0].i, 10) << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace qc
