@@ -96,10 +96,11 @@ class Harness {
   // selected engine — the dual-engine "interpreted" rows of Table 3. The
   // first repetition's Run() pays bytecode translation (the program is
   // cached inside the Interpreter afterwards); best-of-N over >= 2 reps
-  // reports steady-state execution.
+  // reports steady-state execution. `threads` > 1 runs qualifying scan
+  // loops morsel-parallel (exec/parallel.h); results are bit-identical.
   InterpRun RunInterp(int query, const compiler::StackConfig& cfg,
                       exec::InterpOptions::Engine engine,
-                      int repetitions = 3) {
+                      int repetitions = 3, int threads = 1) {
     InterpRun out;
     qplan::PlanPtr plan = tpch::MakeQuery(query);
     qplan::ResolvePlan(plan.get(), db_);
@@ -113,6 +114,7 @@ class Harness {
 
     exec::InterpOptions opts;
     opts.engine = engine;
+    opts.num_threads = threads;
     exec::Interpreter interp(&db_, opts);
     double best = 1e300;
     for (int r = 0; r < repetitions; ++r) {
@@ -151,6 +153,31 @@ inline std::string BenchJsonPath(const std::string& default_name) {
   const char* v = std::getenv("QC_BENCH_JSON");
   if (v == nullptr || v[0] == '\0' || (v[0] == '0' && v[1] == '\0')) return "";
   return std::string(v) == "1" ? default_name : std::string(v);
+}
+
+// Thread counts for the interpreter rows: QC_BENCH_THREADS is a
+// comma-separated list (e.g. "1,2,4"); default is sequential only. Each
+// count produces one measurement row per query.
+inline std::vector<int> BenchThreadCounts() {
+  std::vector<int> counts;
+  const char* v = std::getenv("QC_BENCH_THREADS");
+  if (v != nullptr) {
+    int cur = 0;
+    bool have = false;
+    for (const char* p = v;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        cur = cur * 10 + (*p - '0');
+        have = true;
+      } else if (*p == ',' || *p == '\0') {
+        if (have && cur > 0) counts.push_back(cur);
+        cur = 0;
+        have = false;
+        if (*p == '\0') break;
+      }
+    }
+  }
+  if (counts.empty()) counts.push_back(1);
+  return counts;
 }
 
 }  // namespace qc::bench

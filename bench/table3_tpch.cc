@@ -34,6 +34,7 @@ namespace {
 
 struct Row {
   int query = 0;
+  int threads = 1;
   std::vector<std::pair<std::string, double>> cells;  // column -> ms
 };
 
@@ -47,7 +48,8 @@ void WriteJson(const std::string& path, double sf,
   std::fprintf(f, "{\n  \"bench\": \"table3_tpch\",\n  \"sf\": %g,\n", sf);
   std::fprintf(f, "  \"unit\": \"ms\",\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f, "    {\"query\": %d", rows[i].query);
+    std::fprintf(f, "    {\"query\": %d, \"threads\": %d", rows[i].query,
+                 rows[i].threads);
     for (const auto& [name, ms] : rows[i].cells) {
       std::fprintf(f, ", \"%s\": %.4f", name.c_str(), ms);
     }
@@ -63,6 +65,7 @@ void WriteJson(const std::string& path, double sf,
 int main() {
   double sf = bench::BenchScaleFactor();
   bool interp_only = bench::BenchInterpOnly();
+  std::vector<int> thread_counts = bench::BenchThreadCounts();
   std::printf("=== Table 3: TPC-H performance (ms), SF=%.3f%s ===\n", sf,
               interp_only ? " (interpreters only)" : "");
   bench::Harness harness(sf, "table3");
@@ -98,18 +101,34 @@ int main() {
       row.cells.emplace_back("volcano", ms);
     }
     // The dual-engine IR-interpreter rows: the same 5-level-stack function
-    // on the tree walker and on the bytecode VM.
-    {
-      bench::InterpRun tree = harness.RunInterp(
-          q, StackConfig::Level(5), exec::InterpOptions::Engine::kTreeWalk);
-      bench::InterpRun bc = harness.RunInterp(
-          q, StackConfig::Level(5), exec::InterpOptions::Engine::kBytecode);
-      std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
-      row.cells.emplace_back("ir-tree", tree.query_ms);
-      row.cells.emplace_back("ir-bc", bc.query_ms);
-      if (tree.ok && bc.ok && bc.query_ms > 0) {
-        speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
-        ++speedup_count;
+    // on the tree walker and on the bytecode VM, at each requested thread
+    // count (QC_BENCH_THREADS; one JSON row per count).
+    for (size_t t = 0; t < thread_counts.size(); ++t) {
+      int threads = thread_counts[t];
+      bench::InterpRun tree =
+          harness.RunInterp(q, StackConfig::Level(5),
+                            exec::InterpOptions::Engine::kTreeWalk, 3, threads);
+      bench::InterpRun bc =
+          harness.RunInterp(q, StackConfig::Level(5),
+                            exec::InterpOptions::Engine::kBytecode, 3, threads);
+      if (t == 0) {
+        row.threads = threads;
+        std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
+        row.cells.emplace_back("ir-tree", tree.query_ms);
+        row.cells.emplace_back("ir-bc", bc.query_ms);
+        if (tree.ok && bc.ok && bc.query_ms > 0) {
+          speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
+          ++speedup_count;
+        }
+      } else {
+        Row trow;
+        trow.query = q;
+        trow.threads = threads;
+        trow.cells.emplace_back("ir-tree", tree.query_ms);
+        trow.cells.emplace_back("ir-bc", bc.query_ms);
+        json_rows.push_back(std::move(trow));
+        std::printf("  [t=%d: %0.2f %0.2f]", threads, tree.query_ms,
+                    bc.query_ms);
       }
     }
     double legobase_ms = 0, dblab5_ms = 0;

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fails CI when an interpreter benchmark row regresses.
+
+Compares two BENCH_table3.json artifacts (bench/table3_tpch.cc with
+QC_BENCH_JSON=1): the baseline from the last successful main-branch run and
+the current build. Rows are matched on (query, threads); only the
+in-process interpreter columns (ir-tree, ir-bc) are compared — the native
+columns depend on the host compiler and are tracked, not gated.
+
+A cell fails when current > baseline * (1 + threshold). Cells faster than
+--min-ms in the baseline are skipped: CI timing jitter on sub-millisecond
+queries would make the gate flaky.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json \
+      [--threshold 0.25] [--min-ms 1.0]
+"""
+
+import argparse
+import json
+import sys
+
+INTERP_COLUMNS = ("ir-tree", "ir-bc")
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("rows", []):
+        key = (row.get("query"), row.get("threads", 1))
+        rows[key] = row
+    return data, rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative slowdown (0.25 = 25%%)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="skip cells below this baseline time")
+    args = ap.parse_args()
+
+    base_meta, base = load_rows(args.baseline)
+    cur_meta, cur = load_rows(args.current)
+
+    if base_meta.get("sf") != cur_meta.get("sf"):
+        print(f"scale factors differ (baseline sf={base_meta.get('sf')}, "
+              f"current sf={cur_meta.get('sf')}); skipping comparison")
+        return 0
+
+    regressions = []
+    compared = 0
+    for key, brow in sorted(base.items()):
+        crow = cur.get(key)
+        if crow is None:
+            continue
+        for col in INTERP_COLUMNS:
+            b = brow.get(col)
+            c = crow.get(col)
+            if b is None or c is None or b < args.min_ms or b <= 0 or c <= 0:
+                continue
+            compared += 1
+            if c > b * (1.0 + args.threshold):
+                regressions.append(
+                    f"Q{key[0]} threads={key[1]} {col}: "
+                    f"{b:.2f}ms -> {c:.2f}ms (+{100.0 * (c / b - 1.0):.0f}%)")
+
+    print(f"compared {compared} interpreter cells "
+          f"(threshold +{args.threshold * 100:.0f}%, "
+          f"min {args.min_ms}ms)")
+    if regressions:
+        print("interpreter-row regressions:")
+        for r in regressions:
+            print("  " + r)
+        return 1
+    print("no interpreter-row regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

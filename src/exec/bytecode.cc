@@ -178,6 +178,7 @@ std::string Disassemble(const BytecodeProgram& prog) {
       case BcOp::kJgeI:
       case BcOp::kForNext:
       case BcOp::kIncJmp:
+      case BcOp::kParLoop:
 #define QC_BC_DIS_JMP(name) case BcOp::name:
         QC_BC_DIS_JMP(kJnEqI) QC_BC_DIS_JMP(kJnNeI) QC_BC_DIS_JMP(kJnLtI)
         QC_BC_DIS_JMP(kJnLeI) QC_BC_DIS_JMP(kJnGtI) QC_BC_DIS_JMP(kJnGeI)
@@ -296,15 +297,43 @@ void BytecodeCompiler::EmitMovOrRetarget(uint32_t dst, const Stmt* src) {
   Emit(BcOp::kMov, dst, Reg(src));
 }
 
-BytecodeProgram BytecodeCompiler::Compile(const ir::Function& fn) {
+BytecodeProgram BytecodeCompiler::Compile(const ir::Function& fn,
+                                          const ir::ParallelInfo* par) {
   prog_ = BytecodeProgram();
   num_regs_ = static_cast<uint32_t>(fn.num_stmts());
   uses_ = ir::ComputeUseCounts(fn);
   alias_.clear();
   last_value_stmt_ = nullptr;
+  par_info_ = par;
+  par_ = nullptr;
+  pending_par_.clear();
+  fuse_skip_.clear();
   prog_.emit_types = EmitRowTypes(fn);
   CompileBlock(fn.body());
   Emit(BcOp::kRet);
+  // Morsel body fragments of the parallelizable loops, after the main
+  // stream: same body compilation with the f64-sum clusters replaced by
+  // kLogRow appends (the plan's action table), bounds in two fresh
+  // registers the runtime writes per morsel.
+  for (const auto& [loop, idx] : pending_par_) {
+    ParLoopCode& plc = prog_.par_loops[idx];
+    par_ = plc.plan;
+    last_value_stmt_ = nullptr;
+    const Block* body = loop->blocks[0];
+    uint32_t ivar = Reg(body->params[0]);
+    plc.entry = static_cast<uint32_t>(prog_.code.size());
+    plc.lo_reg = NewTemp();
+    plc.hi_reg = NewTemp();
+    Emit(BcOp::kMov, ivar, plc.lo_reg);
+    size_t guard = Emit(BcOp::kJgeI, ivar, plc.hi_reg);
+    size_t body_start = prog_.code.size();
+    CompileBlock(body);
+    Emit(BcOp::kForNext, ivar, plc.hi_reg, 0, OffsetTo(body_start));
+    PatchToHere(guard);
+    Emit(BcOp::kRet);
+    par_ = nullptr;
+  }
+  par_info_ = nullptr;
   prog_.num_regs = num_regs_;
   return std::move(prog_);
 }
@@ -316,10 +345,17 @@ void BytecodeCompiler::CompileBlock(const Block* b) {
   last_value_stmt_ = nullptr;
   // Preset-only statements emit no instructions; compile them up front
   // (their values are position-independent) and pattern-match over the
-  // instruction-producing rest.
+  // instruction-producing rest. In a morsel fragment, statements folded
+  // into an addend log (ir::ParAction::kSkip) vanish here, as do condition
+  // statements folded into a fused while-exit branch.
   std::vector<const Stmt*> real;
   real.reserve(b->stmts.size());
   for (const Stmt* s : b->stmts) {
+    if (par_ != nullptr &&
+        par_->actions[s->id] == ir::ParAction::kSkip) {
+      continue;
+    }
+    if (!fuse_skip_.empty() && Contains(fuse_skip_, s)) continue;
     if (IsTransparent(s)) {
       CompileStmt(s);
     } else {
@@ -348,6 +384,11 @@ void BytecodeCompiler::CompileBlock(const Block* b) {
   }
   for (size_t i = 0; i < real.size(); ++i) {
     const Stmt* s = real[i];
+    if (par_ != nullptr && par_->actions[s->id] == ir::ParAction::kLog) {
+      EmitLogRow(s);
+      last_value_stmt_ = nullptr;
+      continue;
+    }
     size_t consumed = TryFuseBranch(real, i, b->result);
     if (consumed == 0) consumed = TryFuseAccumulate(real, i);
     if (consumed > 0) {
@@ -635,6 +676,88 @@ uint32_t BytecodeCompiler::CompileSubroutine(const Block* b) {
   return entry;
 }
 
+size_t BytecodeCompiler::EmitWhileExit(const Block* b) {
+  const Stmt* res = b->result;
+  auto in_b = [&](const Stmt* s) {
+    for (const Stmt* t : b->stmts) {
+      if (t == s) return true;
+    }
+    return false;
+  };
+  // Decide the fusible tail: the condition statements whose only consumer
+  // is the loop-exit test fold into the branch instead of materializing a
+  // boolean (the hash-chain probe idiom `while (!is_null(cur))` becomes a
+  // single kJz on the chain variable).
+  std::vector<const Stmt*> skip;
+  enum class Shape { kNone, kExitIfZero, kExitIfNonZero, kCmp } shape =
+      Shape::kNone;
+  const Stmt* lhs = nullptr;
+  const Stmt* rhs = nullptr;
+  Op cmp = Op::kEq;
+  if (res != nullptr && in_b(res) && uses_[res->id] == 1) {
+    if (res->op == Op::kNot) {
+      const Stmt* inner = res->args[0];
+      if (inner->op == Op::kIsNull && in_b(inner) && uses_[inner->id] == 1) {
+        // while (!is_null(p)): exit when p is null.
+        skip = {res, inner};
+        lhs = inner->args[0];
+        // A single-use var_read feeding only the test folds away too.
+        if (lhs->op == Op::kVarRead && in_b(lhs) && uses_[lhs->id] == 1) {
+          skip.push_back(lhs);
+          lhs = lhs->args[0];
+        }
+        shape = Shape::kExitIfZero;
+      } else {
+        // while (!x): exit when x is true.
+        skip = {res};
+        lhs = inner;
+        shape = Shape::kExitIfNonZero;
+      }
+    } else if (res->op == Op::kIsNull) {
+      // while (is_null(p)): exit when p is non-null.
+      skip = {res};
+      lhs = res->args[0];
+      shape = Shape::kExitIfNonZero;
+    } else if (IsCmp(res->op) &&
+               res->args[0]->type->kind != TypeKind::kStr) {
+      skip = {res};
+      lhs = res->args[0];
+      rhs = res->args[1];
+      cmp = res->op;
+      shape = Shape::kCmp;
+    }
+  }
+  if (shape == Shape::kNone) {
+    CompileBlock(b);
+    return Emit(BcOp::kJz, Reg(res));
+  }
+  size_t save = fuse_skip_.size();
+  for (const Stmt* s : skip) fuse_skip_.push_back(s);
+  CompileBlock(b);
+  fuse_skip_.resize(save);
+  prog_.fused += static_cast<int>(skip.size());
+  switch (shape) {
+    case Shape::kExitIfZero:
+      return Emit(BcOp::kJz, Reg(lhs));
+    case Shape::kExitIfNonZero:
+      return Emit(BcOp::kJnz, Reg(lhs));
+    default:
+      return Emit(
+          CmpBranchOp(cmp, res->args[0]->type->kind == TypeKind::kF64),
+          Reg(lhs), Reg(rhs));
+  }
+}
+
+void BytecodeCompiler::EmitLogRow(const Stmt* s) {
+  int ci = par_->action_channel[s->id];
+  const ir::ParLogChannel& ch = par_->logs[ci];
+  std::vector<uint32_t> regs;
+  if (ch.handle != nullptr) regs.push_back(Reg(ch.handle));
+  for (const Stmt* v : ch.values) regs.push_back(Reg(v));
+  Emit(BcOp::kLogRow, static_cast<uint32_t>(ci), ExtraList(regs), 0, 0,
+       static_cast<uint16_t>(regs.size()));
+}
+
 bool BytecodeCompiler::TryFuseColScan(const Stmt* s, const Stmt* next) {
   if (s->op != Op::kColGet || next == nullptr) return false;
   switch (next->op) {
@@ -830,18 +953,43 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       const Block* body = s->blocks[0];
       uint32_t ivar = Reg(body->params[0]);
       uint32_t hi = Reg(s->args[1]);
+      // Parallelizable top-level scan loop: a kParLoop header that, when a
+      // worker pool is attached and the runtime gates pass, executes the
+      // loop morsel-parallel and skips the sequential code that follows.
+      size_t par_j = static_cast<size_t>(-1);
+      if (par_info_ != nullptr && par_ == nullptr) {
+        const ir::ParLoop* plan = par_info_->Find(s);
+        if (plan != nullptr) {
+          par_j = Emit(BcOp::kParLoop,
+                       static_cast<uint32_t>(prog_.par_loops.size()));
+          ParLoopCode plc;
+          plc.plan = plan;
+          plc.src_lo_reg = Reg(s->args[0]);
+          plc.src_hi_reg = hi;
+          for (const ir::ParReduction& r : plan->reductions) {
+            plc.red_regs.push_back(Reg(r.target));
+            plc.red_size_regs.push_back(r.size != nullptr ? Reg(r.size) : 0);
+          }
+          for (const ir::ParLogChannel& ch : plan->logs) {
+            plc.channel_var_regs.push_back(ch.var != nullptr ? Reg(ch.var)
+                                                             : 0);
+          }
+          prog_.par_loops.push_back(std::move(plc));
+          pending_par_.emplace_back(s, prog_.par_loops.size() - 1);
+        }
+      }
       Emit(BcOp::kMov, ivar, Reg(s->args[0]));
       size_t guard = Emit(BcOp::kJgeI, ivar, hi);
       size_t body_start = prog_.code.size();
       CompileBlock(body);
       Emit(BcOp::kForNext, ivar, hi, 0, OffsetTo(body_start));
       PatchToHere(guard);
+      if (par_j != static_cast<size_t>(-1)) PatchToHere(par_j);
       return;
     }
     case Op::kWhile: {
       size_t cond_start = prog_.code.size();
-      CompileBlock(s->blocks[0]);
-      size_t exit_j = Emit(BcOp::kJz, Reg(s->blocks[0]->result));
+      size_t exit_j = EmitWhileExit(s->blocks[0]);
       CompileBlock(s->blocks[1]);
       Emit(BcOp::kJmp, 0, 0, 0, OffsetTo(cond_start));
       PatchToHere(exit_j);
@@ -1057,6 +1205,7 @@ storage::ResultTable BytecodeVM::Run(const BytecodeProgram& prog) {
   // Release the previous run's working set (emitted rows own their strings,
   // so nothing in an already-returned result points in here). Stats keep
   // accumulating: they account lifetime totals, like the tree walker's.
+  if (par_eng_ != nullptr) par_eng_->ReleaseRun();
   lists_.clear();
   arrays_.clear();
   maps_.clear();
@@ -1067,13 +1216,57 @@ storage::ResultTable BytecodeVM::Run(const BytecodeProgram& prog) {
   for (const auto& p : prog.presets) regs_[p.first] = p.second;
   out_ = storage::ResultTable();
   out_.SetTypes(prog.emit_types);
-  Exec(0);
+  parallel::ExecState st;
+  st.regs = regs_.data();
+  st.stats = stats_;
+  st.records = &records_;
+  st.lists = &lists_;
+  st.arrays = &arrays_;
+  st.maps = &maps_;
+  st.mmaps = &mmaps_;
+  st.strings = &strings_;
+  st.out = &out_;
+  Exec(st, 0);
   return std::move(out_);
 }
 
-void BytecodeVM::Exec(uint32_t pc) {
+bool BytecodeVM::TryParallelLoop(parallel::ExecState& st,
+                                 const ParLoopCode& plc) {
+  parallel::LoopRun run;
+  run.plan = plc.plan;
+  run.lo = st.regs[plc.src_lo_reg].i;
+  run.hi = st.regs[plc.src_hi_reg].i;
+  run.main_regs = st.regs;
+  run.red_regs = &plc.red_regs;
+  run.red_size_regs = &plc.red_size_regs;
+  run.channel_var_regs = &plc.channel_var_regs;
+  run.stats = st.stats;
+  run.out = st.out;
+  run.emit_types = &prog_->emit_types;
+  // Snapshot of the register file at loop entry: workers must not read the
+  // live file — the merge (overlapped with the scan) updates accumulator
+  // registers in it concurrently.
+  std::vector<Slot> entry_regs(st.regs, st.regs + prog_->num_regs);
+  run.body = [this, &entry_regs, &plc](int64_t mlo, int64_t mhi,
+                                       parallel::MorselState& ms) {
+    // Worker-private register file: the file at loop entry (loop
+    // invariants, presets, pre-resolved handles) with the reduction
+    // targets rebound to the morsel's private instances.
+    ms.regs = entry_regs;
+    for (size_t i = 0; i < plc.red_regs.size(); ++i) {
+      ms.regs[plc.red_regs[i]] = ms.priv[i];
+    }
+    ms.regs[plc.lo_reg] = SlotI(mlo);
+    ms.regs[plc.hi_reg] = SlotI(mhi);
+    parallel::ExecState ws = ms.MakeState();
+    Exec(ws, plc.entry);
+  };
+  return parallel::RunForRange(*par_eng_, run);
+}
+
+void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
   const Insn* code = prog_->code.data();
-  Slot* R = regs_.data();
+  Slot* R = st.regs;
   const Insn* I = nullptr;
 
 #if QC_BC_USE_CGOTO
@@ -1213,12 +1406,12 @@ void BytecodeVM::Exec(uint32_t pc) {
     size_t len = std::strlen(str);
     size_t start = std::min<size_t>(I->c, len);
     size_t cnt = std::min<size_t>(I->d, len - start);
-    R[I->a] = SlotS(Intern(std::string(str + start, cnt)));
+    R[I->a] = SlotS(Intern(st, std::string(str + start, cnt)));
   }
   DISPATCH();
 
   TARGET(kRecNew) {
-    Slot* rec = records_.AllocHeap(I->n);
+    Slot* rec = st.records->AllocHeap(I->n);
     const uint32_t* argv = &prog_->extra[I->b];
     for (uint16_t i = 0; i < I->n; ++i) rec[i] = R[argv[i]];
     R[I->a] = SlotP(rec);
@@ -1229,11 +1422,11 @@ void BytecodeVM::Exec(uint32_t pc) {
   TARGET(kRecSet) { static_cast<Slot*>(R[I->a].p)[I->b] = R[I->c]; }
   DISPATCH();
   TARGET(kPoolAlloc) {
-    R[I->a] = SlotP(records_.AllocPool(static_cast<size_t>(R[I->b].i)));
+    R[I->a] = SlotP(st.records->AllocPool(static_cast<size_t>(R[I->b].i)));
   }
   DISPATCH();
   TARGET(kPoolRecNew) {
-    Slot* rec = records_.AllocPool(I->n);
+    Slot* rec = st.records->AllocPool(I->n);
     const uint32_t* argv = &prog_->extra[I->b];
     for (uint16_t i = 0; i < I->n; ++i) rec[i] = R[argv[i]];
     R[I->a] = SlotP(rec);
@@ -1241,21 +1434,21 @@ void BytecodeVM::Exec(uint32_t pc) {
   DISPATCH();
 
   TARGET(kArrNew) {
-    arrays_.emplace_back();
-    RtArray& arr = arrays_.back();
+    st.arrays->emplace_back();
+    RtArray& arr = st.arrays->back();
     int64_t n = R[I->b].i;
     arr.data.assign(n, SlotI(0));
-    stats_->vector_bytes += n * sizeof(Slot);
+    st.stats->vector_bytes += n * sizeof(Slot);
     R[I->a] = SlotP(&arr);
   }
   DISPATCH();
   TARGET(kMallocArr) {
-    arrays_.emplace_back();
-    RtArray& arr = arrays_.back();
+    st.arrays->emplace_back();
+    RtArray& arr = st.arrays->back();
     int64_t n = R[I->b].i;
     arr.data.assign(n, SlotI(0));
-    stats_->heap_bytes += n * sizeof(Slot);
-    ++stats_->heap_allocs;
+    st.stats->heap_bytes += n * sizeof(Slot);
+    ++st.stats->heap_allocs;
     R[I->a] = SlotP(&arr);
   }
   DISPATCH();
@@ -1281,22 +1474,22 @@ void BytecodeVM::Exec(uint32_t pc) {
                      [&](Slot x, Slot y) {
                        R[ps[0]] = x;
                        R[ps[1]] = y;
-                       Exec(entry);
+                       Exec(st, entry);
                        return R[ps[2]].i != 0;
                      });
   }
   DISPATCH();
 
   TARGET(kListNew) {
-    lists_.emplace_back();
-    R[I->a] = SlotP(&lists_.back());
+    st.lists->emplace_back();
+    R[I->a] = SlotP(&st.lists->back());
   }
   DISPATCH();
   TARGET(kListAppend) {
     RtList* l = static_cast<RtList*>(R[I->a].p);
     size_t before = l->items.capacity();
     l->items.push_back(R[I->b]);
-    stats_->vector_bytes += (l->items.capacity() - before) * sizeof(Slot);
+    st.stats->vector_bytes += (l->items.capacity() - before) * sizeof(Slot);
   }
   DISPATCH();
   TARGET(kListSize) {
@@ -1315,15 +1508,15 @@ void BytecodeVM::Exec(uint32_t pc) {
     std::stable_sort(l->items.begin(), l->items.end(), [&](Slot x, Slot y) {
       R[ps[0]] = x;
       R[ps[1]] = y;
-      Exec(entry);
+      Exec(st, entry);
       return R[ps[2]].i != 0;
     });
   }
   DISPATCH();
 
   TARGET(kMapNew) {
-    maps_.emplace_back(prog_->types[I->b], stats_);
-    R[I->a] = SlotP(&maps_.back());
+    st.maps->emplace_back(prog_->types[I->b], st.stats);
+    R[I->a] = SlotP(&st.maps->back());
   }
   DISPATCH();
   TARGET(kMapFind) {
@@ -1357,8 +1550,8 @@ void BytecodeVM::Exec(uint32_t pc) {
   DISPATCH();
 
   TARGET(kMMapNew) {
-    mmaps_.emplace_back(prog_->types[I->b], stats_);
-    R[I->a] = SlotP(&mmaps_.back());
+    st.mmaps->emplace_back(prog_->types[I->b], st.stats);
+    R[I->a] = SlotP(&st.mmaps->back());
   }
   DISPATCH();
   TARGET(kMMapAdd) {
@@ -1479,10 +1672,28 @@ void BytecodeVM::Exec(uint32_t pc) {
     uint32_t mask = I->c;
     for (uint16_t i = 0; i < I->n; ++i) {
       Slot v = R[argv[i]];
-      if (mask & (1u << i)) v = SlotS(out_.InternString(v.s));
+      if (mask & (1u << i)) v = SlotS(st.out->InternString(v.s));
       row.push_back(v);
     }
-    out_.AddRow(std::move(row));
+    st.out->AddRow(std::move(row));
+  }
+  DISPATCH();
+
+  TARGET(kParLoop) {
+    // Parallel header of a morsel-parallelizable scan loop. When a worker
+    // pool is attached and the runtime gates pass, the loop executes
+    // morsel-parallel and the sequential fallback that follows is skipped;
+    // otherwise fall through into it.
+    if (par_eng_ != nullptr && st.morsel == nullptr &&
+        TryParallelLoop(st, prog_->par_loops[I->a])) {
+      pc += I->d;
+    }
+  }
+  DISPATCH();
+  TARGET(kLogRow) {
+    std::vector<Slot>& lg = st.morsel->logs[I->a];
+    const uint32_t* argv = &prog_->extra[I->b];
+    for (uint16_t i = 0; i < I->n; ++i) lg.push_back(R[argv[i]]);
   }
   DISPATCH();
 

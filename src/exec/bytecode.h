@@ -37,7 +37,9 @@
 #include <utility>
 #include <vector>
 
+#include "exec/parallel.h"
 #include "exec/runtime.h"
+#include "ir/parallel.h"
 #include "ir/stmt.h"
 #include "storage/database.h"
 #include "storage/result.h"
@@ -128,7 +130,12 @@ namespace qc::exec {
      arr: a = array reg, b = index reg, c = addend reg. */                  \
   X(kRecAccAddI) X(kRecAccAddF) X(kArrAccAddI) X(kArrAccAddF)               \
   /* result emission: n = arg count, a = extra offset, c = string mask */   \
-  X(kEmit)
+  X(kEmit)                                                                  \
+  /* morsel-parallel scan loops (see exec/parallel.h) */                    \
+  X(kParLoop) /* a = par_loops index; on parallel run: pc += d (skips the  \
+                 sequential loop body that follows as the fallback) */      \
+  X(kLogRow)  /* a = log channel, b = extra offset, n = operand count:     \
+                 append R[extra[b..b+n)] to the morsel's addend log */
 
 enum class BcOp : uint16_t {
 #define QC_BC_OP_ENUM(name) name,
@@ -152,6 +159,22 @@ struct Insn {
 };
 static_assert(sizeof(Insn) == 20, "Insn must stay fixed-width and dense");
 
+// Compiled form of one morsel-parallelizable scan loop: the register
+// bindings the parallel runtime needs, plus the entry pc of the morsel
+// body fragment (compiled after the main stream's kRet, with the f64-sum
+// clusters replaced by kLogRow and terminated by kRet).
+struct ParLoopCode {
+  const ir::ParLoop* plan = nullptr;  // owned by the Interpreter's cache
+  uint32_t entry = 0;                 // morsel body fragment pc
+  uint32_t src_lo_reg = 0;            // loop bounds of the sequential loop
+  uint32_t src_hi_reg = 0;
+  uint32_t lo_reg = 0;  // fragment bounds, written per morsel by the runtime
+  uint32_t hi_reg = 0;
+  std::vector<uint32_t> red_regs;           // per reduction: target register
+  std::vector<uint32_t> red_size_regs;      // per reduction: array capacity
+  std::vector<uint32_t> channel_var_regs;   // per log channel: scalar target
+};
+
 // A compiled program. Owns every payload the instructions reference, so a
 // program outlives the Function it was compiled from — but NOT the Database:
 // column/index pointers are pre-resolved into `ptrs`.
@@ -167,6 +190,7 @@ struct BytecodeProgram {
   std::vector<std::string> patterns;     // kStrLike patterns
   std::deque<std::string> strings;       // owned string constants (stable)
   std::vector<storage::ColType> emit_types;
+  std::vector<ParLoopCode> par_loops;  // morsel-parallelizable scan loops
   uint32_t num_regs = 0;
   int fused = 0;  // number of super-instructions formed (introspection)
 };
@@ -187,7 +211,12 @@ class BytecodeCompiler {
  public:
   explicit BytecodeCompiler(storage::Database* db) : db_(db) {}
 
-  BytecodeProgram Compile(const ir::Function& fn);
+  // When `par` is non-null, every loop it lists compiles to a kParLoop
+  // header (taken on parallel runs) followed by the plain sequential loop
+  // (the fallback), plus a morsel body fragment after the main stream.
+  // `par` must outlive the program.
+  BytecodeProgram Compile(const ir::Function& fn,
+                          const ir::ParallelInfo* par = nullptr);
 
  private:
   uint32_t Reg(const ir::Stmt* s) const;
@@ -238,11 +267,27 @@ class BytecodeCompiler {
   // Compiles a comparator block as a skipped-over subroutine; returns its
   // entry pc.
   uint32_t CompileSubroutine(const ir::Block* b);
+  // While-condition branch fusion: emits the loop-exit branch for the
+  // condition block without materializing its boolean result when the
+  // result is a fusible tail (Not(IsNull(p)), IsNull, Not, or a numeric
+  // comparison). Returns the branch's pc (to be patched to the loop exit).
+  size_t EmitWhileExit(const ir::Block* cond);
+  // Appends one addend-log entry for a morsel fragment (ir::ParAction::kLog).
+  void EmitLogRow(const ir::Stmt* s);
 
   storage::Database* db_;
   BytecodeProgram prog_;
   std::vector<int> uses_;
   uint32_t num_regs_ = 0;
+  // Parallel compilation state: the analysis for the whole function, the
+  // plan of the morsel fragment currently being compiled (null in the main
+  // stream), and the loops whose fragments are emitted after the main kRet.
+  const ir::ParallelInfo* par_info_ = nullptr;
+  const ir::ParLoop* par_ = nullptr;
+  std::vector<std::pair<const ir::Stmt*, size_t>> pending_par_;
+  // Statements folded into a fused while-exit branch (skipped when the
+  // condition block is compiled).
+  std::vector<const ir::Stmt*> fuse_skip_;
   // Copy propagation: statement id -> register it aliases (kVarRead
   // forwarding), and retargeting state for write-back elimination.
   std::unordered_map<int, uint32_t> alias_;
@@ -253,23 +298,35 @@ class BytecodeCompiler {
 // Executes compiled programs. Owns the runtime heap (lists, arrays, maps,
 // records) exactly like the tree walker does, and threads the same
 // AllocStats so Figure 8 memory accounting is engine-independent.
+//
+// All per-run mutable state is reached through a parallel::ExecState, so
+// the same Exec() runs the main program on the VM's own state and morsel
+// body fragments on worker-private MorselStates, concurrently.
 class BytecodeVM {
  public:
   explicit BytecodeVM(AllocStats* stats) : stats_(stats), records_(stats) {}
 
   storage::ResultTable Run(const BytecodeProgram& prog);
 
- private:
-  void Exec(uint32_t pc);
+  // Enables kParLoop dispatch onto the given pool (owned by the caller);
+  // null keeps every loop on the sequential fallback path.
+  void SetParallel(parallel::Engine* eng) { par_eng_ = eng; }
 
-  const char* Intern(std::string s) {
-    strings_.push_back(std::move(s));
-    return strings_.back().c_str();
+ private:
+  void Exec(parallel::ExecState& st, uint32_t pc);
+  // Runs one parallelizable loop on the worker pool; false = run the
+  // sequential fallback instead.
+  bool TryParallelLoop(parallel::ExecState& st, const ParLoopCode& plc);
+
+  static const char* Intern(parallel::ExecState& st, std::string s) {
+    st.strings->push_back(std::move(s));
+    return st.strings->back().c_str();
   }
 
   const BytecodeProgram* prog_ = nullptr;
   AllocStats* stats_;
   RecordHeap records_;
+  parallel::Engine* par_eng_ = nullptr;
   std::vector<Slot> regs_;
   std::deque<RtList> lists_;
   std::deque<RtArray> arrays_;

@@ -20,8 +20,12 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
     auto it = programs_.find(&fn);
     if (it == programs_.end() || it->second.fn_name != fn.name() ||
         it->second.num_stmts != fn.num_stmts()) {
-      CachedProgram cached{fn.name(), fn.num_stmts(),
-                           BytecodeCompiler(db_).Compile(fn)};
+      CachedProgram cached;
+      cached.fn_name = fn.name();
+      cached.num_stmts = fn.num_stmts();
+      if (par_ != nullptr) cached.par = ir::AnalyzeParallelism(fn);
+      cached.prog = BytecodeCompiler(db_).Compile(
+          fn, par_ != nullptr ? &cached.par : nullptr);
       it = programs_.insert_or_assign(&fn, std::move(cached)).first;
     }
     return vm_.Run(it->second.prog);
@@ -35,11 +39,14 @@ storage::ResultTable Interpreter::RunTreeWalk(const ir::Function& fn) {
   if (prepared_fn_ != &fn || prepared_name_ != fn.name() ||
       prepared_stmts_ != fn.num_stmts()) {
     emit_types_ = EmitRowTypes(fn);
+    tw_par_ = par_ != nullptr ? ir::AnalyzeParallelism(fn)
+                              : ir::ParallelInfo();
     prepared_fn_ = &fn;
     prepared_name_ = fn.name();
     prepared_stmts_ = fn.num_stmts();
   }
   // Release the previous run's working set (results own their strings).
+  if (par_ != nullptr) par_->ReleaseRun();
   lists_.clear();
   arrays_.clear();
   maps_.clear();
@@ -49,32 +56,115 @@ storage::ResultTable Interpreter::RunTreeWalk(const ir::Function& fn) {
   regs_.assign(fn.num_stmts(), SlotI(0));
   out_ = storage::ResultTable();
   out_.SetTypes(emit_types_);
-  ExecBlock(fn.body());
+  parallel::ExecState st;
+  st.regs = regs_.data();
+  st.stats = &stats_;
+  st.records = &records_;
+  st.lists = &lists_;
+  st.arrays = &arrays_;
+  st.maps = &maps_;
+  st.mmaps = &mmaps_;
+  st.strings = &strings_;
+  st.out = &out_;
+  ExecBlock(st, fn.body());
   return std::move(out_);
 }
 
-void Interpreter::ExecBlock(const Block* b) {
-  for (const Stmt* s : b->stmts) ExecStmt(s);
+void Interpreter::ExecBlock(parallel::ExecState& st, const Block* b) {
+  if (st.par == nullptr) {
+    for (const Stmt* s : b->stmts) ExecStmt(st, s);
+    return;
+  }
+  // Morsel mode: the action table skips the f64-sum clusters and appends
+  // their addends to the morsel's log instead.
+  for (const Stmt* s : b->stmts) {
+    switch (st.par->actions[s->id]) {
+      case ir::ParAction::kSkip:
+        break;
+      case ir::ParAction::kLog:
+        AppendLog(st, s);
+        break;
+      case ir::ParAction::kNormal:
+        ExecStmt(st, s);
+        break;
+    }
+  }
 }
 
-bool Interpreter::BlockCond(const Block* b) {
-  ExecBlock(b);
-  return Val(b->result).i != 0;
+void Interpreter::AppendLog(parallel::ExecState& st, const Stmt* s) {
+  const ir::ParLogChannel& ch =
+      st.par->logs[st.par->action_channel[s->id]];
+  std::vector<Slot>& lg = st.morsel->logs[st.par->action_channel[s->id]];
+  if (ch.handle != nullptr) lg.push_back(Val(st, ch.handle));
+  for (const Stmt* v : ch.values) lg.push_back(Val(st, v));
 }
 
-void Interpreter::ExecStmt(const Stmt* s) {
+bool Interpreter::BlockCond(parallel::ExecState& st, const Block* b) {
+  ExecBlock(st, b);
+  return Val(st, b->result).i != 0;
+}
+
+bool Interpreter::TreeParallelLoop(parallel::ExecState& st,
+                                   const ir::ParLoop& plan, const Stmt* s) {
+  // Statement ids are the tree walker's registers, so the bindings the
+  // runtime needs are read straight off the plan.
+  std::vector<uint32_t> red_regs;
+  std::vector<uint32_t> red_size_regs;
+  std::vector<uint32_t> channel_var_regs;
+  for (const ir::ParReduction& r : plan.reductions) {
+    red_regs.push_back(static_cast<uint32_t>(r.target->id));
+    red_size_regs.push_back(
+        r.size != nullptr ? static_cast<uint32_t>(r.size->id) : 0);
+  }
+  for (const ir::ParLogChannel& ch : plan.logs) {
+    channel_var_regs.push_back(
+        ch.var != nullptr ? static_cast<uint32_t>(ch.var->id) : 0);
+  }
+  const Block* body = s->blocks[0];
+  const Stmt* ivar = body->params[0];
+  // Snapshot of the register file at loop entry: the overlapped merge
+  // updates accumulator registers in the live file while workers start.
+  std::vector<Slot> entry_regs(st.regs, st.regs + regs_.size());
+
+  parallel::LoopRun run;
+  run.plan = &plan;
+  run.lo = Val(st, s->args[0]).i;
+  run.hi = Val(st, s->args[1]).i;
+  run.main_regs = st.regs;
+  run.red_regs = &red_regs;
+  run.red_size_regs = &red_size_regs;
+  run.channel_var_regs = &channel_var_regs;
+  run.stats = st.stats;
+  run.out = st.out;
+  run.emit_types = &emit_types_;
+  run.body = [&](int64_t mlo, int64_t mhi, parallel::MorselState& ms) {
+    ms.regs = entry_regs;
+    for (size_t i = 0; i < red_regs.size(); ++i) {
+      ms.regs[red_regs[i]] = ms.priv[i];
+    }
+    parallel::ExecState ws = ms.MakeState();
+    ws.par = &plan;
+    for (int64_t i = mlo; i < mhi; ++i) {
+      ws.regs[ivar->id] = SlotI(i);
+      ExecBlock(ws, body);
+    }
+  };
+  return parallel::RunForRange(*par_, run);
+}
+
+void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
   switch (s->op) {
     case Op::kConst:
       if (s->type->kind == TypeKind::kStr) {
-        Set(s, SlotS(s->sval.c_str()));
+        Set(st, s, SlotS(s->sval.c_str()));
       } else if (s->type->kind == TypeKind::kF64) {
-        Set(s, SlotD(s->fval));
+        Set(st, s, SlotD(s->fval));
       } else {
-        Set(s, SlotI(s->ival));
+        Set(st, s, SlotI(s->ival));
       }
       break;
     case Op::kNull:
-      Set(s, SlotP(nullptr));
+      Set(st, s, SlotP(nullptr));
       break;
 
     case Op::kAdd:
@@ -82,7 +172,7 @@ void Interpreter::ExecStmt(const Stmt* s) {
     case Op::kMul:
     case Op::kDiv:
     case Op::kMod: {
-      Slot a = Val(s->args[0]), b = Val(s->args[1]);
+      Slot a = Val(st, s->args[0]), b = Val(st, s->args[1]);
       if (s->type->kind == TypeKind::kF64) {
         double r = 0;
         switch (s->op) {
@@ -92,7 +182,7 @@ void Interpreter::ExecStmt(const Stmt* s) {
           case Op::kDiv: r = a.d / b.d; break;
           default: std::abort();
         }
-        Set(s, SlotD(r));
+        Set(st, s, SlotD(r));
       } else {
         int64_t r = 0;
         switch (s->op) {
@@ -103,25 +193,26 @@ void Interpreter::ExecStmt(const Stmt* s) {
           case Op::kMod: r = b.i == 0 ? 0 : a.i % b.i; break;
           default: std::abort();
         }
-        Set(s, SlotI(r));
+        Set(st, s, SlotI(r));
       }
       break;
     }
     case Op::kNeg: {
-      Slot a = Val(s->args[0]);
-      Set(s, s->type->kind == TypeKind::kF64 ? SlotD(-a.d) : SlotI(-a.i));
+      Slot a = Val(st, s->args[0]);
+      Set(st, s,
+          s->type->kind == TypeKind::kF64 ? SlotD(-a.d) : SlotI(-a.i));
       break;
     }
     case Op::kCast: {
-      Slot a = Val(s->args[0]);
+      Slot a = Val(st, s->args[0]);
       TypeKind from = s->args[0]->type->kind;
       TypeKind to = s->type->kind;
       if (from == TypeKind::kF64 && to != TypeKind::kF64) {
-        Set(s, SlotI(static_cast<int64_t>(a.d)));
+        Set(st, s, SlotI(static_cast<int64_t>(a.d)));
       } else if (from != TypeKind::kF64 && to == TypeKind::kF64) {
-        Set(s, SlotD(static_cast<double>(a.i)));
+        Set(st, s, SlotD(static_cast<double>(a.i)));
       } else {
-        Set(s, a);
+        Set(st, s, a);
       }
       break;
     }
@@ -132,7 +223,7 @@ void Interpreter::ExecStmt(const Stmt* s) {
     case Op::kLe:
     case Op::kGt:
     case Op::kGe: {
-      Slot a = Val(s->args[0]), b = Val(s->args[1]);
+      Slot a = Val(st, s->args[0]), b = Val(st, s->args[1]);
       bool r = false;
       if (s->args[0]->type->kind == TypeKind::kF64) {
         switch (s->op) {
@@ -155,291 +246,329 @@ void Interpreter::ExecStmt(const Stmt* s) {
           default: break;
         }
       }
-      Set(s, SlotI(r ? 1 : 0));
+      Set(st, s, SlotI(r ? 1 : 0));
       break;
     }
 
     case Op::kAnd:
-      Set(s, SlotI(Val(s->args[0]).i != 0 && Val(s->args[1]).i != 0 ? 1 : 0));
+      Set(st, s,
+          SlotI(Val(st, s->args[0]).i != 0 && Val(st, s->args[1]).i != 0
+                    ? 1
+                    : 0));
       break;
     case Op::kOr:
-      Set(s, SlotI(Val(s->args[0]).i != 0 || Val(s->args[1]).i != 0 ? 1 : 0));
+      Set(st, s,
+          SlotI(Val(st, s->args[0]).i != 0 || Val(st, s->args[1]).i != 0
+                    ? 1
+                    : 0));
       break;
     case Op::kNot:
-      Set(s, SlotI(Val(s->args[0]).i == 0 ? 1 : 0));
+      Set(st, s, SlotI(Val(st, s->args[0]).i == 0 ? 1 : 0));
       break;
     case Op::kBitAnd:
-      Set(s, SlotI(Val(s->args[0]).i & Val(s->args[1]).i));
+      Set(st, s, SlotI(Val(st, s->args[0]).i & Val(st, s->args[1]).i));
       break;
 
     case Op::kStrEq:
-      Set(s, SlotI(std::strcmp(Val(s->args[0]).s, Val(s->args[1]).s) == 0));
+      Set(st, s,
+          SlotI(std::strcmp(Val(st, s->args[0]).s, Val(st, s->args[1]).s) ==
+                0));
       break;
     case Op::kStrNe:
-      Set(s, SlotI(std::strcmp(Val(s->args[0]).s, Val(s->args[1]).s) != 0));
+      Set(st, s,
+          SlotI(std::strcmp(Val(st, s->args[0]).s, Val(st, s->args[1]).s) !=
+                0));
       break;
     case Op::kStrLt:
-      Set(s, SlotI(std::strcmp(Val(s->args[0]).s, Val(s->args[1]).s) < 0));
+      Set(st, s,
+          SlotI(std::strcmp(Val(st, s->args[0]).s, Val(st, s->args[1]).s) <
+                0));
       break;
     case Op::kStrStartsWith:
-      Set(s, SlotI(StrStartsWith(Val(s->args[0]).s, Val(s->args[1]).s)));
+      Set(st, s,
+          SlotI(StrStartsWith(Val(st, s->args[0]).s, Val(st, s->args[1]).s)));
       break;
     case Op::kStrEndsWith:
-      Set(s, SlotI(StrEndsWith(Val(s->args[0]).s, Val(s->args[1]).s)));
+      Set(st, s,
+          SlotI(StrEndsWith(Val(st, s->args[0]).s, Val(st, s->args[1]).s)));
       break;
     case Op::kStrContains:
-      Set(s, SlotI(StrContains(Val(s->args[0]).s, Val(s->args[1]).s)));
+      Set(st, s,
+          SlotI(StrContains(Val(st, s->args[0]).s, Val(st, s->args[1]).s)));
       break;
     case Op::kStrLike:
-      Set(s, SlotI(StrLike(Val(s->args[0]).s, s->sval)));
+      Set(st, s, SlotI(StrLike(Val(st, s->args[0]).s, s->sval)));
       break;
     case Op::kStrLen:
-      Set(s, SlotI(static_cast<int64_t>(std::strlen(Val(s->args[0]).s))));
+      Set(st, s,
+          SlotI(static_cast<int64_t>(std::strlen(Val(st, s->args[0]).s))));
       break;
     case Op::kStrSubstr: {
-      const char* str = Val(s->args[0]).s;
+      const char* str = Val(st, s->args[0]).s;
       size_t len = std::strlen(str);
       size_t start = std::min<size_t>(s->aux0, len);
       size_t n = std::min<size_t>(s->aux1, len - start);
-      Set(s, SlotS(Intern(std::string(str + start, n))));
+      Set(st, s, SlotS(Intern(st, std::string(str + start, n))));
       break;
     }
 
     case Op::kVarNew:
-      Set(s, Val(s->args[0]));
+      Set(st, s, Val(st, s->args[0]));
       break;
     case Op::kVarRead:
-      Set(s, Val(s->args[0]));
+      Set(st, s, Val(st, s->args[0]));
       break;
     case Op::kVarAssign:
-      Set(s->args[0], Val(s->args[1]));
+      Set(st, s->args[0], Val(st, s->args[1]));
       break;
 
     case Op::kIf:
-      if (Val(s->args[0]).i != 0) {
-        ExecBlock(s->blocks[0]);
+      if (Val(st, s->args[0]).i != 0) {
+        ExecBlock(st, s->blocks[0]);
       } else if (s->blocks.size() > 1) {
-        ExecBlock(s->blocks[1]);
+        ExecBlock(st, s->blocks[1]);
       }
       break;
     case Op::kForRange: {
-      int64_t lo = Val(s->args[0]).i;
-      int64_t hi = Val(s->args[1]).i;
+      // Qualifying top-level loops run morsel-parallel when a pool is
+      // attached; nested loops and morsel re-entry stay sequential.
+      if (par_ != nullptr && st.morsel == nullptr) {
+        const ir::ParLoop* plan = tw_par_.Find(s);
+        if (plan != nullptr && TreeParallelLoop(st, *plan, s)) break;
+      }
+      int64_t lo = Val(st, s->args[0]).i;
+      int64_t hi = Val(st, s->args[1]).i;
       const Block* body = s->blocks[0];
       const Stmt* ivar = body->params[0];
       for (int64_t i = lo; i < hi; ++i) {
-        Set(ivar, SlotI(i));
-        ExecBlock(body);
+        Set(st, ivar, SlotI(i));
+        ExecBlock(st, body);
       }
       break;
     }
     case Op::kWhile:
-      while (BlockCond(s->blocks[0])) ExecBlock(s->blocks[1]);
+      while (BlockCond(st, s->blocks[0])) ExecBlock(st, s->blocks[1]);
       break;
 
     case Op::kRecNew: {
-      Slot* rec = records_.AllocHeap(s->args.size());
-      for (size_t i = 0; i < s->args.size(); ++i) rec[i] = Val(s->args[i]);
-      Set(s, SlotP(rec));
+      Slot* rec = st.records->AllocHeap(s->args.size());
+      for (size_t i = 0; i < s->args.size(); ++i) rec[i] = Val(st, s->args[i]);
+      Set(st, s, SlotP(rec));
       break;
     }
     case Op::kRecGet:
-      Set(s, static_cast<Slot*>(Val(s->args[0]).p)[s->aux0]);
+      Set(st, s, static_cast<Slot*>(Val(st, s->args[0]).p)[s->aux0]);
       break;
     case Op::kRecSet:
-      static_cast<Slot*>(Val(s->args[0]).p)[s->aux0] = Val(s->args[1]);
+      static_cast<Slot*>(Val(st, s->args[0]).p)[s->aux0] =
+          Val(st, s->args[1]);
       break;
 
     case Op::kArrNew:
     case Op::kMalloc: {
-      arrays_.emplace_back();
-      RtArray& a = arrays_.back();
-      int64_t n = Val(s->args[0]).i;
+      st.arrays->emplace_back();
+      RtArray& a = st.arrays->back();
+      int64_t n = Val(st, s->args[0]).i;
       a.data.assign(n, SlotI(0));
       if (s->op == Op::kMalloc) {
-        stats_.heap_bytes += n * sizeof(Slot);
-        ++stats_.heap_allocs;
+        st.stats->heap_bytes += n * sizeof(Slot);
+        ++st.stats->heap_allocs;
       } else {
-        stats_.vector_bytes += n * sizeof(Slot);
+        st.stats->vector_bytes += n * sizeof(Slot);
       }
-      Set(s, SlotP(&a));
+      Set(st, s, SlotP(&a));
       break;
     }
     case Op::kArrGet:
-      Set(s, static_cast<RtArray*>(Val(s->args[0]).p)
-                 ->data[Val(s->args[1]).i]);
+      Set(st, s,
+          static_cast<RtArray*>(Val(st, s->args[0]).p)
+              ->data[Val(st, s->args[1]).i]);
       break;
     case Op::kArrSet:
-      static_cast<RtArray*>(Val(s->args[0]).p)->data[Val(s->args[1]).i] =
-          Val(s->args[2]);
+      static_cast<RtArray*>(Val(st, s->args[0]).p)
+          ->data[Val(st, s->args[1]).i] = Val(st, s->args[2]);
       break;
     case Op::kArrLen:
-      Set(s, SlotI(static_cast<int64_t>(
-                 static_cast<RtArray*>(Val(s->args[0]).p)->data.size())));
+      Set(st, s,
+          SlotI(static_cast<int64_t>(
+              static_cast<RtArray*>(Val(st, s->args[0]).p)->data.size())));
       break;
     case Op::kArrSortBy: {
-      RtArray* arr = static_cast<RtArray*>(Val(s->args[0]).p);
-      int64_t n = Val(s->args[1]).i;
+      RtArray* arr = static_cast<RtArray*>(Val(st, s->args[0]).p);
+      int64_t n = Val(st, s->args[1]).i;
       const Block* cmp = s->blocks[0];
       std::stable_sort(arr->data.begin(), arr->data.begin() + n,
                        [&](Slot a, Slot b) {
-                         Set(cmp->params[0], a);
-                         Set(cmp->params[1], b);
-                         return BlockCond(cmp);
+                         Set(st, cmp->params[0], a);
+                         Set(st, cmp->params[1], b);
+                         return BlockCond(st, cmp);
                        });
       break;
     }
 
     case Op::kListNew: {
-      lists_.emplace_back();
-      Set(s, SlotP(&lists_.back()));
+      st.lists->emplace_back();
+      Set(st, s, SlotP(&st.lists->back()));
       break;
     }
     case Op::kListAppend: {
-      RtList* l = static_cast<RtList*>(Val(s->args[0]).p);
+      RtList* l = static_cast<RtList*>(Val(st, s->args[0]).p);
       size_t before = l->items.capacity();
-      l->items.push_back(Val(s->args[1]));
-      stats_.vector_bytes += (l->items.capacity() - before) * sizeof(Slot);
+      l->items.push_back(Val(st, s->args[1]));
+      st.stats->vector_bytes += (l->items.capacity() - before) * sizeof(Slot);
       break;
     }
     case Op::kListForeach: {
-      RtList* l = static_cast<RtList*>(Val(s->args[0]).p);
+      RtList* l = static_cast<RtList*>(Val(st, s->args[0]).p);
       const Block* body = s->blocks[0];
       const Stmt* e = body->params[0];
       for (size_t i = 0; i < l->items.size(); ++i) {
-        Set(e, l->items[i]);
-        ExecBlock(body);
+        Set(st, e, l->items[i]);
+        ExecBlock(st, body);
       }
       break;
     }
     case Op::kListSize:
-      Set(s, SlotI(static_cast<int64_t>(
-                 static_cast<RtList*>(Val(s->args[0]).p)->items.size())));
+      Set(st, s,
+          SlotI(static_cast<int64_t>(
+              static_cast<RtList*>(Val(st, s->args[0]).p)->items.size())));
       break;
     case Op::kListGet:
-      Set(s, static_cast<RtList*>(Val(s->args[0]).p)
-                 ->items[Val(s->args[1]).i]);
+      Set(st, s,
+          static_cast<RtList*>(Val(st, s->args[0]).p)
+              ->items[Val(st, s->args[1]).i]);
       break;
     case Op::kListSortBy: {
-      RtList* l = static_cast<RtList*>(Val(s->args[0]).p);
+      RtList* l = static_cast<RtList*>(Val(st, s->args[0]).p);
       const Block* cmp = s->blocks[0];
-      std::stable_sort(l->items.begin(), l->items.end(), [&](Slot a, Slot b) {
-        Set(cmp->params[0], a);
-        Set(cmp->params[1], b);
-        return BlockCond(cmp);
-      });
+      std::stable_sort(l->items.begin(), l->items.end(),
+                       [&](Slot a, Slot b) {
+                         Set(st, cmp->params[0], a);
+                         Set(st, cmp->params[1], b);
+                         return BlockCond(st, cmp);
+                       });
       break;
     }
 
     case Op::kMapNew: {
-      maps_.emplace_back(s->type->key, &stats_);
-      Set(s, SlotP(&maps_.back()));
+      st.maps->emplace_back(s->type->key, st.stats);
+      Set(st, s, SlotP(&st.maps->back()));
       break;
     }
     case Op::kMapGetOrElseUpdate: {
-      RtHashMap* m = static_cast<RtHashMap*>(Val(s->args[0]).p);
-      Slot key = Val(s->args[1]);
+      RtHashMap* m = static_cast<RtHashMap*>(Val(st, s->args[0]).p);
+      Slot key = Val(st, s->args[1]);
       RtHashMap::Node* n = m->Find(key);
       if (n == nullptr) {
         const Block* init = s->blocks[0];
-        ExecBlock(init);
-        n = m->Insert(key, Val(init->result));
+        ExecBlock(st, init);
+        n = m->Insert(key, Val(st, init->result));
       }
-      Set(s, n->value);
+      Set(st, s, n->value);
       break;
     }
     case Op::kMapGetOrNull: {
-      RtHashMap* m = static_cast<RtHashMap*>(Val(s->args[0]).p);
-      RtHashMap::Node* n = m->Find(Val(s->args[1]));
-      Set(s, n == nullptr ? SlotP(nullptr) : n->value);
+      RtHashMap* m = static_cast<RtHashMap*>(Val(st, s->args[0]).p);
+      RtHashMap::Node* n = m->Find(Val(st, s->args[1]));
+      Set(st, s, n == nullptr ? SlotP(nullptr) : n->value);
       break;
     }
     case Op::kMapForeach: {
-      RtHashMap* m = static_cast<RtHashMap*>(Val(s->args[0]).p);
+      RtHashMap* m = static_cast<RtHashMap*>(Val(st, s->args[0]).p);
       const Block* body = s->blocks[0];
       for (RtHashMap::Node* n : m->entries()) {
-        Set(body->params[0], n->key);
-        Set(body->params[1], n->value);
-        ExecBlock(body);
+        Set(st, body->params[0], n->key);
+        Set(st, body->params[1], n->value);
+        ExecBlock(st, body);
       }
       break;
     }
     case Op::kMapSize:
-      Set(s, SlotI(static_cast<int64_t>(
-                 static_cast<RtHashMap*>(Val(s->args[0]).p)->size())));
+      Set(st, s,
+          SlotI(static_cast<int64_t>(
+              static_cast<RtHashMap*>(Val(st, s->args[0]).p)->size())));
       break;
 
     case Op::kMMapNew: {
-      mmaps_.emplace_back(s->type->key, &stats_);
-      Set(s, SlotP(&mmaps_.back()));
+      st.mmaps->emplace_back(s->type->key, st.stats);
+      Set(st, s, SlotP(&st.mmaps->back()));
       break;
     }
     case Op::kMMapAdd:
-      static_cast<RtMultiMap*>(Val(s->args[0]).p)
-          ->Add(Val(s->args[1]), Val(s->args[2]));
+      static_cast<RtMultiMap*>(Val(st, s->args[0]).p)
+          ->Add(Val(st, s->args[1]), Val(st, s->args[2]));
       break;
     case Op::kMMapGetOrNull:
-      Set(s, SlotP(static_cast<RtMultiMap*>(Val(s->args[0]).p)
-                       ->GetOrNull(Val(s->args[1]))));
+      Set(st, s,
+          SlotP(static_cast<RtMultiMap*>(Val(st, s->args[0]).p)
+                    ->GetOrNull(Val(st, s->args[1]))));
       break;
 
     case Op::kIsNull:
-      Set(s, SlotI(Val(s->args[0]).p == nullptr ? 1 : 0));
+      Set(st, s, SlotI(Val(st, s->args[0]).p == nullptr ? 1 : 0));
       break;
 
     case Op::kFree:
       break;  // arena/deque-owned; modelled as a no-op
     case Op::kPoolNew: {
       // The handle only needs to carry the element field count.
-      Set(s, SlotI(static_cast<int64_t>(s->type->elem->record->fields.size())));
+      Set(st, s,
+          SlotI(static_cast<int64_t>(s->type->elem->record->fields.size())));
       break;
     }
     case Op::kPoolAlloc: {
-      size_t fields = static_cast<size_t>(Val(s->args[0]).i);
-      Set(s, SlotP(records_.AllocPool(fields)));
+      size_t fields = static_cast<size_t>(Val(st, s->args[0]).i);
+      Set(st, s, SlotP(st.records->AllocPool(fields)));
       break;
     }
     case Op::kPoolRecNew: {
-      Slot* rec = records_.AllocPool(s->args.size() - 1);
+      Slot* rec = st.records->AllocPool(s->args.size() - 1);
       for (size_t i = 1; i < s->args.size(); ++i) {
-        rec[i - 1] = Val(s->args[i]);
+        rec[i - 1] = Val(st, s->args[i]);
       }
-      Set(s, SlotP(rec));
+      Set(st, s, SlotP(rec));
       break;
     }
 
     case Op::kTableRows:
-      Set(s, SlotI(db_->table(s->aux0).rows()));
+      Set(st, s, SlotI(db_->table(s->aux0).rows()));
       break;
     case Op::kColGet:
-      Set(s, db_->table(s->aux0).column(s->aux1).data[Val(s->args[0]).i]);
+      Set(st, s,
+          db_->table(s->aux0).column(s->aux1).data[Val(st, s->args[0]).i]);
       break;
     case Op::kColDict:
-      Set(s, SlotI(db_->Dictionary(s->aux0, s->aux1).codes[Val(s->args[0]).i]));
+      Set(st, s,
+          SlotI(db_->Dictionary(s->aux0, s->aux1)
+                    .codes[Val(st, s->args[0]).i]));
       break;
     case Op::kIdxBucketLen:
-      Set(s, SlotI(db_->Partition(s->aux0, s->aux1)
-                       .BucketLen(Val(s->args[0]).i)));
+      Set(st, s,
+          SlotI(db_->Partition(s->aux0, s->aux1)
+                    .BucketLen(Val(st, s->args[0]).i)));
       break;
     case Op::kIdxBucketRow:
-      Set(s, SlotI(db_->Partition(s->aux0, s->aux1)
-                       .BucketRow(Val(s->args[0]).i, Val(s->args[1]).i)));
+      Set(st, s,
+          SlotI(db_->Partition(s->aux0, s->aux1)
+                    .BucketRow(Val(st, s->args[0]).i, Val(st, s->args[1]).i)));
       break;
     case Op::kIdxPkRow:
-      Set(s, SlotI(db_->PrimaryIndex(s->aux0, s->aux1).RowOf(Val(s->args[0]).i)));
+      Set(st, s,
+          SlotI(db_->PrimaryIndex(s->aux0, s->aux1)
+                    .RowOf(Val(st, s->args[0]).i)));
       break;
 
     case Op::kEmit: {
       std::vector<Slot> row;
       row.reserve(s->args.size());
       for (const Stmt* a : s->args) {
-        Slot v = Val(a);
+        Slot v = Val(st, a);
         if (a->type->kind == TypeKind::kStr) {
-          v = SlotS(out_.InternString(v.s));
+          v = SlotS(st.out->InternString(v.s));
         }
         row.push_back(v);
       }
-      out_.AddRow(std::move(row));
+      st.out->AddRow(std::move(row));
       break;
     }
 

@@ -13,16 +13,24 @@
 //     translation.
 //   * kTreeWalk — the original pointer-walking interpreter, kept as the
 //     executable-semantics reference and as an escape hatch.
+//
+// Both engines support morsel-driven parallel execution of qualifying scan
+// loops (exec/parallel.h): InterpOptions::num_threads > 1 attaches a
+// persistent worker pool, and results stay bitwise identical to the
+// sequential run at every thread count.
 #ifndef QC_EXEC_INTERP_H_
 #define QC_EXEC_INTERP_H_
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "exec/bytecode.h"
+#include "exec/parallel.h"
 #include "exec/runtime.h"
+#include "ir/parallel.h"
 #include "ir/stmt.h"
 #include "storage/database.h"
 #include "storage/result.h"
@@ -35,13 +43,27 @@ struct InterpOptions {
     kTreeWalk,  // node-by-node Stmt-graph walk (reference engine)
   };
   Engine engine = Engine::kBytecode;
+
+  // Morsel-driven parallelism (both engines). 1 = sequential execution,
+  // byte-for-byte the pre-parallel engine with zero overhead. N > 1 runs
+  // qualifying top-level scan loops (ir/parallel.h) on a persistent pool
+  // of N threads (the calling thread participates); results are bitwise
+  // identical to num_threads = 1 regardless of N or morsel_rows.
+  int num_threads = 1;
+  int64_t morsel_rows = 16384;  // rows per morsel in parallel mode
 };
 
 class Interpreter {
  public:
   explicit Interpreter(storage::Database* db,
                        InterpOptions opts = InterpOptions())
-      : db_(db), opts_(opts), records_(&stats_), vm_(&stats_) {}
+      : db_(db), opts_(opts), records_(&stats_), vm_(&stats_) {
+    if (opts_.num_threads > 1) {
+      par_ = std::make_unique<parallel::Engine>(opts_.num_threads,
+                                                opts_.morsel_rows);
+      vm_.SetParallel(par_.get());
+    }
+  }
 
   // Executes the function; rows produced by kEmit statements form the
   // result. Cached per-function state (bytecode, emit types, register
@@ -54,23 +76,33 @@ class Interpreter {
   const AllocStats& stats() const { return stats_; }
 
  private:
-  Slot Val(const ir::Stmt* s) const { return regs_[s->id]; }
-  void Set(const ir::Stmt* s, Slot v) { regs_[s->id] = v; }
+  Slot Val(const parallel::ExecState& st, const ir::Stmt* s) const {
+    return st.regs[s->id];
+  }
+  void Set(parallel::ExecState& st, const ir::Stmt* s, Slot v) {
+    st.regs[s->id] = v;
+  }
 
   storage::ResultTable RunTreeWalk(const ir::Function& fn);
-  void ExecBlock(const ir::Block* b);
-  void ExecStmt(const ir::Stmt* s);
-  bool BlockCond(const ir::Block* b);
+  void ExecBlock(parallel::ExecState& st, const ir::Block* b);
+  void ExecStmt(parallel::ExecState& st, const ir::Stmt* s);
+  bool BlockCond(parallel::ExecState& st, const ir::Block* b);
+  // Morsel-parallel execution of one qualifying kForRange; false = run it
+  // sequentially.
+  bool TreeParallelLoop(parallel::ExecState& st, const ir::ParLoop& plan,
+                        const ir::Stmt* s);
+  void AppendLog(parallel::ExecState& st, const ir::Stmt* s);
 
-  const char* Intern(std::string s) {
-    strings_.push_back(std::move(s));
-    return strings_.back().c_str();
+  static const char* Intern(parallel::ExecState& st, std::string s) {
+    st.strings->push_back(std::move(s));
+    return st.strings->back().c_str();
   }
 
   storage::Database* db_;
   InterpOptions opts_;
   AllocStats stats_;
   RecordHeap records_;
+  std::unique_ptr<parallel::Engine> par_;
   std::vector<Slot> regs_;
   std::deque<RtList> lists_;
   std::deque<RtArray> arrays_;
@@ -80,20 +112,24 @@ class Interpreter {
   storage::ResultTable out_;
 
   // Bytecode engine: compiled programs cached per function, with a
-  // fingerprint to catch allocator address reuse.
+  // fingerprint to catch allocator address reuse. The ParallelInfo owns
+  // the loop plans the program's ParLoopCode entries point into.
   struct CachedProgram {
     std::string fn_name;
     int num_stmts = -1;
+    ir::ParallelInfo par;
     BytecodeProgram prog;
   };
   BytecodeVM vm_;
   std::unordered_map<const ir::Function*, CachedProgram> programs_;
 
-  // Tree-walk engine: emit types discovered once per function, not per Run.
+  // Tree-walk engine: emit types and the parallel analysis discovered once
+  // per function, not per Run.
   const ir::Function* prepared_fn_ = nullptr;
   std::string prepared_name_;
   int prepared_stmts_ = -1;
   std::vector<storage::ColType> emit_types_;
+  ir::ParallelInfo tw_par_;
 };
 
 }  // namespace qc::exec

@@ -1,0 +1,501 @@
+#include "exec/parallel.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace qc::exec::parallel {
+
+namespace {
+
+// Cap on the summed capacity of privatized arrays across all morsels
+// (direct-addressed group tables can be sized by the key range; beyond
+// this, the loop falls back to sequential execution).
+constexpr int64_t kPrivateArrayBudget = 128ll << 20;
+
+bool IsArrayRed(ir::ParRedKind k) {
+  return k == ir::ParRedKind::kGroupArray || k == ir::ParRedKind::kBucketArray;
+}
+
+bool SlotLess(Slot a, Slot b, bool is_f64) {
+  return is_f64 ? a.d < b.d : a.i < b.i;
+}
+
+int FindReduction(const ir::ParLoop& plan, const ir::Stmt* target) {
+  for (size_t i = 0; i < plan.reductions.size(); ++i) {
+    if (plan.reductions[i].target == target) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Folds a duplicate morsel-local group record into the surviving one.
+// Min/max fields go first: their guard reads the main count before this
+// morsel's contribution is added, mirroring the sequential fold.
+void CombineGroupRec(Slot* main_rec, const Slot* m_rec,
+                     const ir::ParReduction& red) {
+  int64_t m_n = red.n_field >= 0 ? m_rec[red.n_field].i : 1;
+  int64_t main_n = red.n_field >= 0 ? main_rec[red.n_field].i : 1;
+  for (size_t f = 0; f < red.fields.size(); ++f) {
+    if (red.fields[f] != ir::ParFold::kMin &&
+        red.fields[f] != ir::ParFold::kMax) {
+      continue;
+    }
+    if (m_n <= 0) continue;
+    bool take;
+    if (main_n == 0) {
+      take = true;
+    } else if (red.fields[f] == ir::ParFold::kMin) {
+      take = SlotLess(m_rec[f], main_rec[f], red.field_is_f64[f]);
+    } else {
+      take = SlotLess(main_rec[f], m_rec[f], red.field_is_f64[f]);
+    }
+    if (take) main_rec[f] = m_rec[f];
+  }
+  for (size_t f = 0; f < red.fields.size(); ++f) {
+    if (red.fields[f] == ir::ParFold::kSumI) main_rec[f].i += m_rec[f].i;
+  }
+}
+
+// Accounting credit for a discarded duplicate group record.
+void CreditGroupRec(AllocStats* stats, const ir::ParReduction& red) {
+  size_t bytes = red.fields.size() * sizeof(Slot);
+  if (red.pool_rec) {
+    stats->CreditPool(bytes);
+  } else {
+    stats->CreditHeap(bytes, 1);
+  }
+}
+
+class Merger {
+ public:
+  Merger(const LoopRun& run) : run_(run) {}
+
+  void MergeMorsel(MorselState& ms) {
+    const ir::ParLoop& plan = *run_.plan;
+    run_.stats->MergeFrom(ms.stats);
+    remap_.clear();
+
+    // Scalar accumulators fold in the morsel's *register* value: the body
+    // rebinds the accumulator register to the identity and accumulates
+    // there (ms.priv only seeds it — for scalars it is a value copy, not a
+    // shared object like the container reductions').
+    // Min/max first: their guards read the main counts before the morsel's
+    // count contribution lands.
+    for (size_t i = 0; i < plan.reductions.size(); ++i) {
+      const ir::ParReduction& r = plan.reductions[i];
+      if (r.kind != ir::ParRedKind::kVarMin &&
+          r.kind != ir::ParRedKind::kVarMax) {
+        continue;
+      }
+      int n_idx = FindReduction(plan, r.count_var);
+      if (ms.regs[(*run_.red_regs)[n_idx]].i <= 0) {
+        continue;  // morsel saw no contributing row
+      }
+      Slot& main_v = run_.main_regs[(*run_.red_regs)[i]];
+      int64_t main_n = run_.main_regs[(*run_.red_regs)[n_idx]].i;
+      Slot mv = ms.regs[(*run_.red_regs)[i]];
+      bool take;
+      if (main_n == 0) {
+        take = true;
+      } else if (r.kind == ir::ParRedKind::kVarMin) {
+        take = SlotLess(mv, main_v, r.is_f64);
+      } else {
+        take = SlotLess(main_v, mv, r.is_f64);
+      }
+      if (take) main_v = mv;
+    }
+    for (size_t i = 0; i < plan.reductions.size(); ++i) {
+      const ir::ParReduction& r = plan.reductions[i];
+      switch (r.kind) {
+        case ir::ParRedKind::kVarSumI:
+          run_.main_regs[(*run_.red_regs)[i]].i +=
+              ms.regs[(*run_.red_regs)[i]].i;
+          break;
+        case ir::ParRedKind::kList:
+          MergeList(i, ms);
+          break;
+        case ir::ParRedKind::kMap:
+          MergeMap(i, ms);
+          break;
+        case ir::ParRedKind::kMMap:
+          MergeMMap(i, ms);
+          break;
+        case ir::ParRedKind::kGroupArray:
+          MergeGroupArray(i, ms);
+          break;
+        case ir::ParRedKind::kBucketArray:
+          MergeBucketArray(i, ms);
+          break;
+        case ir::ParRedKind::kVarSumF:  // replayed from the log below
+        case ir::ParRedKind::kVarMin:
+        case ir::ParRedKind::kVarMax:
+          break;
+      }
+    }
+    ReplayLogs(ms);
+    MergeEmits(ms);
+  }
+
+ private:
+  void MergeList(size_t i, MorselState& ms) {
+    RtList* main = static_cast<RtList*>(run_.main_regs[(*run_.red_regs)[i]].p);
+    RtList* priv = static_cast<RtList*>(ms.priv[i].p);
+    run_.stats->CreditVector(priv->items.capacity() * sizeof(Slot));
+    for (Slot v : priv->items) {
+      size_t before = main->items.capacity();
+      main->items.push_back(v);
+      run_.stats->vector_bytes +=
+          (main->items.capacity() - before) * sizeof(Slot);
+    }
+  }
+
+  void MergeMap(size_t i, MorselState& ms) {
+    const ir::ParReduction& red = run_.plan->reductions[i];
+    RtHashMap* main =
+        static_cast<RtHashMap*>(run_.main_regs[(*run_.red_regs)[i]].p);
+    RtHashMap* priv = static_cast<RtHashMap*>(ms.priv[i].p);
+    for (RtHashMap::Node* n : priv->entries()) {
+      // The morsel-local node never survives: either the main map
+      // re-inserts (accounting a node of its own) or the group existed.
+      run_.stats->CreditHeap(sizeof(RtHashMap::Node), 1);
+      RtHashMap::Node* e = main->Find(n->key);
+      if (e == nullptr) {
+        main->Insert(n->key, n->value);
+        remap_[n->value.p] = static_cast<Slot*>(n->value.p);
+      } else {
+        CombineGroupRec(static_cast<Slot*>(e->value.p),
+                        static_cast<const Slot*>(n->value.p), red);
+        CreditGroupRec(run_.stats, red);
+        remap_[n->value.p] = static_cast<Slot*>(e->value.p);
+      }
+    }
+  }
+
+  void MergeMMap(size_t i, MorselState& ms) {
+    RtMultiMap* main =
+        static_cast<RtMultiMap*>(run_.main_regs[(*run_.red_regs)[i]].p);
+    RtMultiMap* priv = static_cast<RtMultiMap*>(ms.priv[i].p);
+    for (RtHashMap::Node* n : priv->key_map().entries()) {
+      RtList* vals = static_cast<RtList*>(n->value.p);
+      run_.stats->CreditHeap(sizeof(RtHashMap::Node), 1);
+      run_.stats->CreditVector(vals->items.capacity() * sizeof(Slot));
+      for (Slot v : vals->items) main->Add(n->key, v);
+    }
+  }
+
+  void MergeGroupArray(size_t i, MorselState& ms) {
+    const ir::ParReduction& red = run_.plan->reductions[i];
+    RtArray* main =
+        static_cast<RtArray*>(run_.main_regs[(*run_.red_regs)[i]].p);
+    RtArray* priv = static_cast<RtArray*>(ms.priv[i].p);
+    for (size_t k = 0; k < priv->data.size(); ++k) {
+      Slot mv = priv->data[k];
+      if (mv.p == nullptr) continue;
+      Slot& mn = main->data[k];
+      if (mn.p == nullptr) {
+        mn = mv;  // adopt the morsel's record (heap stays alive)
+        remap_[mv.p] = static_cast<Slot*>(mv.p);
+      } else {
+        CombineGroupRec(static_cast<Slot*>(mn.p),
+                        static_cast<const Slot*>(mv.p), red);
+        CreditGroupRec(run_.stats, red);
+        remap_[mv.p] = static_cast<Slot*>(mn.p);
+      }
+    }
+  }
+
+  // Sequential builds prepend (rec.next = bucket; bucket = rec), so later
+  // rows sit in front. Prepending each morsel's complete chain, morsels in
+  // order, reproduces the exact sequential chain.
+  void MergeBucketArray(size_t i, MorselState& ms) {
+    const ir::ParReduction& red = run_.plan->reductions[i];
+    RtArray* main =
+        static_cast<RtArray*>(run_.main_regs[(*run_.red_regs)[i]].p);
+    RtArray* priv = static_cast<RtArray*>(ms.priv[i].p);
+    int nf = red.next_field;
+    for (size_t k = 0; k < priv->data.size(); ++k) {
+      Slot head = priv->data[k];
+      if (head.p == nullptr) continue;
+      Slot* tail = static_cast<Slot*>(head.p);
+      while (tail[nf].p != nullptr) tail = static_cast<Slot*>(tail[nf].p);
+      tail[nf] = main->data[k];
+      main->data[k] = head;
+    }
+  }
+
+  // Replays the f64 additions of this morsel in row order, against the
+  // merged accumulators, reproducing the sequential rounding bit for bit.
+  void ReplayLogs(MorselState& ms) {
+    const ir::ParLoop& plan = *run_.plan;
+    for (size_t c = 0; c < plan.logs.size(); ++c) {
+      const ir::ParLogChannel& ch = plan.logs[c];
+      const std::vector<Slot>& log = ms.logs[c];
+      if (ch.var != nullptr) {
+        Slot& acc = run_.main_regs[(*run_.channel_var_regs)[c]];
+        for (Slot v : log) acc.d += v.d;
+        continue;
+      }
+      size_t stride = ch.Stride();
+      if (ch.array_red >= 0) {
+        // Slot-index-keyed: the merged record sits in the main array.
+        const Slot* slots =
+            static_cast<RtArray*>(
+                run_.main_regs[(*run_.red_regs)[ch.array_red]].p)
+                ->data.data();
+        for (size_t e = 0; e + stride <= log.size(); e += stride) {
+          Slot* rec = static_cast<Slot*>(slots[log[e].i].p);
+          for (size_t j = 0; j < ch.fields.size(); ++j) {
+            rec[ch.fields[j]].d += log[e + 1 + ch.value_idx[j]].d;
+          }
+        }
+        continue;
+      }
+      for (size_t e = 0; e + stride <= log.size(); e += stride) {
+        auto it = remap_.find(log[e].p);
+        if (it == remap_.end()) {
+          std::fprintf(stderr,
+                       "parallel merge: log entry for unknown group record\n");
+          std::abort();
+        }
+        Slot* rec = it->second;
+        for (size_t j = 0; j < ch.fields.size(); ++j) {
+          rec[ch.fields[j]].d += log[e + 1 + ch.value_idx[j]].d;
+        }
+      }
+    }
+  }
+
+  void MergeEmits(MorselState& ms) {
+    for (size_t r = 0; r < ms.out.size(); ++r) {
+      std::vector<Slot> row = ms.out.row(r);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c < run_.emit_types->size() &&
+            (*run_.emit_types)[c] == storage::ColType::kStr) {
+          row[c] = SlotS(run_.out->InternString(row[c].s));
+        }
+      }
+      run_.out->AddRow(std::move(row));
+    }
+  }
+
+  const LoopRun& run_;
+  std::unordered_map<const void*, Slot*> remap_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+WorkerPool::WorkerPool(int threads) {
+  int spawn = threads - 1;
+  if (spawn < 0) spawn = 0;
+  workers_.reserve(spawn);
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::Begin(int count, const std::function<void(int)>& task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  task_ = &task;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  pending_ = static_cast<int>(workers_.size());
+  ++generation_;
+  cv_start_.notify_all();
+}
+
+int WorkerPool::TrySteal() {
+  int i = next_.fetch_add(1, std::memory_order_relaxed);
+  return i < count_ ? i : -1;
+}
+
+void WorkerPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    int count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (stop_) return;
+      task = task_;
+      count = count_;
+    }
+    if (task != nullptr) {
+      int i;
+      while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+        (*task)(i);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------------
+
+bool RunForRange(Engine& eng, const LoopRun& run) {
+  const ir::ParLoop& plan = *run.plan;
+  int64_t rows = run.hi - run.lo;
+  int64_t mr = eng.morsel_rows();
+  if (rows < 2 * mr) return false;
+  int64_t num_morsels = (rows + mr - 1) / mr;
+
+  // Budget gate: privatizing huge direct-addressed tables per morsel would
+  // trade too much memory for the parallelism.
+  int64_t arr_bytes = 0;
+  for (size_t i = 0; i < plan.reductions.size(); ++i) {
+    if (!IsArrayRed(plan.reductions[i].kind)) continue;
+    int64_t size = run.main_regs[(*run.red_size_regs)[i]].i;
+    if (size < 0) return false;
+    arr_bytes += size * static_cast<int64_t>(sizeof(Slot)) * num_morsels;
+  }
+  if (arr_bytes > kPrivateArrayBudget) return false;
+
+  // Private state per morsel. Privatized containers are runtime scratch:
+  // they are created without AllocStats accounting (the sequential run
+  // created the one real instance up front), while everything the body
+  // itself allocates lands in the morsel's own stats.
+  std::vector<std::unique_ptr<MorselState>> states;
+  states.reserve(num_morsels);
+  for (int64_t m = 0; m < num_morsels; ++m) {
+    states.push_back(std::make_unique<MorselState>());
+    MorselState& ms = *states.back();
+    ms.logs.resize(plan.logs.size());
+    // Worst case one entry per morsel row: reserving up front avoids
+    // repeated growth copies of multi-megabyte logs in the hot scan.
+    for (size_t c = 0; c < plan.logs.size(); ++c) {
+      ms.logs[c].reserve(plan.logs[c].Stride() * mr);
+    }
+    ms.priv.resize(plan.reductions.size(), SlotI(0));
+    for (size_t i = 0; i < plan.reductions.size(); ++i) {
+      const ir::ParReduction& r = plan.reductions[i];
+      switch (r.kind) {
+        case ir::ParRedKind::kVarSumI:
+        case ir::ParRedKind::kVarSumF:
+        case ir::ParRedKind::kVarMin:
+        case ir::ParRedKind::kVarMax:
+          ms.priv[i] = SlotI(0);  // fold identity (0.0 shares the bits)
+          break;
+        case ir::ParRedKind::kList:
+          ms.lists.emplace_back();
+          ms.priv[i] = SlotP(&ms.lists.back());
+          break;
+        case ir::ParRedKind::kMap:
+          ms.maps.emplace_back(r.target->type->key, &ms.stats);
+          ms.priv[i] = SlotP(&ms.maps.back());
+          break;
+        case ir::ParRedKind::kMMap:
+          ms.mmaps.emplace_back(r.target->type->key, &ms.stats);
+          ms.priv[i] = SlotP(&ms.mmaps.back());
+          break;
+        case ir::ParRedKind::kGroupArray:
+        case ir::ParRedKind::kBucketArray: {
+          ms.arrays.emplace_back();
+          RtArray& arr = ms.arrays.back();
+          arr.data.assign(run.main_regs[(*run.red_size_regs)[i]].i, SlotI(0));
+          ms.priv[i] = SlotP(&arr);
+          break;
+        }
+      }
+    }
+  }
+
+  // QC_PAR_TRACE=1: one line per parallel loop execution, with phase
+  // timings (debug / tuning aid).
+  static const bool trace = [] {
+    const char* v = std::getenv("QC_PAR_TRACE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  auto t0 = std::chrono::steady_clock::now();
+
+  // The workers scan morsels; the caller thread runs the ordered merge
+  // concurrently, folding each morsel in as soon as it (and all earlier
+  // ones) completed, and steals scan work only when no merge is ready. On
+  // multi-core hardware this takes the sequential merge off the critical
+  // path entirely whenever merging is cheaper than scanning.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::unique_ptr<std::atomic<char>[]> done(
+      new std::atomic<char>[num_morsels]);
+  for (int64_t m = 0; m < num_morsels; ++m) {
+    done[m].store(0, std::memory_order_relaxed);
+  }
+  std::function<void(int)> scan = [&](int m) {
+    int64_t mlo = run.lo + m * mr;
+    int64_t mhi = mlo + mr < run.hi ? mlo + mr : run.hi;
+    run.body(mlo, mhi, *states[m]);
+    done[m].store(1, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(done_mu); }
+    done_cv.notify_one();
+  };
+
+  Merger merger(run);
+  int64_t merged = 0;
+  auto merge_ready = [&] {
+    bool any = false;
+    while (merged < num_morsels &&
+           done[merged].load(std::memory_order_acquire) != 0) {
+      merger.MergeMorsel(*states[merged]);
+      states[merged]->ReleaseTransients();
+      eng.Keep(std::move(states[merged]));
+      ++merged;
+      any = true;
+    }
+    return any;
+  };
+
+  eng.pool().Begin(static_cast<int>(num_morsels), scan);
+  while (merged < num_morsels) {
+    if (merge_ready()) continue;
+    int m = eng.pool().TrySteal();
+    if (m >= 0) {
+      scan(m);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] {
+      return done[merged].load(std::memory_order_acquire) != 0;
+    });
+  }
+  eng.pool().Wait();
+
+  if (trace) {
+    auto t1 = std::chrono::steady_clock::now();
+    std::fprintf(stderr,
+                 "parallel: rows=%lld morsels=%lld threads=%d reds=%zu "
+                 "logs=%zu total=%.2fms\n",
+                 static_cast<long long>(rows),
+                 static_cast<long long>(num_morsels), eng.pool().threads(),
+                 plan.reductions.size(), plan.logs.size(),
+                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return true;
+}
+
+}  // namespace qc::exec::parallel

@@ -32,6 +32,25 @@ struct AllocStats {
   size_t vector_bytes = 0;  // array/list backing storage
 
   size_t TotalBytes() const { return heap_bytes + pool_bytes + vector_bytes; }
+
+  // Folds a worker-local accounting into this one (the parallel epilogue).
+  // Together with the merge phase's CreditHeap/CreditVector calls for
+  // storage that only existed transiently (duplicate per-morsel group
+  // records, per-morsel hash nodes and list buffers), totals stay exactly
+  // what a sequential run reports — Figure 8 is engine- and
+  // thread-count-independent.
+  void MergeFrom(const AllocStats& o) {
+    heap_bytes += o.heap_bytes;
+    heap_allocs += o.heap_allocs;
+    pool_bytes += o.pool_bytes;
+    vector_bytes += o.vector_bytes;
+  }
+  void CreditHeap(size_t bytes, size_t allocs) {
+    heap_bytes -= bytes;
+    heap_allocs -= allocs;
+  }
+  void CreditPool(size_t bytes) { pool_bytes -= bytes; }
+  void CreditVector(size_t bytes) { vector_bytes -= bytes; }
 };
 
 // Growable list of slots. Generic lists model the library List of
@@ -111,6 +130,10 @@ class RtMultiMap {
   }
 
   void Add(Slot key, Slot value);
+
+  // Key-grouped contents in first-insertion order (the parallel merge walks
+  // worker-local multimaps through this).
+  const RtHashMap& key_map() const { return map_; }
 
  private:
   RtHashMap map_;

@@ -399,6 +399,43 @@ TEST(BytecodeVm, EmittedStringsAreInterned) {
   EXPECT_EQ(r.row(0)[1].i, 11);
 }
 
+// While-condition branch fusion: the loop-exit test branches on the
+// comparison directly — no materialized boolean, no generic kJz.
+TEST(BytecodeFusion, WhileConditionFusesToBranch) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* x = b.VarNew(b.I64(1));
+  b.While([&] { return b.Lt(b.VarRead(x), b.I64(1000)); },
+          [&] { b.VarAssign(x, b.Mul(b.VarRead(x), b.I64(2))); });
+  b.EmitRow({b.VarRead(x)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  ExpectJumpsInBounds(prog);
+  EXPECT_EQ(CountOp(prog, BcOp::kLtI), 0);
+  EXPECT_EQ(CountOp(prog, BcOp::kJz), 0);
+  EXPECT_EQ(CountOp(prog, BcOp::kJnLtI), 1);
+  ExpectEnginesAgree(&db, fn, "fused while condition");
+  exec::Interpreter interp(&db);
+  EXPECT_EQ(interp.Run(fn).row(0)[0].i, 1024);
+}
+
+// The hash-chain probe loop (`while (!is_null(cur))` over intrusive next
+// pointers, Q3 at the 5-level stack) must fuse its null test into the exit
+// branch: no kIsNull/kNot instructions survive anywhere in the program.
+TEST(BytecodeFusion, HashChainProbeWhileFusesNullTest) {
+  storage::Database db = tpch::MakeTpchDatabase(0.002, 7);
+  qplan::PlanPtr plan = tpch::MakeQuery(3);
+  qplan::ResolvePlan(plan.get(), db);
+  TypeFactory types;
+  compiler::QueryCompiler qc(&db, &types);
+  compiler::CompileResult res = qc.Compile(*plan, StackConfig::Level(5), "q3");
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(*res.fn);
+  EXPECT_EQ(CountOp(prog, BcOp::kIsNull), 0);
+  EXPECT_EQ(CountOp(prog, BcOp::kNot), 0);
+}
+
 // Repeated Run() calls on one Interpreter must reuse the cached program and
 // still produce fresh, correct results.
 TEST(BytecodeVm, RepeatedRunsReuseCachedProgram) {

@@ -1,0 +1,323 @@
+// Morsel-driven parallel execution (exec/parallel.h): results must be
+// BITWISE identical to the sequential engines — same row order, same f64
+// bit patterns, same string contents — for every TPC-H query, at every
+// tested thread count and morsel size, on both engines. The f64-addend
+// replay makes this exact (not approximate) even for floating-point sums,
+// so these tests compare bit patterns, not canonical text.
+//
+// Figure 8 accounting is asserted too: AllocStats of a parallel run must
+// equal the sequential run's exactly (AllocStats::MergeFrom + the merge
+// phase's credits for transient per-morsel storage).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "exec/interp.h"
+#include "ir/builder.h"
+#include "ir/parallel.h"
+#include "lower/pipeline.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace qc {
+namespace {
+
+using compiler::QueryCompiler;
+using compiler::StackConfig;
+using exec::InterpOptions;
+
+InterpOptions Opts(InterpOptions::Engine e, int threads,
+                   int64_t morsel_rows = 2048) {
+  InterpOptions o;
+  o.engine = e;
+  o.num_threads = threads;
+  o.morsel_rows = morsel_rows;
+  return o;
+}
+
+// Bit-exact, position-exact equality (doubles compared on bit patterns).
+void ExpectBitExact(const storage::ResultTable& got,
+                    const storage::ResultTable& want,
+                    const std::string& tag) {
+  ASSERT_EQ(got.size(), want.size()) << tag << ": row count";
+  ASSERT_EQ(got.types().size(), want.types().size()) << tag << ": arity";
+  for (size_t r = 0; r < got.size(); ++r) {
+    for (size_t c = 0; c < got.types().size(); ++c) {
+      if (got.types()[c] == storage::ColType::kStr) {
+        ASSERT_STREQ(got.row(r)[c].s, want.row(r)[c].s)
+            << tag << ": row " << r << " col " << c;
+      } else {
+        ASSERT_EQ(got.row(r)[c].i, want.row(r)[c].i)
+            << tag << ": row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+void ExpectStatsEqual(const exec::AllocStats& got,
+                      const exec::AllocStats& want, const std::string& tag) {
+  EXPECT_EQ(got.heap_bytes, want.heap_bytes) << tag << ": heap_bytes";
+  EXPECT_EQ(got.heap_allocs, want.heap_allocs) << tag << ": heap_allocs";
+  EXPECT_EQ(got.pool_bytes, want.pool_bytes) << tag << ": pool_bytes";
+  EXPECT_EQ(got.vector_bytes, want.vector_bytes) << tag << ": vector_bytes";
+}
+
+class ParallelExecTpchTest : public ::testing::TestWithParam<int> {
+ protected:
+  static storage::Database* db() {
+    static storage::Database* db =
+        new storage::Database(tpch::MakeTpchDatabase(0.01));
+    return db;
+  }
+
+  // Runs `fn` sequentially as the reference, then across engines x thread
+  // counts x a second morsel size, asserting bitwise equality and exact
+  // AllocStats agreement every time.
+  static void CheckAllConfigs(const ir::Function& fn,
+                              const std::string& tag) {
+    exec::Interpreter ref(db(), Opts(InterpOptions::Engine::kBytecode, 1));
+    storage::ResultTable want = ref.Run(fn);
+
+    const InterpOptions::Engine engines[] = {
+        InterpOptions::Engine::kBytecode, InterpOptions::Engine::kTreeWalk};
+    const char* names[] = {"bytecode", "treewalk"};
+    for (int e = 0; e < 2; ++e) {
+      exec::AllocStats seq_stats;
+      for (int threads : {1, 2, 4}) {
+        exec::Interpreter interp(db(), Opts(engines[e], threads));
+        storage::ResultTable got = interp.Run(fn);
+        std::string t =
+            tag + " " + names[e] + " threads=" + std::to_string(threads);
+        ExpectBitExact(got, want, t);
+        if (threads == 1) {
+          seq_stats = interp.stats();
+        } else {
+          ExpectStatsEqual(interp.stats(), seq_stats, t);
+        }
+      }
+      // An odd morsel size exercises boundary handling and many-morsel
+      // merges; results must not depend on the decomposition.
+      exec::Interpreter odd(db(), Opts(engines[e], 3, 777));
+      storage::ResultTable got = odd.Run(fn);
+      ExpectBitExact(got, want, tag + " " + names[e] + " morsel=777");
+      ExpectStatsEqual(odd.stats(), seq_stats,
+                       tag + " " + names[e] + " morsel=777");
+    }
+  }
+};
+
+// ScaLite[Map,List]: the pipelined lowering — generic hash maps,
+// multimaps, and lists are the reduction state.
+TEST_P(ParallelExecTpchTest, PipelinedBitExactAcrossThreads) {
+  int q = GetParam();
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *db());
+  ir::TypeFactory types;
+  auto fn = lower::LowerPlanPipelined(*plan, *db(), &types,
+                                      "q" + std::to_string(q));
+  CheckAllConfigs(*fn, "Q" + std::to_string(q) + " L3");
+}
+
+// Full 5-level stack: direct-addressed group arrays, intrusive bucket
+// arrays, pools — the specialized reduction shapes.
+TEST_P(ParallelExecTpchTest, Level5BitExactAcrossThreads) {
+  int q = GetParam();
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *db());
+  ir::TypeFactory types;
+  QueryCompiler qc(db(), &types);
+  compiler::CompileResult res =
+      qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+  CheckAllConfigs(*res.fn, "Q" + std::to_string(q) + " L5");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, ParallelExecTpchTest,
+                         ::testing::Range(1, 23));
+
+// Hand-built global-aggregation shapes (sum / count / guarded min / max /
+// f64 sum), exactly as lower/pipeline.cc lowers them: the scalar-reduction
+// merges must fold the morsel accumulators correctly. Guards against the
+// scalar paths regressing while the TPC-H suite happens not to exercise
+// them (its scalar folds are shadowed by grouped shapes).
+TEST(ParallelScalarReductionTest, SumCountMinMaxMatchSequential) {
+  storage::Database db;
+  ir::TypeFactory types;
+  ir::Function fn("scalar_aggs", &types);
+  ir::Builder b(&fn);
+  ir::Stmt* sum = b.VarNew(b.I64(0));
+  ir::Stmt* fsum = b.VarNew(b.F64(0.0));
+  ir::Stmt* cnt = b.VarNew(b.I64(0));
+  ir::Stmt* mn = b.VarNew(b.I64(0));
+  ir::Stmt* mx = b.VarNew(b.I64(0));
+  const int64_t kRows = 100000;
+  b.ForRange(b.I64(0), b.I64(kRows), [&](ir::Stmt* i) {
+    b.If(b.Eq(b.Mod(i, b.I64(7)), b.I64(3)), [&] {
+      ir::Stmt* n0 = b.VarRead(cnt);
+      ir::Stmt* v = b.Mul(b.Sub(b.I64(50000), i), b.I64(3));
+      b.VarAssign(sum, b.Add(b.VarRead(sum), v));
+      b.VarAssign(fsum, b.Add(b.VarRead(fsum), b.Cast(v, types.F64())));
+      b.If(b.Or(b.Eq(n0, b.I64(0)), b.Lt(v, b.VarRead(mn))),
+           [&] { b.VarAssign(mn, v); });
+      b.If(b.Or(b.Eq(n0, b.I64(0)), b.Gt(v, b.VarRead(mx))),
+           [&] { b.VarAssign(mx, v); });
+      b.VarAssign(cnt, b.Add(n0, b.I64(1)));
+    });
+  });
+  b.EmitRow({b.VarRead(sum), b.VarRead(fsum), b.VarRead(cnt), b.VarRead(mn),
+             b.VarRead(mx)});
+
+  // The loop must actually qualify, with all five scalar reductions.
+  ir::ParallelInfo info = ir::AnalyzeParallelism(fn);
+  ASSERT_EQ(info.loops.size(), 1u);
+  ASSERT_EQ(info.loops[0].reductions.size(), 5u);
+
+  int64_t want_sum = 0, want_cnt = 0, want_mn = 0, want_mx = 0;
+  double want_fsum = 0.0;
+  for (int64_t i = 0; i < kRows; ++i) {
+    if (i % 7 != 3) continue;
+    int64_t v = (50000 - i) * 3;
+    want_sum += v;
+    want_fsum += static_cast<double>(v);
+    if (want_cnt == 0 || v < want_mn) want_mn = v;
+    if (want_cnt == 0 || v > want_mx) want_mx = v;
+    ++want_cnt;
+  }
+
+  for (auto engine : {InterpOptions::Engine::kBytecode,
+                      InterpOptions::Engine::kTreeWalk}) {
+    for (int threads : {1, 4}) {
+      exec::Interpreter interp(&db, Opts(engine, threads, 512));
+      storage::ResultTable r = interp.Run(fn);
+      ASSERT_EQ(r.size(), 1u);
+      EXPECT_EQ(r.row(0)[0].i, want_sum) << "sum, threads=" << threads;
+      EXPECT_EQ(r.row(0)[1].d, want_fsum) << "fsum, threads=" << threads;
+      EXPECT_EQ(r.row(0)[2].i, want_cnt) << "count, threads=" << threads;
+      EXPECT_EQ(r.row(0)[3].i, want_mn) << "min, threads=" << threads;
+      EXPECT_EQ(r.row(0)[4].i, want_mx) << "max, threads=" << threads;
+    }
+  }
+}
+
+// Two 4-thread runs must produce identical bytes (scheduling independence).
+TEST(ParallelDeterminismTest, FourThreadRunsIdentical) {
+  storage::Database db = tpch::MakeTpchDatabase(0.01);
+  for (int q : {1, 6, 3}) {
+    qplan::PlanPtr plan = tpch::MakeQuery(q);
+    qplan::ResolvePlan(plan.get(), db);
+    ir::TypeFactory types;
+    QueryCompiler qc(&db, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+    exec::Interpreter a(&db, Opts(InterpOptions::Engine::kBytecode, 4, 1024));
+    exec::Interpreter b(&db, Opts(InterpOptions::Engine::kBytecode, 4, 1024));
+    storage::ResultTable ra = a.Run(*res.fn);
+    storage::ResultTable rb = b.Run(*res.fn);
+    ExpectBitExact(ra, rb, "determinism Q" + std::to_string(q));
+    ExpectStatsEqual(a.stats(), b.stats(),
+                     "determinism Q" + std::to_string(q));
+  }
+}
+
+// Guard against the whole suite passing vacuously: the analysis must
+// actually find parallelizable loops (with the expected reduction shapes)
+// in the flagship queries, at both stack levels.
+TEST(ParallelAnalysisTest, FlagshipLoopsQualify) {
+  storage::Database db = tpch::MakeTpchDatabase(0.002);
+
+  auto analyze = [&](int q, int level) {
+    qplan::PlanPtr plan = tpch::MakeQuery(q);
+    qplan::ResolvePlan(plan.get(), db);
+    ir::TypeFactory types;
+    if (level == 3) {
+      auto fn = lower::LowerPlanPipelined(*plan, db, &types, "q");
+      return ir::AnalyzeParallelism(*fn);
+    }
+    QueryCompiler qc(&db, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(level), "q");
+    return ir::AnalyzeParallelism(*res.fn);
+  };
+
+  // Q6: global f64 sum — one loop, one kVarSumF reduction with a log.
+  {
+    ir::ParallelInfo info = analyze(6, 5);
+    ASSERT_EQ(info.loops.size(), 1u) << "Q6 L5 scan loop must qualify";
+    const ir::ParLoop& pl = info.loops[0];
+    ASSERT_EQ(pl.reductions.size(), 1u);
+    EXPECT_EQ(pl.reductions[0].kind, ir::ParRedKind::kVarSumF);
+    ASSERT_EQ(pl.logs.size(), 1u);
+    EXPECT_EQ(pl.logs[0].values.size(), 1u);
+  }
+  // Q1 L5: direct-addressed group array with f64-sum fields + count.
+  {
+    ir::ParallelInfo info = analyze(1, 5);
+    bool found = false;
+    for (const ir::ParLoop& pl : info.loops) {
+      for (const ir::ParReduction& r : pl.reductions) {
+        if (r.kind == ir::ParRedKind::kGroupArray) {
+          found = true;
+          int sum_f = 0, sum_i = 0;
+          for (ir::ParFold f : r.fields) {
+            sum_f += f == ir::ParFold::kSumF;
+            sum_i += f == ir::ParFold::kSumI;
+          }
+          EXPECT_EQ(sum_f, 7) << "Q1 has 7 f64 accumulator fields";
+          EXPECT_GE(sum_i, 1) << "shared count field";
+          EXPECT_FALSE(pl.logs.empty());
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "Q1 L5 aggregation scan must qualify";
+  }
+  // Q1 L3: generic hash-map grouping.
+  {
+    ir::ParallelInfo info = analyze(1, 3);
+    bool found = false;
+    for (const ir::ParLoop& pl : info.loops) {
+      for (const ir::ParReduction& r : pl.reductions) {
+        found |= r.kind == ir::ParRedKind::kMap;
+      }
+    }
+    EXPECT_TRUE(found) << "Q1 L3 map aggregation must qualify";
+  }
+  // Q3 L5: intrusive bucket-array build + probe loop with map grouping.
+  {
+    ir::ParallelInfo info = analyze(3, 5);
+    bool bucket = false, map = false;
+    for (const ir::ParLoop& pl : info.loops) {
+      for (const ir::ParReduction& r : pl.reductions) {
+        bucket |= r.kind == ir::ParRedKind::kBucketArray;
+        map |= r.kind == ir::ParRedKind::kMap;
+      }
+    }
+    EXPECT_TRUE(bucket) << "Q3 L5 build loop must qualify";
+    EXPECT_TRUE(map) << "Q3 L5 probe loop must qualify";
+  }
+  // Q3 L3: generic multimap build.
+  {
+    ir::ParallelInfo info = analyze(3, 3);
+    bool mmap = false;
+    for (const ir::ParLoop& pl : info.loops) {
+      for (const ir::ParReduction& r : pl.reductions) {
+        mmap |= r.kind == ir::ParRedKind::kMMap;
+      }
+    }
+    EXPECT_TRUE(mmap) << "Q3 L3 multimap build must qualify";
+  }
+  // Q2 has a grouped min aggregate.
+  {
+    ir::ParallelInfo info = analyze(2, 5);
+    bool min = false;
+    for (const ir::ParLoop& pl : info.loops) {
+      for (const ir::ParReduction& r : pl.reductions) {
+        for (ir::ParFold f : r.fields) min |= f == ir::ParFold::kMin;
+      }
+    }
+    EXPECT_TRUE(min) << "Q2 L5 min aggregation must qualify";
+  }
+}
+
+}  // namespace
+}  // namespace qc
