@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cgen/cc_driver.h"
+#include "common/env.h"
 #include "common/timer.h"
 #include "cgen/emit.h"
 #include "compiler/compiler.h"
@@ -142,10 +143,13 @@ inline double BenchScaleFactor() {
 
 // True when the native (generated-C) measurement columns should be skipped —
 // CI tracks the in-process engines only, which needs no external compiler.
-inline bool BenchInterpOnly() {
-  const char* v = std::getenv("QC_BENCH_INTERP_ONLY");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
+inline bool BenchInterpOnly() { return EnvFlagSet("QC_BENCH_INTERP_ONLY"); }
+
+// True when the table3 rows should include the in-process JIT engine
+// (`ir-jit` cells; QC_BENCH_JIT=1). On platforms without executable-page
+// support the engine silently degrades to the bytecode VM, so the column
+// then mirrors ir-bc.
+inline bool BenchJit() { return EnvFlagSet("QC_BENCH_JIT"); }
 
 // Path for machine-readable benchmark output, or "" when disabled. Set
 // QC_BENCH_JSON=1 for the default file name, or to an explicit path.

@@ -10,6 +10,8 @@
 //   QC_BENCH_SF           scale factor (default 0.05)
 //   QC_BENCH_INTERP_ONLY  skip the generated-C columns (no external cc)
 //   QC_BENCH_JSON         "1" or a path: also write BENCH_table3.json
+//   QC_BENCH_JIT          add the in-process JIT engine rows (ir-jit)
+//   QC_BENCH_THREADS      comma list of interpreter thread counts
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // dbgen, SF); the reproduced claims are the *shapes*: L2 slowest, a large
@@ -65,6 +67,7 @@ void WriteJson(const std::string& path, double sf,
 int main() {
   double sf = bench::BenchScaleFactor();
   bool interp_only = bench::BenchInterpOnly();
+  bool with_jit = bench::BenchJit();
   std::vector<int> thread_counts = bench::BenchThreadCounts();
   std::printf("=== Table 3: TPC-H performance (ms), SF=%.3f%s ===\n", sf,
               interp_only ? " (interpreters only)" : "");
@@ -76,6 +79,7 @@ int main() {
       StackConfig::Compliant()};
 
   std::printf("%-4s %10s %10s %10s", "Q", "volcano", "ir-tree", "ir-bc");
+  if (with_jit) std::printf(" %10s", "ir-jit");
   if (!interp_only) {
     std::printf(" %10s %10s %10s %10s %10s %10s", "legobase", "dblab-2",
                 "dblab-3", "dblab-4", "dblab-5", "compliant");
@@ -86,6 +90,8 @@ int main() {
   int dblab5_wins = 0, total = 0;
   double speedup_log_sum = 0;
   int speedup_count = 0;
+  double jit_log_sum = 0;
+  int jit_count = 0;
   for (int q = 1; q <= tpch::kNumQueries; ++q) {
     Row row;
     row.query = q;
@@ -111,11 +117,24 @@ int main() {
       bench::InterpRun bc =
           harness.RunInterp(q, StackConfig::Level(5),
                             exec::InterpOptions::Engine::kBytecode, 3, threads);
+      bench::InterpRun jit;
+      if (with_jit) {
+        jit = harness.RunInterp(q, StackConfig::Level(5),
+                                exec::InterpOptions::Engine::kJit, 3, threads);
+      }
       if (t == 0) {
         row.threads = threads;
         std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
         row.cells.emplace_back("ir-tree", tree.query_ms);
         row.cells.emplace_back("ir-bc", bc.query_ms);
+        if (with_jit) {
+          std::printf(" %10.2f", jit.query_ms);
+          row.cells.emplace_back("ir-jit", jit.query_ms);
+          if (bc.ok && jit.ok && jit.query_ms > 0) {
+            jit_log_sum += std::log(bc.query_ms / jit.query_ms);
+            ++jit_count;
+          }
+        }
         if (tree.ok && bc.ok && bc.query_ms > 0) {
           speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
           ++speedup_count;
@@ -126,9 +145,12 @@ int main() {
         trow.threads = threads;
         trow.cells.emplace_back("ir-tree", tree.query_ms);
         trow.cells.emplace_back("ir-bc", bc.query_ms);
+        if (with_jit) trow.cells.emplace_back("ir-jit", jit.query_ms);
         json_rows.push_back(std::move(trow));
-        std::printf("  [t=%d: %0.2f %0.2f]", threads, tree.query_ms,
+        std::printf("  [t=%d: %0.2f %0.2f", threads, tree.query_ms,
                     bc.query_ms);
+        if (with_jit) std::printf(" %0.2f", jit.query_ms);
+        std::printf("]");
       }
     }
     double legobase_ms = 0, dblab5_ms = 0;
@@ -154,6 +176,10 @@ int main() {
     std::printf("\nbytecode VM vs tree-walk: %.2fx geomean speedup (%d "
                 "queries)\n",
                 std::exp(speedup_log_sum / speedup_count), speedup_count);
+  }
+  if (jit_count > 0) {
+    std::printf("JIT vs bytecode VM: %.2fx geomean speedup (%d queries)\n",
+                std::exp(jit_log_sum / jit_count), jit_count);
   }
   if (!interp_only) {
     std::printf(

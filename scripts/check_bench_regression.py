@@ -18,9 +18,10 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
-INTERP_COLUMNS = ("ir-tree", "ir-bc")
+INTERP_COLUMNS = ("ir-tree", "ir-bc", "ir-jit")
 
 
 def load_rows(path):
@@ -42,6 +43,20 @@ def main():
     ap.add_argument("--min-ms", type=float, default=1.0,
                     help="skip cells below this baseline time")
     args = ap.parse_args()
+
+    # First runs and forks have no previous successful main-branch artifact:
+    # that is not a regression, so report and succeed instead of crashing.
+    if not os.path.exists(args.baseline):
+        print(f"no baseline artifact at {args.baseline}; skipping regression "
+              "check (first run, expired artifact, or fork)")
+        return 0
+    if not os.path.exists(args.current):
+        # Unlike a missing baseline, this means the benchmark step itself
+        # broke (JSON emission regressed): fail loudly, or the gate would
+        # silently stay off forever.
+        print(f"error: no current benchmark output at {args.current}; "
+              "the benchmark step did not produce JSON", file=sys.stderr)
+        return 1
 
     base_meta, base = load_rows(args.baseline)
     cur_meta, cur = load_rows(args.current)

@@ -21,8 +21,12 @@ struct RunOutput {
 
 class CcDriver {
  public:
-  // `work_dir` holds sources, binaries and data files.
-  explicit CcDriver(std::string work_dir) : work_dir_(std::move(work_dir)) {}
+  // `work_dir` holds sources and cached binaries. QC_CC_CACHE_DIR, when
+  // set, overrides it (created if missing) so CI jobs and sandboxed runs
+  // sharing a machine don't collide on the default path; the data files a
+  // generated program reads are unaffected (their directory is baked into
+  // the generated source).
+  explicit CcDriver(std::string work_dir);
 
   // Writes `source` to <name>.c and compiles it. Returns the binary path
   // (empty on failure). `compile_ms` receives the C-compiler wall time.

@@ -1,0 +1,19 @@
+// Shared parsing of boolean environment knobs. Every QC_* on/off flag
+// (QC_JIT_DISABLE, QC_BENCH_*, QC_PAR_TRACE, ...) uses the same rule:
+// set to anything non-empty other than "0…" means on — so the knobs can
+// never silently diverge between call sites.
+#ifndef QC_COMMON_ENV_H_
+#define QC_COMMON_ENV_H_
+
+#include <cstdlib>
+
+namespace qc {
+
+inline bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace qc
+
+#endif  // QC_COMMON_ENV_H_

@@ -8,6 +8,7 @@
 
 #include "common/str.h"
 #include "ir/numbering.h"
+#include "jit/engine.h"
 
 // Computed-goto direct threading needs the GNU labels-as-values extension;
 // the portable switch loop is kept behind QC_BC_NO_COMPUTED_GOTO (and used
@@ -1265,6 +1266,22 @@ bool BytecodeVM::TryParallelLoop(parallel::ExecState& st,
 }
 
 void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
+  // Hybrid JIT driver: alternate between native segments and interpreted
+  // deopt runs until the program (or subroutine/fragment) returns. All
+  // state lives in st, so the same loop serves the main program, sort
+  // comparators, and per-worker morsel fragments.
+  if (jit_ != nullptr) {
+    while (pc != jit::kRetPc) {
+      pc = jit_->HasEntry(pc) ? jit_->Run(st.regs, pc)
+                              : ExecImpl<true>(st, pc);
+    }
+    return;
+  }
+  ExecImpl<false>(st, pc);
+}
+
+template <bool kHybrid>
+uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   const Insn* code = prog_->code.data();
   Slot* R = st.regs;
   const Insn* I = nullptr;
@@ -1276,23 +1293,25 @@ void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
 #undef QC_BC_LABEL_ADDR
   };
 #define TARGET(name) TGT_##name:
-#define DISPATCH()                   \
-  do {                               \
-    I = &code[pc];                   \
-    ++pc;                            \
-    goto* kTargets[I->op];           \
+#define DISPATCH()                                 \
+  do {                                             \
+    if (kHybrid && jit_->HasEntry(pc)) return pc;  \
+    I = &code[pc];                                 \
+    ++pc;                                          \
+    goto* kTargets[I->op];                         \
   } while (0)
   DISPATCH();
 #else
 #define TARGET(name) case BcOp::name:
 #define DISPATCH() break
   for (;;) {
+    if (kHybrid && jit_->HasEntry(pc)) return pc;
     I = &code[pc];
     ++pc;
     switch (static_cast<BcOp>(I->op)) {
 #endif
 
-  TARGET(kRet) { return; }
+  TARGET(kRet) { return jit::kRetPc; }
   TARGET(kJmp) { pc += I->d; }
   DISPATCH();
   TARGET(kJz) {
@@ -1703,9 +1722,15 @@ void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
         std::abort();
     }
   }
+#else
+  // Unreachable: every handler ends in DISPATCH() and kRet returns.
+  return jit::kRetPc;
 #endif
 #undef TARGET
 #undef DISPATCH
 }
+
+template uint32_t BytecodeVM::ExecImpl<false>(parallel::ExecState&, uint32_t);
+template uint32_t BytecodeVM::ExecImpl<true>(parallel::ExecState&, uint32_t);
 
 }  // namespace qc::exec

@@ -26,7 +26,10 @@
 //
 // The VM shares the runtime data structures (exec/runtime.h) and the
 // AllocStats accounting with the tree walker, so results — including the
-// Figure 8 memory numbers — are bit-identical between the two engines.
+// Figure 8 memory numbers — are bit-identical across the engines. The
+// copy-and-patch JIT (src/jit/) goes one step further down the same road:
+// it stitches these programs into native code and uses this VM as its
+// deopt target (BytecodeVM::SetJit).
 #ifndef QC_EXEC_BYTECODE_H_
 #define QC_EXEC_BYTECODE_H_
 
@@ -45,6 +48,10 @@
 #include "storage/result.h"
 
 namespace qc::exec {
+
+namespace jit {
+class JitProgram;  // src/jit/engine.h
+}
 
 // X(name) — opcode list. Order defines the encoding and the direct-threaded
 // label table, so the enum and the VM handlers are generated from the same
@@ -312,8 +319,21 @@ class BytecodeVM {
   // null keeps every loop on the sequential fallback path.
   void SetParallel(parallel::Engine* eng) { par_eng_ = eng; }
 
+  // Attaches JIT'd native code for the program about to Run (owned by the
+  // caller, compiled from the same BytecodeProgram). Non-null switches
+  // Exec to the hybrid native/interpreter driver: templated instruction
+  // runs execute natively, everything else deopts back here per
+  // instruction (src/jit/engine.h). Null (default) is the pure VM.
+  void SetJit(const jit::JitProgram* jp) { jit_ = jp; }
+
  private:
   void Exec(parallel::ExecState& st, uint32_t pc);
+  // The dispatch loop. kHybrid adds a per-instruction "native code exists
+  // for this pc" check and returns that pc (or jit::kRetPc after kRet) so
+  // the hybrid driver can re-enter native code; the kHybrid = false
+  // instantiation is byte-for-byte the pre-JIT interpreter loop.
+  template <bool kHybrid>
+  uint32_t ExecImpl(parallel::ExecState& st, uint32_t pc);
   // Runs one parallelizable loop on the worker pool; false = run the
   // sequential fallback instead.
   bool TryParallelLoop(parallel::ExecState& st, const ParLoopCode& plc);
@@ -327,6 +347,7 @@ class BytecodeVM {
   AllocStats* stats_;
   RecordHeap records_;
   parallel::Engine* par_eng_ = nullptr;
+  const jit::JitProgram* jit_ = nullptr;
   std::vector<Slot> regs_;
   std::deque<RtList> lists_;
   std::deque<RtArray> arrays_;

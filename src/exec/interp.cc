@@ -16,7 +16,7 @@ using ir::Type;
 using ir::TypeKind;
 
 storage::ResultTable Interpreter::Run(const ir::Function& fn) {
-  if (opts_.engine == InterpOptions::Engine::kBytecode) {
+  if (opts_.engine != InterpOptions::Engine::kTreeWalk) {
     auto it = programs_.find(&fn);
     if (it == programs_.end() || it->second.fn_name != fn.name() ||
         it->second.num_stmts != fn.num_stmts()) {
@@ -28,7 +28,19 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
           fn, par_ != nullptr ? &cached.par : nullptr);
       it = programs_.insert_or_assign(&fn, std::move(cached)).first;
     }
-    return vm_.Run(it->second.prog);
+    CachedProgram& cached = it->second;
+    if (opts_.engine == InterpOptions::Engine::kJit) {
+      if (!cached.jit_compiled) {
+        // Null on non-x86-64 builds, denied executable pages, or
+        // QC_JIT_DISABLE: the engine silently degrades to the plain VM.
+        cached.jit = jit::JitProgram::Compile(cached.prog);
+        cached.jit_compiled = true;
+      }
+      vm_.SetJit(cached.jit.get());
+    }
+    storage::ResultTable result = vm_.Run(cached.prog);
+    vm_.SetJit(nullptr);
+    return result;
   }
   return RunTreeWalk(fn);
 }

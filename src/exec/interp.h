@@ -6,11 +6,14 @@
 // differ only in the code the compiler produced — which is exactly what
 // Table 3 measures.
 //
-// Two engines share this facade:
+// Three engines share this facade:
 //   * kBytecode (default) — flattens the function once into register
 //     bytecode and runs it on the direct-threaded VM (exec/bytecode.h).
 //     Programs are cached per Function, so repeated Run() calls skip
 //     translation.
+//   * kJit — additionally stitches the bytecode into native x86-64 via
+//     the copy-and-patch backend (src/jit/), with per-instruction deopt
+//     into the VM; degrades silently to kBytecode where unsupported.
 //   * kTreeWalk — the original pointer-walking interpreter, kept as the
 //     executable-semantics reference and as an escape hatch.
 //
@@ -32,6 +35,7 @@
 #include "exec/runtime.h"
 #include "ir/parallel.h"
 #include "ir/stmt.h"
+#include "jit/engine.h"
 #include "storage/database.h"
 #include "storage/result.h"
 
@@ -41,6 +45,10 @@ struct InterpOptions {
   enum class Engine {
     kBytecode,  // register bytecode on the direct-threaded VM
     kTreeWalk,  // node-by-node Stmt-graph walk (reference engine)
+    kJit,       // bytecode stitched to native x86-64 (src/jit/), with
+                // per-instruction deopt into the VM; degrades silently to
+                // kBytecode on platforms without executable-page support
+                // or when QC_JIT_DISABLE is set — safe to select anywhere
   };
   Engine engine = Engine::kBytecode;
 
@@ -119,6 +127,10 @@ class Interpreter {
     int num_stmts = -1;
     ir::ParallelInfo par;
     BytecodeProgram prog;
+    // kJit: stitched native code for `prog` (null = degraded to the VM),
+    // compiled lazily on the first kJit Run and cached like the bytecode.
+    std::unique_ptr<jit::JitProgram> jit;
+    bool jit_compiled = false;
   };
   BytecodeVM vm_;
   std::unordered_map<const ir::Function*, CachedProgram> programs_;

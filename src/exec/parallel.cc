@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "common/env.h"
+
 namespace qc::exec::parallel {
 
 namespace {
@@ -428,10 +430,7 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
 
   // QC_PAR_TRACE=1: one line per parallel loop execution, with phase
   // timings (debug / tuning aid).
-  static const bool trace = [] {
-    const char* v = std::getenv("QC_PAR_TRACE");
-    return v != nullptr && v[0] != '\0' && v[0] != '0';
-  }();
+  static const bool trace = EnvFlagSet("QC_PAR_TRACE");
   auto t0 = std::chrono::steady_clock::now();
 
   // The workers scan morsels; the caller thread runs the ordered merge

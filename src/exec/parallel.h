@@ -27,8 +27,9 @@
 // list buffers), so Figure 8 numbers are engine- and thread-count-
 // independent.
 //
-// The two engines share everything here; they differ only in the
-// `LoopRun::body` callback that executes one morsel.
+// The engines share everything here; they differ only in the
+// `LoopRun::body` callback that executes one morsel (the JIT engine reuses
+// the bytecode VM's callback — its hybrid driver runs per worker).
 #ifndef QC_EXEC_PARALLEL_H_
 #define QC_EXEC_PARALLEL_H_
 

@@ -1,0 +1,63 @@
+#include "jit/engine.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#endif
+
+#include "common/env.h"
+#include "jit/templates.h"
+
+// The backend emits x86-64 SysV machine code and enters it through a
+// plain function-pointer call; both are gated here. Everything else in
+// src/jit/ is portable C++ (it only fills byte vectors).
+#if defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+#define QC_JIT_SUPPORTED 1
+#else
+#define QC_JIT_SUPPORTED 0
+#endif
+
+namespace qc::exec::jit {
+
+namespace {
+
+#if QC_JIT_SUPPORTED
+// Can this process map and then execute a page? Sandboxes and hardened
+// kernels may refuse PROT_EXEC; probe once instead of failing later.
+bool ExecPagesGrantable() {
+  static const bool ok = [] {
+    void* p = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) return false;
+    bool exec_ok = ::mprotect(p, 4096, PROT_READ | PROT_EXEC) == 0;
+    ::munmap(p, 4096);
+    return exec_ok;
+  }();
+  return ok;
+}
+#endif
+
+}  // namespace
+
+bool JitAvailable() {
+#if QC_JIT_SUPPORTED
+  if (EnvFlagSet("QC_JIT_DISABLE")) return false;
+  return ExecPagesGrantable();
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog) {
+  if (!JitAvailable() || prog.code.empty()) return nullptr;
+  StitchResult stitched = StitchProgram(prog);
+  if (stitched.num_native == 0) return nullptr;
+  std::unique_ptr<JitProgram> jp(new JitProgram());
+  if (!jp->buf_.Install(stitched.code)) return nullptr;  // W^X refused
+  jp->enter_ = reinterpret_cast<EnterFn>(
+      reinterpret_cast<uintptr_t>(jp->buf_.base()));
+  jp->entry_ = std::move(stitched.entry);
+  jp->num_native_ = stitched.num_native;
+  return jp;
+}
+
+}  // namespace qc::exec::jit

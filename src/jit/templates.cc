@@ -1,0 +1,571 @@
+#include "jit/templates.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "jit/emitter.h"
+#include "storage/database.h"
+
+namespace qc::exec::jit {
+
+namespace {
+
+constexpr int kNumOps = static_cast<int>(BcOp::kNumOps);
+
+// Builder for one template: the mini-assembler plus patch-point recording.
+// Every Slot access goes through the *Slot helpers so the displacement is
+// forced to disp32 (patchable) even though the placeholder is 0.
+struct TB {
+  Asm a;
+  std::vector<PatchPoint> patches;
+
+  void Mark(PatchKind k) {
+    patches.push_back({static_cast<uint16_t>(a.last_field()), k});
+  }
+  void LoadSlot(Reg r, PatchKind k) {
+    a.MovRegMem(r, kSlotBase, 0, /*force_disp32=*/true);
+    Mark(k);
+  }
+  void StoreSlot(Reg r, PatchKind k) {
+    a.MovMemReg(kSlotBase, 0, r, true);
+    Mark(k);
+  }
+  void LoadSlotSd(Xmm x, PatchKind k) {
+    a.MovsdXmmMem(x, kSlotBase, 0, true);
+    Mark(k);
+  }
+  void StoreSlotSd(Xmm x, PatchKind k) {
+    a.MovsdMemXmm(kSlotBase, 0, x, true);
+    Mark(k);
+  }
+  void LoadPtr(Reg r) {
+    a.MovImm64(r, 0);
+    Mark(PatchKind::kPtrB);
+  }
+  void Jump(Cond cc) {
+    a.JccRel32(cc);
+    Mark(PatchKind::kJumpD);
+  }
+  void JumpAlways() {
+    a.JmpRel32();
+    Mark(PatchKind::kJumpD);
+  }
+  // setcc + zero-extend + store to slot A: the boolean materialization tail
+  // shared by every value-producing comparison.
+  void StoreBool(Cond cc) {
+    a.Setcc(cc, RAX);
+    a.MovzxRegReg8(RAX, RAX);
+    StoreSlot(RAX, PatchKind::kSlotA);
+  }
+  // movq mask -> rax; low bit -> 0/1; store to slot A (cmpsd tail).
+  void StoreFBool() {
+    a.MovqRegXmm(RAX, XMM0);
+    a.AndImm8(RAX, 1);
+    StoreSlot(RAX, PatchKind::kSlotA);
+  }
+};
+
+struct Built {
+  std::vector<uint8_t> bytes;
+  std::vector<PatchPoint> patches;
+  bool needs_probe = false;
+};
+
+struct Store {
+  OpTemplate table[kNumOps];
+  std::vector<uint8_t> bytes;
+};
+
+// Comparison condition for the value-producing (setcc) direction.
+Cond ValCond(int i) {  // order: Eq Ne Lt Le Gt Ge
+  static const Cond k[] = {kCondE, kCondNE, kCondL, kCondLE, kCondG, kCondGE};
+  return k[i];
+}
+// Condition for branch-if-FALSE (the kJn* family).
+Cond NegCond(int i) {
+  static const Cond k[] = {kCondNE, kCondE, kCondGE, kCondG, kCondLE, kCondL};
+  return k[i];
+}
+// SSE cmpsd predicate per comparison; Gt/Ge are encoded by swapping the
+// operand loads and using Lt/Le (matches C++ NaN semantics exactly).
+FCmp FPred(int i) {
+  static const FCmp k[] = {kFEq, kFNeq, kFLt, kFLe, kFLt, kFLe};
+  return k[i];
+}
+bool FSwapped(int i) { return i >= 4; }  // Gt, Ge
+
+Store* BuildTemplates() {
+  Store* s = new Store();
+  std::vector<Built> built(kNumOps);
+  auto def = [&](BcOp op, bool needs_probe,
+                 const std::function<void(TB&)>& fn) {
+    TB t;
+    fn(t);
+    Built& b = built[static_cast<int>(op)];
+    b.bytes = t.a.bytes();
+    b.patches = t.patches;
+    b.needs_probe = needs_probe;
+  };
+
+  // --- control flow --------------------------------------------------------
+  // kRet is itself the deopt exit shape with the "returned" sentinel.
+  def(BcOp::kRet, false, [](TB& t) {
+    t.a.MovImm32(RAX, 0xFFFFFFFFu);  // jit::kRetPc
+    t.a.PopR12();
+    t.a.Ret();
+  });
+  def(BcOp::kJmp, false, [](TB& t) { t.JumpAlways(); });
+  def(BcOp::kJz, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.TestRegReg(RAX, RAX);
+    t.Jump(kCondE);
+  });
+  def(BcOp::kJnz, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.TestRegReg(RAX, RAX);
+    t.Jump(kCondNE);
+  });
+  def(BcOp::kJgeI, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.CmpRegMem(RAX, kSlotBase, 0, true);
+    t.Mark(PatchKind::kSlotB);
+    t.Jump(kCondGE);
+  });
+  def(BcOp::kForNext, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.IncReg(RAX);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+    t.a.CmpRegMem(RAX, kSlotBase, 0, true);
+    t.Mark(PatchKind::kSlotB);
+    t.Jump(kCondL);
+  });
+  def(BcOp::kIncJmp, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.IncReg(RAX);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+    t.JumpAlways();
+  });
+
+  // --- moves ---------------------------------------------------------------
+  def(BcOp::kLoadK, false, [](TB& t) {
+    t.a.MovImm64(RAX, 0);
+    t.Mark(PatchKind::kConstB);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kMov, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+
+  // --- i64 arithmetic ------------------------------------------------------
+  auto alu_i = [&](BcOp op, void (Asm::*alu)(Reg, Reg, int32_t, bool)) {
+    def(op, false, [alu](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotB);
+      (t.a.*alu)(RAX, kSlotBase, 0, true);
+      t.Mark(PatchKind::kSlotC);
+      t.StoreSlot(RAX, PatchKind::kSlotA);
+    });
+  };
+  alu_i(BcOp::kAddI, &Asm::AddRegMem);
+  alu_i(BcOp::kSubI, &Asm::SubRegMem);
+  alu_i(BcOp::kMulI, &Asm::ImulRegMem);
+  alu_i(BcOp::kBitAnd, &Asm::AndRegMem);
+  auto div_i = [&](BcOp op, bool want_rem) {
+    def(op, false, [want_rem](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotB);
+      t.LoadSlot(RCX, PatchKind::kSlotC);
+      t.a.TestRegReg(RCX, RCX);
+      size_t jz = t.a.Jcc8(kCondE);
+      t.a.Cqo();
+      t.a.IdivReg(RCX);
+      if (want_rem) t.a.MovRegReg(RAX, RDX);
+      size_t jend = t.a.Jmp8();
+      t.a.PatchRel8(jz);
+      t.a.XorReg32(RAX);  // divisor 0 -> result 0 (the VM's semantics)
+      t.a.PatchRel8(jend);
+      t.StoreSlot(RAX, PatchKind::kSlotA);
+    });
+  };
+  div_i(BcOp::kDivI, false);
+  div_i(BcOp::kModI, true);
+  def(BcOp::kNegI, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.NegReg(RAX);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+
+  // --- f64 arithmetic ------------------------------------------------------
+  auto alu_f = [&](BcOp op, uint8_t sse_opcode) {
+    def(op, false, [sse_opcode](TB& t) {
+      t.LoadSlotSd(XMM0, PatchKind::kSlotB);
+      t.a.ArithsdXmmMem(sse_opcode, XMM0, kSlotBase, 0, true);
+      t.Mark(PatchKind::kSlotC);
+      t.StoreSlotSd(XMM0, PatchKind::kSlotA);
+    });
+  };
+  alu_f(BcOp::kAddF, 0x58);
+  alu_f(BcOp::kSubF, 0x5C);
+  alu_f(BcOp::kMulF, 0x59);
+  alu_f(BcOp::kDivF, 0x5E);
+  def(BcOp::kNegF, false, [](TB& t) {
+    // IEEE negation is a sign-bit flip — identical to what -x compiles to.
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.MovImm64(RCX, 0x8000000000000000ull);
+    t.a.XorRegReg(RAX, RCX);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kCastIF, false, [](TB& t) {
+    t.a.Cvtsi2sdXmmMem(XMM0, kSlotBase, 0, true);
+    t.Mark(PatchKind::kSlotB);
+    t.StoreSlotSd(XMM0, PatchKind::kSlotA);
+  });
+  def(BcOp::kCastFI, false, [](TB& t) {
+    t.a.Cvttsd2siRegMem(RAX, kSlotBase, 0, true);
+    t.Mark(PatchKind::kSlotB);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+
+  // --- comparisons (value-producing) --------------------------------------
+  const BcOp cmp_i[] = {BcOp::kEqI, BcOp::kNeI, BcOp::kLtI,
+                        BcOp::kLeI, BcOp::kGtI, BcOp::kGeI};
+  const BcOp cmp_f[] = {BcOp::kEqF, BcOp::kNeF, BcOp::kLtF,
+                        BcOp::kLeF, BcOp::kGtF, BcOp::kGeF};
+  for (int i = 0; i < 6; ++i) {
+    def(cmp_i[i], false, [i](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotB);
+      t.a.CmpRegMem(RAX, kSlotBase, 0, true);
+      t.Mark(PatchKind::kSlotC);
+      t.StoreBool(ValCond(i));
+    });
+    def(cmp_f[i], false, [i](TB& t) {
+      PatchKind lhs = FSwapped(i) ? PatchKind::kSlotC : PatchKind::kSlotB;
+      PatchKind rhs = FSwapped(i) ? PatchKind::kSlotB : PatchKind::kSlotC;
+      t.LoadSlotSd(XMM0, lhs);
+      t.a.CmpsdXmmMem(XMM0, kSlotBase, 0, FPred(i), true);
+      t.Mark(rhs);
+      t.StoreFBool();
+    });
+  }
+
+  // --- booleans ------------------------------------------------------------
+  auto bool_ab = [&](BcOp op, bool is_or) {
+    def(op, false, [is_or](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotB);
+      t.a.TestRegReg(RAX, RAX);
+      t.a.Setcc(kCondNE, RAX);
+      t.LoadSlot(RCX, PatchKind::kSlotC);
+      t.a.TestRegReg(RCX, RCX);
+      t.a.Setcc(kCondNE, RCX);
+      if (is_or) {
+        t.a.OrReg8(RAX, RCX);
+      } else {
+        t.a.AndReg8(RAX, RCX);
+      }
+      t.a.MovzxRegReg8(RAX, RAX);
+      t.StoreSlot(RAX, PatchKind::kSlotA);
+    });
+  };
+  bool_ab(BcOp::kAnd, false);
+  bool_ab(BcOp::kOr, true);
+  auto is_zero = [&](BcOp op) {
+    def(op, false, [](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotB);
+      t.a.TestRegReg(RAX, RAX);
+      t.StoreBool(kCondE);
+    });
+  };
+  is_zero(BcOp::kNot);
+  is_zero(BcOp::kIsNull);  // null == 0: same shape
+
+  // --- records -------------------------------------------------------------
+  def(BcOp::kRecGet, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.MovRegMem(RAX, RAX, 0, true);
+    t.Mark(PatchKind::kFieldC);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kRecSet, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.LoadSlot(RCX, PatchKind::kSlotC);
+    t.a.MovMemReg(RAX, 0, RCX, true);
+    t.Mark(PatchKind::kFieldB);
+  });
+  def(BcOp::kRecAccAddI, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.LoadSlot(RCX, PatchKind::kSlotC);
+    t.a.AddMemReg(RAX, 0, RCX, true);
+    t.Mark(PatchKind::kFieldB);
+  });
+  def(BcOp::kRecAccAddF, false, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.MovsdXmmMem(XMM0, RAX, 0, true);
+    t.Mark(PatchKind::kFieldB);
+    t.a.ArithsdXmmMem(0x58, XMM0, kSlotBase, 0, true);
+    t.Mark(PatchKind::kSlotC);
+    t.a.MovsdMemXmm(RAX, 0, XMM0, true);
+    t.Mark(PatchKind::kFieldB);
+  });
+
+  // --- arrays / lists (std::vector layout — behind the probe) -------------
+  // RtArray/RtList hold their std::vector at offset 0; begin pointer at
+  // vector offset 0, end pointer at offset 8 (RuntimeLayoutUsable checks).
+  def(BcOp::kArrGet, true, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.MovRegMem(RAX, RAX, 0);  // data.begin
+    t.LoadSlot(RCX, PatchKind::kSlotC);
+    t.a.MovRegMemIdx(RAX, RAX, RCX, 3);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kListGet, true, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.MovRegMem(RAX, RAX, 0);
+    t.LoadSlot(RCX, PatchKind::kSlotC);
+    t.a.MovRegMemIdx(RAX, RAX, RCX, 3);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kArrSet, true, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.MovRegMem(RAX, RAX, 0);
+    t.LoadSlot(RCX, PatchKind::kSlotB);
+    t.LoadSlot(RDX, PatchKind::kSlotC);
+    t.a.MovMemIdxReg(RAX, RCX, 3, 0, RDX);
+  });
+  auto vec_len = [&](BcOp op) {
+    def(op, true, [](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotB);
+      t.a.MovRegMem(RCX, RAX, 8);  // end
+      t.a.SubRegMem(RCX, RAX, 0);  // - begin
+      t.a.SarImm8(RCX, 3);         // / sizeof(Slot)
+      t.StoreSlot(RCX, PatchKind::kSlotA);
+    });
+  };
+  vec_len(BcOp::kArrLen);
+  vec_len(BcOp::kListSize);
+  def(BcOp::kArrAccAddI, true, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.MovRegMem(RAX, RAX, 0);
+    t.LoadSlot(RCX, PatchKind::kSlotB);
+    t.LoadSlot(RDX, PatchKind::kSlotC);
+    t.a.AddMemIdxReg(RAX, RCX, 3, 0, RDX);
+  });
+  def(BcOp::kArrAccAddF, true, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotA);
+    t.a.MovRegMem(RAX, RAX, 0);
+    t.LoadSlot(RCX, PatchKind::kSlotB);
+    t.a.MovsdXmmMemIdx(XMM0, RAX, RCX, 3);
+    t.a.ArithsdXmmMem(0x58, XMM0, kSlotBase, 0, true);
+    t.Mark(PatchKind::kSlotC);
+    t.a.MovsdMemIdxXmm(RAX, RCX, 3, XMM0);
+  });
+
+  // --- base-table access ---------------------------------------------------
+  def(BcOp::kColGet, false, [](TB& t) {
+    t.LoadPtr(R11);
+    t.LoadSlot(RAX, PatchKind::kSlotC);
+    t.a.MovRegMemIdx(RAX, R11, RAX, 3);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kColDict, false, [](TB& t) {
+    t.LoadPtr(R11);
+    t.LoadSlot(RAX, PatchKind::kSlotC);
+    t.a.MovsxdRegMemIdx(RAX, R11, RAX);  // int32 codes, sign-extended
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  // Load-time indexes (struct offsets behind the probe). The unsigned
+  // compare folds the key < 0 and key > max_key range checks into one.
+  def(BcOp::kIdxBucketLen, true, [](TB& t) {
+    t.LoadPtr(R11);
+    t.LoadSlot(RAX, PatchKind::kSlotC);
+    t.a.XorReg32(RCX);
+    t.a.CmpRegMem(RAX, R11, 0);  // max_key
+    size_t out = t.a.Jcc8(kCondA);
+    t.a.MovRegMem(RDX, R11, 8);  // offsets.begin
+    t.a.MovRegMemIdx(RCX, RDX, RAX, 3, 8);  // offsets[key + 1]
+    t.a.SubRegMemIdx(RCX, RDX, RAX, 3);     // - offsets[key]
+    t.a.PatchRel8(out);
+    t.StoreSlot(RCX, PatchKind::kSlotA);
+  });
+  def(BcOp::kIdxBucketRow, true, [](TB& t) {
+    t.LoadPtr(R11);
+    t.LoadSlot(RAX, PatchKind::kSlotC);  // key
+    t.a.MovRegMem(RDX, R11, 8);          // offsets.begin
+    t.a.MovRegMemIdx(RAX, RDX, RAX, 3);  // offsets[key]
+    t.a.AddRegMem(RAX, kSlotBase, 0, true);  // + j
+    t.Mark(PatchKind::kSlotD);
+    t.a.MovRegMem(RDX, R11, 32);         // rows.begin
+    t.a.MovRegMemIdx(RAX, RDX, RAX, 3);
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  def(BcOp::kIdxPkRow, true, [](TB& t) {
+    t.LoadPtr(R11);
+    t.LoadSlot(RAX, PatchKind::kSlotC);
+    t.a.MovImmSext32(RCX, -1);
+    t.a.CmpRegMem(RAX, R11, 0);  // max_key
+    size_t out = t.a.Jcc8(kCondA);
+    t.a.MovRegMem(RDX, R11, 8);  // row_of.begin
+    t.a.MovRegMemIdx(RCX, RDX, RAX, 3);
+    t.a.PatchRel8(out);
+    t.StoreSlot(RCX, PatchKind::kSlotA);
+  });
+
+  // --- fused super-instructions -------------------------------------------
+  const BcOp colcmp_i[] = {BcOp::kColGetEqI, BcOp::kColGetNeI,
+                           BcOp::kColGetLtI, BcOp::kColGetLeI,
+                           BcOp::kColGetGtI, BcOp::kColGetGeI};
+  const BcOp colcmp_f[] = {BcOp::kColGetEqF, BcOp::kColGetNeF,
+                           BcOp::kColGetLtF, BcOp::kColGetLeF,
+                           BcOp::kColGetGtF, BcOp::kColGetGeF};
+  const BcOp jn_i[] = {BcOp::kJnEqI, BcOp::kJnNeI, BcOp::kJnLtI,
+                       BcOp::kJnLeI, BcOp::kJnGtI, BcOp::kJnGeI};
+  const BcOp jn_f[] = {BcOp::kJnEqF, BcOp::kJnNeF, BcOp::kJnLtF,
+                       BcOp::kJnLeF, BcOp::kJnGtF, BcOp::kJnGeF};
+  const BcOp jncol_i[] = {BcOp::kJnColEqI, BcOp::kJnColNeI, BcOp::kJnColLtI,
+                          BcOp::kJnColLeI, BcOp::kJnColGtI, BcOp::kJnColGeI};
+  const BcOp jncol_f[] = {BcOp::kJnColEqF, BcOp::kJnColNeF, BcOp::kJnColLtF,
+                          BcOp::kJnColLeF, BcOp::kJnColGtF, BcOp::kJnColGeF};
+  for (int i = 0; i < 6; ++i) {
+    // R[a] = col[R[c]] CMP R[d]
+    def(colcmp_i[i], false, [i](TB& t) {
+      t.LoadPtr(R11);
+      t.LoadSlot(RAX, PatchKind::kSlotC);
+      t.a.MovRegMemIdx(RAX, R11, RAX, 3);
+      t.a.CmpRegMem(RAX, kSlotBase, 0, true);
+      t.Mark(PatchKind::kSlotD);
+      t.StoreBool(ValCond(i));
+    });
+    def(colcmp_f[i], false, [i](TB& t) {
+      t.LoadPtr(R11);
+      t.LoadSlot(RAX, PatchKind::kSlotC);
+      if (FSwapped(i)) {
+        t.LoadSlotSd(XMM0, PatchKind::kSlotD);
+        t.a.CmpsdXmmMemIdx(XMM0, R11, RAX, 3, FPred(i));
+      } else {
+        t.a.MovsdXmmMemIdx(XMM0, R11, RAX, 3);
+        t.a.CmpsdXmmMem(XMM0, kSlotBase, 0, FPred(i), true);
+        t.Mark(PatchKind::kSlotD);
+      }
+      t.StoreFBool();
+    });
+    // if (!(R[a] CMP R[b])) jump
+    def(jn_i[i], false, [i](TB& t) {
+      t.LoadSlot(RAX, PatchKind::kSlotA);
+      t.a.CmpRegMem(RAX, kSlotBase, 0, true);
+      t.Mark(PatchKind::kSlotB);
+      t.Jump(NegCond(i));
+    });
+    def(jn_f[i], false, [i](TB& t) {
+      PatchKind lhs = FSwapped(i) ? PatchKind::kSlotB : PatchKind::kSlotA;
+      PatchKind rhs = FSwapped(i) ? PatchKind::kSlotA : PatchKind::kSlotB;
+      t.LoadSlotSd(XMM0, lhs);
+      t.a.CmpsdXmmMem(XMM0, kSlotBase, 0, FPred(i), true);
+      t.Mark(rhs);
+      t.a.MovqRegXmm(RAX, XMM0);
+      t.a.TestRegReg(RAX, RAX);
+      t.Jump(kCondE);  // comparison false -> take the branch
+    });
+    // if (!(col[R[c]] CMP R[a])) jump
+    def(jncol_i[i], false, [i](TB& t) {
+      t.LoadPtr(R11);
+      t.LoadSlot(RAX, PatchKind::kSlotC);
+      t.a.MovRegMemIdx(RAX, R11, RAX, 3);
+      t.a.CmpRegMem(RAX, kSlotBase, 0, true);
+      t.Mark(PatchKind::kSlotA);
+      t.Jump(NegCond(i));
+    });
+    def(jncol_f[i], false, [i](TB& t) {
+      t.LoadPtr(R11);
+      t.LoadSlot(RAX, PatchKind::kSlotC);
+      if (FSwapped(i)) {
+        t.LoadSlotSd(XMM0, PatchKind::kSlotA);
+        t.a.CmpsdXmmMemIdx(XMM0, R11, RAX, 3, FPred(i));
+      } else {
+        t.a.MovsdXmmMemIdx(XMM0, R11, RAX, 3);
+        t.a.CmpsdXmmMem(XMM0, kSlotBase, 0, FPred(i), true);
+        t.Mark(PatchKind::kSlotA);
+      }
+      t.a.MovqRegXmm(RAX, XMM0);
+      t.a.TestRegReg(RAX, RAX);
+      t.Jump(kCondE);
+    });
+  }
+
+  // Everything else (allocation, hashing, sorting, strings, emission,
+  // morsel dispatch) deopts: code stays nullptr.
+
+  // Flatten into stable storage: concatenate all template bytes, then
+  // resolve the code pointers against the final buffer.
+  for (int op = 0; op < kNumOps; ++op) {
+    Built& b = built[op];
+    if (b.bytes.empty()) continue;
+    OpTemplate& t = s->table[op];
+    if (b.patches.size() > sizeof(t.patches) / sizeof(t.patches[0])) {
+      std::fprintf(stderr,
+                   "jit: template for %s has %zu patch points (max %zu)\n",
+                   BcOpName(static_cast<BcOp>(op)), b.patches.size(),
+                   sizeof(t.patches) / sizeof(t.patches[0]));
+      std::abort();  // a template bug, not a runtime condition
+    }
+    t.size = static_cast<uint16_t>(b.bytes.size());
+    t.num_patches = static_cast<uint8_t>(b.patches.size());
+    for (size_t i = 0; i < b.patches.size(); ++i) t.patches[i] = b.patches[i];
+    t.needs_layout_probe = b.needs_probe;
+    s->bytes.insert(s->bytes.end(), b.bytes.begin(), b.bytes.end());
+  }
+  size_t off = 0;
+  for (int op = 0; op < kNumOps; ++op) {
+    if (built[op].bytes.empty()) continue;
+    s->table[op].code = s->bytes.data() + off;
+    off += built[op].bytes.size();
+  }
+  return s;
+}
+
+}  // namespace
+
+const OpTemplate* TemplateTable() {
+  static const Store* store = BuildTemplates();
+  return store->table;
+}
+
+bool RuntimeLayoutUsable() {
+  static const bool ok = [] {
+    if (sizeof(void*) != 8 || sizeof(std::vector<Slot>) != 24) return false;
+    std::vector<Slot> v(3);
+    unsigned char* raw = reinterpret_cast<unsigned char*>(&v);
+    Slot* b = nullptr;
+    Slot* e = nullptr;
+    std::memcpy(&b, raw, 8);
+    std::memcpy(&e, raw + 8, 8);
+    if (b != v.data() || e != v.data() + 3) return false;
+    RtArray arr;
+    if (reinterpret_cast<unsigned char*>(&arr.data) !=
+        reinterpret_cast<unsigned char*>(&arr)) {
+      return false;
+    }
+    RtList list;
+    if (reinterpret_cast<unsigned char*>(&list.items) !=
+        reinterpret_cast<unsigned char*>(&list)) {
+      return false;
+    }
+    storage::PartitionedIndex pi;
+    unsigned char* pr = reinterpret_cast<unsigned char*>(&pi);
+    if (reinterpret_cast<unsigned char*>(&pi.max_key) != pr ||
+        reinterpret_cast<unsigned char*>(&pi.offsets) != pr + 8 ||
+        reinterpret_cast<unsigned char*>(&pi.rows) != pr + 32) {
+      return false;
+    }
+    storage::PkIndex pk;
+    unsigned char* kr = reinterpret_cast<unsigned char*>(&pk);
+    if (reinterpret_cast<unsigned char*>(&pk.max_key) != kr ||
+        reinterpret_cast<unsigned char*>(&pk.row_of) != kr + 8) {
+      return false;
+    }
+    return true;
+  }();
+  return ok;
+}
+
+}  // namespace qc::exec::jit

@@ -1,0 +1,78 @@
+// Per-opcode native code templates for the copy-and-patch JIT.
+//
+// Each supported BcOp has one pre-assembled x86-64 machine-code sequence
+// with *holes* — operand-dependent fields left as placeholders — plus a
+// patch-point descriptor per hole saying how to fill it from a concrete
+// Insn (register-file displacement, pre-resolved pointer, constant bits,
+// or a relative branch target). The emitter stitches a program by
+// memcpy'ing templates in bytecode order and applying the patches; no
+// instruction selection happens at JIT time, which is what makes
+// translation effectively free (the copy-and-patch idea).
+//
+// Templates are built once per process, at first use, by running the
+// mini-assembler (emitter.h) with zero placeholders and recording where
+// each patchable field landed. Invariants every template obeys:
+//   * r12 holds the VM register-file base (Slot*); VM register k lives at
+//     [r12 + k*8], always addressed with a patchable disp32.
+//   * rax/rcx/rdx/r11/xmm0 are scratch; nothing is preserved across
+//     templates except the register file itself (state lives in memory,
+//     exactly like the bytecode VM's Slot array — which is what makes
+//     mid-program deopt re-entry trivial).
+//   * Templates never call anything. Operations that need the C++ runtime
+//     (allocation, hashing, sorting, string interning, morsel dispatch)
+//     simply have no template and deopt to the VM (engine.h).
+//   * Fall-through is the next stitched instruction; taken branches are
+//     rel32 fields patched by the emitter's branch-fixup pass.
+#ifndef QC_JIT_TEMPLATES_H_
+#define QC_JIT_TEMPLATES_H_
+
+#include <cstdint>
+
+#include "exec/bytecode.h"
+
+namespace qc::exec::jit {
+
+// How one hole in a template is filled at stitch time.
+enum class PatchKind : uint8_t {
+  kSlotA,   // disp32 <- insn.a * 8 (register-file slot)
+  kSlotB,   // disp32 <- insn.b * 8
+  kSlotC,   // disp32 <- insn.c * 8
+  kSlotD,   // disp32 <- uint32(insn.d) * 8 (d carrying a 4th register)
+  kFieldB,  // disp32 <- insn.b * 8 (record-field offset)
+  kFieldC,  // disp32 <- insn.c * 8
+  kPtrB,    // imm64 <- prog.ptrs[insn.b] (pre-resolved column/index ptr)
+  kConstB,  // imm64 <- prog.consts[insn.b] raw slot bits
+  kJumpD,   // rel32 <- native code of pc + 1 + insn.d (branch fixup)
+};
+
+struct PatchPoint {
+  uint16_t offset;  // byte offset of the field inside the template
+  PatchKind kind;
+};
+
+// One opcode's template. code == nullptr means "no template": the
+// instruction deopts to the bytecode VM.
+struct OpTemplate {
+  const uint8_t* code = nullptr;
+  uint16_t size = 0;
+  uint8_t num_patches = 0;
+  PatchPoint patches[4];
+  // Template dereferences std::vector / index-struct internals and is only
+  // stitched when RuntimeLayoutUsable() confirmed the layout probe.
+  bool needs_layout_probe = false;
+};
+
+// The template table, indexed by BcOp, BcOp::kNumOps entries. Built on
+// first call (thread-safe function-local static).
+const OpTemplate* TemplateTable();
+
+// One-time probe of the standard-library memory layout the container
+// templates compile against (vector = {begin, end, cap} pointers; RtArray/
+// RtList payload at offset 0; PartitionedIndex/PkIndex field offsets).
+// When the probe fails those templates are skipped — their opcodes deopt —
+// and everything still runs correctly.
+bool RuntimeLayoutUsable();
+
+}  // namespace qc::exec::jit
+
+#endif  // QC_JIT_TEMPLATES_H_

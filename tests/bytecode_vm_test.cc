@@ -3,8 +3,15 @@
 // across all 22 TPC-H queries under every stack configuration, plus unit
 // tests for the bytecode compiler itself — jump lowering, constant presets,
 // and the fused super-instructions.
+//
+// The copy-and-patch JIT backend (src/jit/) is locked against the VM the
+// same way: bit-exact agreement on all 22 queries at SF 0.01, both stack
+// levels, threads {1, 4}, plus deopt-boundary and degraded-mode tests.
+// (VM == tree-walk at the same scale is asserted by parallel_exec_test, so
+// the three engines agree transitively.)
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -12,6 +19,7 @@
 #include "exec/bytecode.h"
 #include "exec/interp.h"
 #include "ir/builder.h"
+#include "jit/engine.h"
 #include "lower/pipeline.h"
 #include "storage/database.h"
 #include "tpch/datagen.h"
@@ -453,6 +461,143 @@ TEST(BytecodeVm, RepeatedRunsReuseCachedProgram) {
     ASSERT_EQ(r.size(), 1u);
     EXPECT_EQ(r.row(0)[0].i, 10) << "rep " << rep;
   }
+}
+
+// --------------------------------------------------------------------------
+// JIT backend (src/jit/): bit-exact agreement with the bytecode VM.
+// --------------------------------------------------------------------------
+
+InterpOptions Jit(int threads = 1) {
+  InterpOptions o;
+  o.engine = InterpOptions::Engine::kJit;
+  o.num_threads = threads;
+  return o;
+}
+
+// All 22 TPC-H queries at SF 0.01, both stack levels (pipelined
+// ScaLite[Map,List] and the full 5-level stack), threads {1, 4}: the JIT
+// engine must agree with the sequential bytecode VM bit-for-bit, including
+// the Figure 8 AllocStats.
+class JitTpchTest : public ::testing::TestWithParam<int> {
+ protected:
+  static storage::Database* db() {
+    static storage::Database* db =
+        new storage::Database(tpch::MakeTpchDatabase(0.01));
+    return db;
+  }
+
+  static void CheckJitAgrees(const Function& fn, const std::string& tag) {
+    exec::Interpreter ref(db(), Bytecode());
+    storage::ResultTable want = ref.Run(fn);
+    exec::AllocStats want_stats = ref.stats();
+    for (int threads : {1, 4}) {
+      exec::Interpreter jit(db(), Jit(threads));
+      storage::ResultTable got = jit.Run(fn);
+      std::string t = tag + " jit threads=" + std::to_string(threads);
+      ExpectBitExact(got, want, t);
+      EXPECT_EQ(jit.stats().heap_bytes, want_stats.heap_bytes) << t;
+      EXPECT_EQ(jit.stats().heap_allocs, want_stats.heap_allocs) << t;
+      EXPECT_EQ(jit.stats().pool_bytes, want_stats.pool_bytes) << t;
+      EXPECT_EQ(jit.stats().vector_bytes, want_stats.vector_bytes) << t;
+    }
+  }
+};
+
+TEST_P(JitTpchTest, BitExactBothStackLevels) {
+  int q = GetParam();
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *db());
+  {
+    ir::TypeFactory types;
+    auto fn = lower::LowerPlanPipelined(*plan, *db(), &types,
+                                        "q" + std::to_string(q));
+    CheckJitAgrees(*fn, "Q" + std::to_string(q) + " L3");
+  }
+  {
+    ir::TypeFactory types;
+    QueryCompiler qc(db(), &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+    CheckJitAgrees(*res.fn, "Q" + std::to_string(q) + " L5");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, JitTpchTest, ::testing::Range(1, 23));
+
+// A template-less opcode (kStrLen) in the middle of an otherwise JIT'able
+// loop forces a deopt boundary every iteration: native -> VM -> native.
+// Results must stay identical, and the stitched program must show the hole.
+TEST(JitDeopt, TemplateLessOpcodeMidFunction) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* s = b.StrC("deopt boundary");
+  Stmt* sum = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(100), [&](Stmt* i) {
+    Stmt* len = b.StrLen(s);  // no template: re-enters the VM mid-loop
+    b.VarAssign(sum, b.Add(b.VarRead(sum), b.Mul(i, len)));
+  });
+  b.EmitRow({b.VarRead(sum)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  if (exec::jit::JitAvailable()) {
+    auto jp = exec::jit::JitProgram::Compile(prog);
+    ASSERT_NE(jp, nullptr);
+    EXPECT_GT(jp->num_native(), 0);
+    bool strlen_deopts = false;
+    bool neighbors_native = true;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+      if (prog.code[pc].op == static_cast<uint16_t>(BcOp::kStrLen)) {
+        strlen_deopts = !jp->HasEntry(static_cast<uint32_t>(pc));
+        if (pc > 0) neighbors_native &= jp->HasEntry(pc - 1);
+        neighbors_native &= jp->HasEntry(pc + 1);
+      }
+    }
+    EXPECT_TRUE(strlen_deopts);
+    EXPECT_TRUE(neighbors_native);
+  }
+  exec::Interpreter bc(&db, Bytecode());
+  exec::Interpreter jit(&db, Jit());
+  storage::ResultTable want = bc.Run(fn);
+  storage::ResultTable got = jit.Run(fn);
+  ExpectBitExact(got, want, "deopt boundary");
+  EXPECT_EQ(want.row(0)[0].i, 4950 * 14);
+}
+
+// Sort comparators run as subroutines from a deopt'd sort instruction; the
+// comparator body itself re-enters native code. Interleaves both directions.
+TEST(JitDeopt, SortComparatorCrossesBoundary) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* list = b.ListNew(types.I64());
+  int64_t vals[] = {5, 3, 9, 1, 12, 7, 2};
+  for (int64_t v : vals) b.ListAppend(list, b.I64(v));
+  b.ListSortBy(list, [&](Stmt* x, Stmt* y) { return b.Gt(x, y); });
+  b.ListForeach(list, [&](Stmt* e) { b.EmitRow({e}); });
+  exec::Interpreter bc(&db, Bytecode());
+  exec::Interpreter jit(&db, Jit());
+  ExpectBitExact(jit.Run(fn), bc.Run(fn), "jit sort comparator");
+}
+
+// QC_JIT_DISABLE degrades kJit to the plain bytecode VM — selecting the
+// engine must stay safe (and correct) with the JIT forced off.
+TEST(JitDeopt, DisableKnobDegradesToBytecode) {
+  ::setenv("QC_JIT_DISABLE", "1", 1);
+  EXPECT_FALSE(exec::jit::JitAvailable());
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* sum = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(50),
+             [&](Stmt* i) { b.VarAssign(sum, b.Add(b.VarRead(sum), i)); });
+  b.EmitRow({b.VarRead(sum)});
+  exec::Interpreter jit(&db, Jit());
+  EXPECT_EQ(jit.Run(fn).row(0)[0].i, 1225);
+  ::unsetenv("QC_JIT_DISABLE");
 }
 
 }  // namespace
