@@ -38,6 +38,11 @@ struct InterpRun {
   double query_ms = 0;
   double compile_ms = 0;  // stack lowering (qc.Compile) only
   int64_t rows = 0;
+  // kJit telemetry (QC_JIT_STATS): native coverage in percent (templated
+  // pcs / total pcs) and deopt events of the last repetition; -1 when the
+  // engine was not kJit or the JIT degraded to the VM.
+  double jit_coverage = -1;
+  double jit_deopts = -1;
 };
 
 class Harness {
@@ -126,6 +131,13 @@ class Harness {
       out.rows = static_cast<int64_t>(result.size());
     }
     out.query_ms = best;
+    if (engine == exec::InterpOptions::Engine::kJit) {
+      const exec::Interpreter::JitRunStats& js = interp.last_jit_stats();
+      if (js.jitted) {
+        out.jit_coverage = js.CoveragePct();
+        out.jit_deopts = static_cast<double>(js.deopts);
+      }
+    }
     out.ok = true;
     return out;
   }
@@ -150,6 +162,11 @@ inline bool BenchInterpOnly() { return EnvFlagSet("QC_BENCH_INTERP_ONLY"); }
 // support the engine silently degrades to the bytecode VM, so the column
 // then mirrors ir-bc.
 inline bool BenchJit() { return EnvFlagSet("QC_BENCH_JIT"); }
+
+// True when ir-jit rows should also carry the QC_JIT_STATS telemetry
+// (ir-jit-coverage / ir-jit-deopts cells) — what the CI coverage gate in
+// scripts/check_bench_regression.py compares across runs.
+inline bool BenchJitStats() { return EnvLevel("QC_JIT_STATS") != 0; }
 
 // Path for machine-readable benchmark output, or "" when disabled. Set
 // QC_BENCH_JSON=1 for the default file name, or to an explicit path.

@@ -130,6 +130,10 @@ int main() {
         if (with_jit) {
           std::printf(" %10.2f", jit.query_ms);
           row.cells.emplace_back("ir-jit", jit.query_ms);
+          if (bench::BenchJitStats() && jit.jit_coverage >= 0) {
+            row.cells.emplace_back("ir-jit-coverage", jit.jit_coverage);
+            row.cells.emplace_back("ir-jit-deopts", jit.jit_deopts);
+          }
           if (bc.ok && jit.ok && jit.query_ms > 0) {
             jit_log_sum += std::log(bc.query_ms / jit.query_ms);
             ++jit_count;
@@ -145,7 +149,13 @@ int main() {
         trow.threads = threads;
         trow.cells.emplace_back("ir-tree", tree.query_ms);
         trow.cells.emplace_back("ir-bc", bc.query_ms);
-        if (with_jit) trow.cells.emplace_back("ir-jit", jit.query_ms);
+        if (with_jit) {
+          trow.cells.emplace_back("ir-jit", jit.query_ms);
+          if (bench::BenchJitStats() && jit.jit_coverage >= 0) {
+            trow.cells.emplace_back("ir-jit-coverage", jit.jit_coverage);
+            trow.cells.emplace_back("ir-jit-deopts", jit.jit_deopts);
+          }
+        }
         json_rows.push_back(std::move(trow));
         std::printf("  [t=%d: %0.2f %0.2f", threads, tree.query_ms,
                     bc.query_ms);

@@ -11,9 +11,15 @@ A cell fails when current > baseline * (1 + threshold). Cells faster than
 --min-ms in the baseline are skipped: CI timing jitter on sub-millisecond
 queries would make the gate flaky.
 
+When the artifacts carry JIT telemetry (QC_JIT_STATS=1 during the bench:
+"ir-jit-coverage" cells, percent of bytecode pcs with native code), the
+gate additionally fails if any query's coverage dropped more than
+--coverage-points vs the baseline — timing noise can hide a lost template,
+the coverage number cannot.
+
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
-      [--threshold 0.25] [--min-ms 1.0]
+      [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0]
 """
 
 import argparse
@@ -42,6 +48,8 @@ def main():
                     help="allowed relative slowdown (0.25 = 25%%)")
     ap.add_argument("--min-ms", type=float, default=1.0,
                     help="skip cells below this baseline time")
+    ap.add_argument("--coverage-points", type=float, default=5.0,
+                    help="allowed ir-jit native-coverage drop in points")
     args = ap.parse_args()
 
     # First runs and forks have no previous successful main-branch artifact:
@@ -83,9 +91,44 @@ def main():
                     f"Q{key[0]} threads={key[1]} {col}: "
                     f"{b:.2f}ms -> {c:.2f}ms (+{100.0 * (c / b - 1.0):.0f}%)")
 
+    # JIT native-coverage gate: deterministic (no timing jitter), so any
+    # drop beyond the allowance is a lost template or a stitching change.
+    cov_compared = 0
+    base_cov_rows = 0
+    for key, brow in sorted(base.items()):
+        crow = cur.get(key)
+        if crow is None:
+            continue
+        b = brow.get("ir-jit-coverage")
+        c = crow.get("ir-jit-coverage")
+        if b is None:
+            continue
+        base_cov_rows += 1
+        if c is None:
+            # The baseline had telemetry for this query but the current run
+            # emitted none: that query's JIT degraded entirely — the
+            # largest possible coverage loss, not a skippable cell.
+            regressions.append(
+                f"Q{key[0]} threads={key[1]} ir-jit-coverage: {b:.1f}% -> "
+                "missing (JIT fully degraded for this query)")
+            continue
+        cov_compared += 1
+        if c < b - args.coverage_points:
+            regressions.append(
+                f"Q{key[0]} threads={key[1]} ir-jit-coverage: "
+                f"{b:.1f}% -> {c:.1f}% (-{b - c:.1f} points)")
+    # Same failure at whole-artifact granularity, with the likelier cause
+    # called out (QC_JIT_STATS dropped from the benchmark invocation).
+    if base_cov_rows > 0 and cov_compared == 0:
+        regressions.append(
+            f"ir-jit-coverage: baseline has {base_cov_rows} telemetry rows, "
+            "current has none (JIT fully degraded, or QC_JIT_STATS missing "
+            "from the benchmark step)")
+
     print(f"compared {compared} interpreter cells "
           f"(threshold +{args.threshold * 100:.0f}%, "
-          f"min {args.min_ms}ms)")
+          f"min {args.min_ms}ms) and {cov_compared} ir-jit coverage cells "
+          f"(allowance {args.coverage_points} points)")
     if regressions:
         print("interpreter-row regressions:")
         for r in regressions:

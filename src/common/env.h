@@ -1,7 +1,9 @@
-// Shared parsing of boolean environment knobs. Every QC_* on/off flag
+// Shared parsing of environment knobs. Every QC_* on/off flag
 // (QC_JIT_DISABLE, QC_BENCH_*, QC_PAR_TRACE, ...) uses the same rule:
 // set to anything non-empty other than "0…" means on — so the knobs can
-// never silently diverge between call sites.
+// never silently diverge between call sites. Integer-valued knobs
+// (QC_JIT_STATS, the morsel-sizing knobs) go through EnvInt for the same
+// reason: one strtoll, one unset/empty/garbage rule everywhere.
 #ifndef QC_COMMON_ENV_H_
 #define QC_COMMON_ENV_H_
 
@@ -12,6 +14,28 @@ namespace qc {
 inline bool EnvFlagSet(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Integer knob: unset, empty, or non-numeric returns `def`. A plain flag
+// value like "1" reads as 1, so boolean-style usage stays compatible.
+inline long long EnvInt(const char* name, long long def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  return end == v ? def : parsed;
+}
+
+// Level knob (QC_JIT_STATS): unset/empty is 0, a number is that level,
+// and any other non-empty value follows the flag rule above and reads as
+// level 1 — so "QC_JIT_STATS=true" behaves like every other QC_* flag.
+inline long long EnvLevel(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return EnvFlagSet(name) ? 1 : 0;
+  return parsed;
 }
 
 }  // namespace qc

@@ -9,8 +9,11 @@
 
 namespace qc {
 
-// 64-bit mix (splitmix64 finalizer) — cheap and well distributed.
-inline uint64_t HashMix(uint64_t x) {
+// 64-bit mix (splitmix64 finalizer) — cheap and well distributed. constexpr
+// so the JIT's inline hash-probe template (src/jit/templates.cc), which
+// hard-codes this sequence in machine code, can static_assert it has not
+// drifted.
+constexpr uint64_t HashMix(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;

@@ -31,7 +31,10 @@ std::vector<std::string> SplitLikePattern(std::string_view pattern) {
 }
 
 bool StrLike(std::string_view s, std::string_view pattern) {
-  std::vector<std::string> segs = SplitLikePattern(pattern);
+  return StrLikeSegs(s, SplitLikePattern(pattern));
+}
+
+bool StrLikeSegs(std::string_view s, const std::vector<std::string>& segs) {
   // segs has k+1 entries for k '%' wildcards. First segment is anchored at
   // the start, last at the end, middles must appear in order.
   if (segs.size() == 1) return s == segs[0];

@@ -139,6 +139,16 @@ BcOp CmpBranchOp(Op cmp, bool is_f) {
   }
 }
 
+// Key-kind flag (field d of the hash-probe instructions): matches
+// SlotHasher's type dispatch — anything that hashes/compares as a plain
+// integral slot is i64-probe-able by the JIT.
+int32_t MapKeyKind(const Type* key) {
+  return (key != nullptr && key->kind != TypeKind::kStr &&
+          key->kind != TypeKind::kRecord)
+             ? kMapKeyI64
+             : kMapKeyOther;
+}
+
 // Branch-if-false opcode for a fused column-read comparison.
 BcOp ColCmpBranchOp(Op cmp, bool is_f) {
   switch (cmp) {
@@ -302,6 +312,10 @@ BytecodeProgram BytecodeCompiler::Compile(const ir::Function& fn,
                                           const ir::ParallelInfo* par) {
   prog_ = BytecodeProgram();
   num_regs_ = static_cast<uint32_t>(fn.num_stmts());
+  // Context registers, written by the runtime (see BytecodeProgram).
+  prog_.out_reg = NewTemp();
+  prog_.stats_reg = NewTemp();
+  prog_.rec_reg = NewTemp();
   uses_ = ir::ComputeUseCounts(fn);
   alias_.clear();
   last_value_stmt_ = nullptr;
@@ -325,6 +339,11 @@ BytecodeProgram BytecodeCompiler::Compile(const ir::Function& fn,
     plc.entry = static_cast<uint32_t>(prog_.code.size());
     plc.lo_reg = NewTemp();
     plc.hi_reg = NewTemp();
+    plc.log_regs.clear();
+    for (size_t c = 0; c < plc.plan->logs.size(); ++c) {
+      plc.log_regs.push_back(NewTemp());
+    }
+    frag_log_regs_ = &plc.log_regs;
     Emit(BcOp::kMov, ivar, plc.lo_reg);
     size_t guard = Emit(BcOp::kJgeI, ivar, plc.hi_reg);
     size_t body_start = prog_.code.size();
@@ -333,6 +352,7 @@ BytecodeProgram BytecodeCompiler::Compile(const ir::Function& fn,
     PatchToHere(guard);
     Emit(BcOp::kRet);
     par_ = nullptr;
+    frag_log_regs_ = nullptr;
   }
   par_info_ = nullptr;
   prog_.num_regs = num_regs_;
@@ -755,8 +775,16 @@ void BytecodeCompiler::EmitLogRow(const Stmt* s) {
   std::vector<uint32_t> regs;
   if (ch.handle != nullptr) regs.push_back(Reg(ch.handle));
   for (const Stmt* v : ch.values) regs.push_back(Reg(v));
-  Emit(BcOp::kLogRow, static_cast<uint32_t>(ci), ExtraList(regs), 0, 0,
-       static_cast<uint16_t>(regs.size()));
+  if (regs.empty()) {
+    // The JIT's kLogRow fast path is a do-while over the operands; a
+    // zero-operand channel would make it scribble past the log. No channel
+    // shape produces one (values is never empty) — fail loudly if that
+    // invariant ever breaks instead of emitting corrupting code.
+    std::fprintf(stderr, "bytecode: empty log channel %d\n", ci);
+    std::abort();
+  }
+  Emit(BcOp::kLogRow, static_cast<uint32_t>(ci), ExtraList(regs),
+       (*frag_log_regs_)[ci], 0, static_cast<uint16_t>(regs.size()));
 }
 
 bool BytecodeCompiler::TryFuseColScan(const Stmt* s, const Stmt* next) {
@@ -1001,7 +1029,7 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       std::vector<uint32_t> regs;
       regs.reserve(s->args.size());
       for (const Stmt* a : s->args) regs.push_back(Reg(a));
-      Emit(BcOp::kRecNew, Reg(s), ExtraList(regs), 0, 0,
+      Emit(BcOp::kRecNew, Reg(s), ExtraList(regs), prog_.rec_reg, 0,
            static_cast<uint16_t>(regs.size()));
       return;
     }
@@ -1044,7 +1072,8 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       Emit(BcOp::kListNew, Reg(s));
       return;
     case Op::kListAppend:
-      Emit(BcOp::kListAppend, Reg(s->args[0]), Reg(s->args[1]));
+      Emit(BcOp::kListAppend, Reg(s->args[0]), Reg(s->args[1]),
+           prog_.stats_reg);
       return;
     case Op::kListForeach: {
       const Block* body = s->blocks[0];
@@ -1090,7 +1119,8 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       uint32_t t_node = NewTemp();
       uint32_t map = Reg(s->args[0]);
       uint32_t key = Reg(s->args[1]);
-      Emit(BcOp::kMapFind, t_node, map, key);
+      Emit(BcOp::kMapFind, t_node, map, key,
+           MapKeyKind(s->args[0]->type->key));
       size_t found_j = Emit(BcOp::kJnz, t_node);
       const Block* init = s->blocks[0];
       CompileBlock(init);
@@ -1101,7 +1131,8 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       return;
     }
     case Op::kMapGetOrNull:
-      Emit(BcOp::kMapGetOrNull, Reg(s), Reg(s->args[0]), Reg(s->args[1]));
+      Emit(BcOp::kMapGetOrNull, Reg(s), Reg(s->args[0]), Reg(s->args[1]),
+           MapKeyKind(s->args[0]->type->key));
       return;
     case Op::kMapForeach: {
       const Block* body = s->blocks[0];
@@ -1130,7 +1161,8 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       Emit(BcOp::kMMapAdd, Reg(s->args[0]), Reg(s->args[1]), Reg(s->args[2]));
       return;
     case Op::kMMapGetOrNull:
-      Emit(BcOp::kMMapGetOrNull, Reg(s), Reg(s->args[0]), Reg(s->args[1]));
+      Emit(BcOp::kMMapGetOrNull, Reg(s), Reg(s->args[0]), Reg(s->args[1]),
+           MapKeyKind(s->args[0]->type->key));
       return;
 
     case Op::kIsNull:
@@ -1138,13 +1170,13 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       return;
 
     case Op::kPoolAlloc:
-      Emit(BcOp::kPoolAlloc, Reg(s), Reg(s->args[0]));
+      Emit(BcOp::kPoolAlloc, Reg(s), Reg(s->args[0]), prog_.rec_reg);
       return;
     case Op::kPoolRecNew: {
       std::vector<uint32_t> regs;
       regs.reserve(s->args.size() - 1);
       for (size_t i = 1; i < s->args.size(); ++i) regs.push_back(Reg(s->args[i]));
-      Emit(BcOp::kPoolRecNew, Reg(s), ExtraList(regs), 0, 0,
+      Emit(BcOp::kPoolRecNew, Reg(s), ExtraList(regs), prog_.rec_reg, 0,
            static_cast<uint16_t>(regs.size()));
       return;
     }
@@ -1186,7 +1218,7 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
         regs.push_back(Reg(s->args[i]));
         if (s->args[i]->type->kind == TypeKind::kStr) mask |= 1u << i;
       }
-      Emit(BcOp::kEmit, ExtraList(regs), 0, mask, 0,
+      Emit(BcOp::kEmit, ExtraList(regs), prog_.out_reg, mask, 0,
            static_cast<uint16_t>(regs.size()));
       return;
     }
@@ -1217,6 +1249,9 @@ storage::ResultTable BytecodeVM::Run(const BytecodeProgram& prog) {
   for (const auto& p : prog.presets) regs_[p.first] = p.second;
   out_ = storage::ResultTable();
   out_.SetTypes(prog.emit_types);
+  regs_[prog.out_reg] = SlotP(&out_);
+  regs_[prog.stats_reg] = SlotP(stats_);
+  regs_[prog.rec_reg] = SlotP(&records_);
   parallel::ExecState st;
   st.regs = regs_.data();
   st.stats = stats_;
@@ -1259,6 +1294,15 @@ bool BytecodeVM::TryParallelLoop(parallel::ExecState& st,
     }
     ms.regs[plc.lo_reg] = SlotI(mlo);
     ms.regs[plc.hi_reg] = SlotI(mhi);
+    // Rebind the context registers and the addend-log channels to the
+    // morsel's private instances (kEmit, the allocating ops, and kLogRow
+    // reach them through registers).
+    ms.regs[prog_->out_reg] = SlotP(&ms.out);
+    ms.regs[prog_->stats_reg] = SlotP(&ms.stats);
+    ms.regs[prog_->rec_reg] = SlotP(&ms.records);
+    for (size_t c = 0; c < plc.log_regs.size(); ++c) {
+      ms.regs[plc.log_regs[c]] = SlotP(&ms.logs[c]);
+    }
     parallel::ExecState ws = ms.MakeState();
     Exec(ws, plc.entry);
   };
@@ -1272,8 +1316,14 @@ void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
   // comparators, and per-worker morsel fragments.
   if (jit_ != nullptr) {
     while (pc != jit::kRetPc) {
-      pc = jit_->HasEntry(pc) ? jit_->Run(st.regs, pc)
-                              : ExecImpl<true>(st, pc);
+      if (jit_->HasEntry(pc)) {
+        pc = jit_->Run(st.regs, pc);
+      } else {
+        // One interpreted run = one deopt event (the QC_JIT_STATS counter;
+        // cold entries into non-native prologue code count too).
+        jit_->CountDeopt();
+        pc = ExecImpl<true>(st, pc);
+      }
     }
     return;
   }
@@ -1710,7 +1760,7 @@ uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   }
   DISPATCH();
   TARGET(kLogRow) {
-    std::vector<Slot>& lg = st.morsel->logs[I->a];
+    std::vector<Slot>& lg = *static_cast<std::vector<Slot>*>(R[I->c].p);
     const uint32_t* argv = &prog_->extra[I->b];
     for (uint16_t i = 0; i < I->n; ++i) lg.push_back(R[argv[i]]);
   }

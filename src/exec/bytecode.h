@@ -85,30 +85,34 @@ class JitProgram;  // src/jit/engine.h
   X(kStrLike)   /* b = source reg, c = pattern-pool index */                \
   X(kStrLen)                                                                \
   X(kStrSubstr) /* b = source reg, c = start, d = length */                 \
-  /* records and pools */                                                   \
-  X(kRecNew)    /* a = dst, b = extra offset, n = field count */            \
+  /* records and pools (c on the allocating ops = register holding the     \
+     RecordHeap*, prog.rec_reg — lets JIT'd code allocate via helper) */    \
+  X(kRecNew)    /* a = dst, b = extra offset, c = heap reg, n = fields */   \
   X(kRecGet)    /* a = dst, b = record reg, c = field index */              \
   X(kRecSet)    /* a = record reg, b = field index, c = src reg */          \
-  X(kPoolAlloc) /* a = dst, b = pool-handle reg (field count) */            \
-  X(kPoolRecNew) /* a = dst, b = extra offset, n = field count */           \
+  X(kPoolAlloc) /* a = dst, b = pool-handle reg (fields), c = heap reg */   \
+  X(kPoolRecNew) /* a = dst, b = extra offset, c = heap reg, n = fields */  \
   /* arrays */                                                              \
   X(kArrNew) X(kMallocArr) /* a = dst, b = length reg */                    \
   X(kArrGet)  /* a = dst, b = array reg, c = index reg */                   \
   X(kArrSet)  /* a = array reg, b = index reg, c = src reg */               \
   X(kArrLen)                                                                \
   X(kArrSort) /* a = array, b = n reg, c = cmp entry pc, d = extra off */   \
-  /* lists */                                                               \
+  /* lists (kListAppend: a = list, b = value, c = register holding the     \
+     AllocStats*, prog.stats_reg — the append accounts vector growth) */    \
   X(kListNew) X(kListAppend) X(kListSize) X(kListGet)                       \
   X(kListSort) /* a = list, c = cmp entry pc, d = extra off */              \
-  /* generic hash maps */                                                   \
+  /* generic hash maps. Probe instructions carry the map's key kind in d   \
+     (kMapKeyOther / kMapKeyI64) — the "map layout id" the JIT stitcher    \
+     keys its i64 hash-probe specialization on; the VM ignores it. */       \
   X(kMapNew)       /* a = dst, b = key-type pool index */                   \
-  X(kMapFind)      /* a = node dst, b = map reg, c = key reg */             \
+  X(kMapFind)      /* a = node dst, b = map reg, c = key reg, d = key kind */\
   X(kMapInsert)    /* a = node dst, b = map, c = key, d = value reg */      \
   X(kMapNodeVal)   /* a = dst, b = node reg */                              \
-  X(kMapGetOrNull) /* a = dst, b = map, c = key */                          \
+  X(kMapGetOrNull) /* a = dst, b = map, c = key, d = key kind */            \
   X(kMapSize)                                                               \
   X(kMapEntryKV)   /* a = key dst, b = value dst, c = map, d = index reg */ \
-  /* multimaps */                                                           \
+  /* multimaps (kMMapGetOrNull: d = key kind, like the map probes) */       \
   X(kMMapNew) X(kMMapAdd) X(kMMapGetOrNull)                                 \
   X(kIsNull)                                                                \
   /* base-table access through pre-resolved pointers */                     \
@@ -136,13 +140,16 @@ class JitProgram;  // src/jit/engine.h
      rec: a = record reg, b = field, c = addend reg.                       \
      arr: a = array reg, b = index reg, c = addend reg. */                  \
   X(kRecAccAddI) X(kRecAccAddF) X(kArrAccAddI) X(kArrAccAddF)               \
-  /* result emission: n = arg count, a = extra offset, c = string mask */   \
+  /* result emission: n = arg count, a = extra offset, c = string mask,    \
+     b = register holding the ResultTable* (prog.out_reg) */                \
   X(kEmit)                                                                  \
   /* morsel-parallel scan loops (see exec/parallel.h) */                    \
   X(kParLoop) /* a = par_loops index; on parallel run: pc += d (skips the  \
                  sequential loop body that follows as the fallback) */      \
-  X(kLogRow)  /* a = log channel, b = extra offset, n = operand count:     \
-                 append R[extra[b..b+n)] to the morsel's addend log */
+  X(kLogRow)  /* a = log channel, b = extra offset, n = operand count,     \
+                 c = register holding the channel's addend log             \
+                 (std::vector<Slot>*, written per morsel by the runtime):  \
+                 append R[extra[b..b+n)] to that log */
 
 enum class BcOp : uint16_t {
 #define QC_BC_OP_ENUM(name) name,
@@ -150,6 +157,13 @@ enum class BcOp : uint16_t {
 #undef QC_BC_OP_ENUM
       kNumOps
 };
+
+// Key-kind metadata on the hash-probe instructions (field d): the JIT only
+// stitches its native i64 probe when the map's key hashes as a plain
+// integral slot (HashMix over .i, equality on .i) — strings and records
+// keep deopting into the typed SlotHasher.
+constexpr int32_t kMapKeyOther = 0;
+constexpr int32_t kMapKeyI64 = 1;
 
 const char* BcOpName(BcOp op);
 
@@ -180,6 +194,11 @@ struct ParLoopCode {
   std::vector<uint32_t> red_regs;           // per reduction: target register
   std::vector<uint32_t> red_size_regs;      // per reduction: array capacity
   std::vector<uint32_t> channel_var_regs;   // per log channel: scalar target
+  // Per log channel: the register the runtime points at the morsel's addend
+  // log (std::vector<Slot>*) before entering the fragment — the kLogRow
+  // operand that lets both the VM handler and the JIT's native append reach
+  // the log without going through MorselState.
+  std::vector<uint32_t> log_regs;
 };
 
 // A compiled program. Owns every payload the instructions reference, so a
@@ -199,6 +218,15 @@ struct BytecodeProgram {
   std::vector<storage::ColType> emit_types;
   std::vector<ParLoopCode> par_loops;  // morsel-parallelizable scan loops
   uint32_t num_regs = 0;
+  // Reserved context registers, written by the VM at Run entry (and by the
+  // parallel runtime per morsel): the destination ResultTable* for kEmit,
+  // the AllocStats* for accounting appends, and the RecordHeap* for record
+  // allocation. They let JIT'd code reach all per-run mutable state through
+  // the register file alone — the same state-free property the deopt
+  // protocol relies on.
+  uint32_t out_reg = 0;
+  uint32_t stats_reg = 0;
+  uint32_t rec_reg = 0;
   int fused = 0;  // number of super-instructions formed (introspection)
 };
 
@@ -291,6 +319,7 @@ class BytecodeCompiler {
   // stream), and the loops whose fragments are emitted after the main kRet.
   const ir::ParallelInfo* par_info_ = nullptr;
   const ir::ParLoop* par_ = nullptr;
+  const std::vector<uint32_t>* frag_log_regs_ = nullptr;  // current fragment
   std::vector<std::pair<const ir::Stmt*, size_t>> pending_par_;
   // Statements folded into a fused while-exit branch (skipped when the
   // condition block is compiled).

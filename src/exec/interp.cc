@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/str.h"
 
 namespace qc::exec {
@@ -38,8 +40,31 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
       }
       vm_.SetJit(cached.jit.get());
     }
+    const jit::JitProgram* jp = cached.jit.get();
+    uint64_t deopts_before =
+        jp != nullptr && opts_.engine == InterpOptions::Engine::kJit
+            ? jp->deopts()
+            : 0;
     storage::ResultTable result = vm_.Run(cached.prog);
     vm_.SetJit(nullptr);
+    if (opts_.engine == InterpOptions::Engine::kJit) {
+      jit_stats_ = JitRunStats();
+      if (jp != nullptr) {
+        jit_stats_.jitted = true;
+        jit_stats_.native_pcs = jp->num_native();
+        jit_stats_.total_pcs = jp->total_pcs();
+        jit_stats_.deopts = jp->deopts() - deopts_before;
+      }
+      if (EnvLevel("QC_JIT_STATS") != 0) {
+        std::fprintf(stderr,
+                     "jit-stats fn=%s coverage=%.1f%% (%d/%d pcs) "
+                     "deopts=%llu%s\n",
+                     fn.name().c_str(), jit_stats_.CoveragePct(),
+                     jit_stats_.native_pcs, jit_stats_.total_pcs,
+                     static_cast<unsigned long long>(jit_stats_.deopts),
+                     jit_stats_.jitted ? "" : " (degraded to VM)");
+      }
+    }
     return result;
   }
   return RunTreeWalk(fn);

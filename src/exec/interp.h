@@ -83,6 +83,21 @@ class Interpreter {
 
   const AllocStats& stats() const { return stats_; }
 
+  // QC_JIT_STATS telemetry for the most recent kJit Run: native coverage
+  // (templated pcs / total pcs) and the number of deopt events — interpreted
+  // runs of the hybrid driver — during that Run. `jitted` is false when the
+  // engine degraded to the plain VM (then the other fields are zero).
+  struct JitRunStats {
+    bool jitted = false;
+    int native_pcs = 0;
+    int total_pcs = 0;
+    uint64_t deopts = 0;
+    double CoveragePct() const {
+      return total_pcs > 0 ? 100.0 * native_pcs / total_pcs : 0.0;
+    }
+  };
+  const JitRunStats& last_jit_stats() const { return jit_stats_; }
+
  private:
   Slot Val(const parallel::ExecState& st, const ir::Stmt* s) const {
     return st.regs[s->id];
@@ -134,6 +149,7 @@ class Interpreter {
   };
   BytecodeVM vm_;
   std::unordered_map<const ir::Function*, CachedProgram> programs_;
+  JitRunStats jit_stats_;
 
   // Tree-walk engine: emit types and the parallel analysis discovered once
   // per function, not per Run.

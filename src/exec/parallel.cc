@@ -366,7 +366,29 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
   int64_t rows = run.hi - run.lo;
   int64_t mr = eng.morsel_rows();
   if (rows < 2 * mr) return false;
-  int64_t num_morsels = (rows + mr - 1) / mr;
+
+  // Adaptive tail sizing: the final ~eighth of the iteration space is cut
+  // into smaller morsels (QC_PAR_TAIL_DIV-th of the normal size, default
+  // half; 1 disables) so stolen tail morsels balance across workers instead
+  // of one straggler holding the pool. The morsels stay contiguous
+  // ascending row ranges, so the ordered merge — and with it the bitwise
+  // determinism contract — is untouched.
+  static const int64_t tail_div = [] {
+    int64_t d = EnvInt("QC_PAR_TAIL_DIV", 2);
+    return d < 1 ? 1 : d;
+  }();
+  int64_t tail_mr = mr / tail_div < 1 ? 1 : mr / tail_div;
+  int64_t tail_rows = tail_div > 1 ? rows / 8 : 0;
+  if (tail_rows < tail_mr) tail_rows = 0;  // small loops stay uniform
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  int64_t tail_start = run.hi - tail_rows;
+  for (int64_t pos = run.lo; pos < run.hi;) {
+    int64_t step = pos >= tail_start ? tail_mr : mr;
+    int64_t next = pos + step < run.hi ? pos + step : run.hi;
+    ranges.emplace_back(pos, next);
+    pos = next;
+  }
+  int64_t num_morsels = static_cast<int64_t>(ranges.size());
 
   // Budget gate: privatizing huge direct-addressed tables per morsel would
   // trade too much memory for the parallelism.
@@ -390,9 +412,11 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
     MorselState& ms = *states.back();
     ms.logs.resize(plan.logs.size());
     // Worst case one entry per morsel row: reserving up front avoids
-    // repeated growth copies of multi-megabyte logs in the hot scan.
+    // repeated growth copies of multi-megabyte logs in the hot scan (and
+    // keeps the JIT's pointer-bump append on its fast path).
+    int64_t m_rows = ranges[m].second - ranges[m].first;
     for (size_t c = 0; c < plan.logs.size(); ++c) {
-      ms.logs[c].reserve(plan.logs[c].Stride() * mr);
+      ms.logs[c].reserve(plan.logs[c].Stride() * m_rows);
     }
     ms.priv.resize(plan.reductions.size(), SlotI(0));
     for (size_t i = 0; i < plan.reductions.size(); ++i) {
@@ -446,9 +470,7 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
     done[m].store(0, std::memory_order_relaxed);
   }
   std::function<void(int)> scan = [&](int m) {
-    int64_t mlo = run.lo + m * mr;
-    int64_t mhi = mlo + mr < run.hi ? mlo + mr : run.hi;
-    run.body(mlo, mhi, *states[m]);
+    run.body(ranges[m].first, ranges[m].second, *states[m]);
     done[m].store(1, std::memory_order_release);
     { std::lock_guard<std::mutex> lock(done_mu); }
     done_cv.notify_one();

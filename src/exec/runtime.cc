@@ -67,6 +67,29 @@ RtHashMap::Node* RtHashMap::Insert(Slot key, Slot value) {
   return n;
 }
 
+size_t RtHashMap::BucketsOffsetForJit() {
+  // Constructing with null type/stats is safe: neither is touched before
+  // the first Insert, and this instance never inserts.
+  RtHashMap m(nullptr, nullptr);
+  return static_cast<size_t>(
+      reinterpret_cast<const unsigned char*>(&m.buckets_) -
+      reinterpret_cast<const unsigned char*>(&m));
+}
+
+size_t RtHashMap::EntriesOffsetForJit() {
+  RtHashMap m(nullptr, nullptr);
+  return static_cast<size_t>(
+      reinterpret_cast<const unsigned char*>(&m.entries_) -
+      reinterpret_cast<const unsigned char*>(&m));
+}
+
+size_t RtMultiMap::MapOffsetForJit() {
+  RtMultiMap m(nullptr, nullptr);
+  return static_cast<size_t>(
+      reinterpret_cast<const unsigned char*>(&m.map_) -
+      reinterpret_cast<const unsigned char*>(&m));
+}
+
 void RtHashMap::MaybeRehash() {
   if (size_ < buckets_.size()) return;
   std::vector<Node*> nb(buckets_.size() * 2, nullptr);

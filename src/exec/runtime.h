@@ -108,6 +108,14 @@ class RtHashMap {
   // In insertion order (deterministic iteration for reproducible output).
   const std::vector<Node*>& entries() const { return entries_; }
 
+  // Byte offsets of the bucket-pointer and insertion-order vectors inside a
+  // live map object, for the JIT's native hash-probe and entry-iteration
+  // templates (src/jit/templates.cc). Probed from an instance — never
+  // assumed — so a layout change makes the probe fail (and the probe
+  // opcodes deopt) instead of reading garbage.
+  static size_t BucketsOffsetForJit();
+  static size_t EntriesOffsetForJit();
+
  private:
   void MaybeRehash();
 
@@ -134,6 +142,9 @@ class RtMultiMap {
   // Key-grouped contents in first-insertion order (the parallel merge walks
   // worker-local multimaps through this).
   const RtHashMap& key_map() const { return map_; }
+
+  // Byte offset of the embedded key map (JIT probe, see RtHashMap).
+  static size_t MapOffsetForJit();
 
  private:
   RtHashMap map_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/str.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
 #include <unistd.h>
@@ -89,6 +91,12 @@ void Asm::MovRegMem(Reg dst, Reg base, int32_t disp, bool force_disp32) {
   Rex(true, dst, 0, base);
   buf_.push_back(0x8B);
   Mem(dst, base, disp, force_disp32);
+}
+
+void Asm::Mov32RegMem(Reg dst, Reg base, int32_t disp) {
+  Rex(false, dst, 0, base);
+  buf_.push_back(0x8B);
+  Mem(dst, base, disp, false);
 }
 
 void Asm::MovMemReg(Reg base, int32_t disp, Reg src, bool force_disp32) {
@@ -220,10 +228,48 @@ void Asm::AndImm8(Reg r, uint8_t imm) {
   buf_.push_back(imm);
 }
 
+void Asm::AddImm8(Reg r, int8_t imm) {
+  Rex(true, 0, 0, r);
+  buf_.push_back(0x83);
+  buf_.push_back(static_cast<uint8_t>(0xC0 | (r & 7)));
+  buf_.push_back(static_cast<uint8_t>(imm));
+}
+
+void Asm::AddRegReg(Reg dst, Reg src) {
+  Rex(true, src, 0, dst);
+  buf_.push_back(0x01);
+  buf_.push_back(static_cast<uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+}
+
+void Asm::SubRegReg(Reg dst, Reg src) {
+  Rex(true, src, 0, dst);
+  buf_.push_back(0x29);
+  buf_.push_back(static_cast<uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+}
+
+void Asm::AndRegReg(Reg dst, Reg src) {
+  Rex(true, src, 0, dst);
+  buf_.push_back(0x21);
+  buf_.push_back(static_cast<uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+}
+
+void Asm::ImulRegReg(Reg dst, Reg src) {
+  Rex(true, dst, 0, src);
+  buf_.push_back(0x0F);
+  buf_.push_back(0xAF);
+  buf_.push_back(static_cast<uint8_t>(0xC0 | ((dst & 7) << 3) | (src & 7)));
+}
+
 void Asm::IncReg(Reg r) {
   Rex(true, 0, 0, r);
   buf_.push_back(0xFF);
   buf_.push_back(static_cast<uint8_t>(0xC0 | (r & 7)));
+}
+
+void Asm::DecReg(Reg r) {
+  Rex(true, 0, 0, r);
+  buf_.push_back(0xFF);
+  buf_.push_back(static_cast<uint8_t>(0xC8 | (r & 7)));
 }
 
 void Asm::NegReg(Reg r) {
@@ -236,6 +282,13 @@ void Asm::SarImm8(Reg r, uint8_t imm) {
   Rex(true, 0, 0, r);
   buf_.push_back(0xC1);
   buf_.push_back(static_cast<uint8_t>(0xF8 | (r & 7)));
+  buf_.push_back(imm);
+}
+
+void Asm::ShrImm8(Reg r, uint8_t imm) {
+  Rex(true, 0, 0, r);
+  buf_.push_back(0xC1);
+  buf_.push_back(static_cast<uint8_t>(0xE8 | (r & 7)));
   buf_.push_back(imm);
 }
 
@@ -412,6 +465,22 @@ void Asm::PatchRel8(size_t at) {
   buf_[at] = static_cast<uint8_t>(rel);
 }
 
+void Asm::Jmp8Back(size_t target) {
+  ptrdiff_t rel = static_cast<ptrdiff_t>(target) -
+                  static_cast<ptrdiff_t>(buf_.size()) - 2;
+  assert(rel >= -128 && rel < 0);
+  buf_.push_back(0xEB);
+  buf_.push_back(static_cast<uint8_t>(rel));
+}
+
+void Asm::Jcc8Back(Cond cc, size_t target) {
+  ptrdiff_t rel = static_cast<ptrdiff_t>(target) -
+                  static_cast<ptrdiff_t>(buf_.size()) - 2;
+  assert(rel >= -128 && rel < 0);
+  buf_.push_back(static_cast<uint8_t>(0x70 | cc));
+  buf_.push_back(static_cast<uint8_t>(rel));
+}
+
 void Asm::PushR12() {
   buf_.push_back(0x41);
   buf_.push_back(0x54);
@@ -428,6 +497,12 @@ void Asm::JmpReg(Reg r) {
   Rex(false, 4, 0, r);
   buf_.push_back(0xFF);
   buf_.push_back(static_cast<uint8_t>(0xE0 | (r & 7)));
+}
+
+void Asm::CallReg(Reg r) {
+  Rex(false, 2, 0, r);
+  buf_.push_back(0xFF);
+  buf_.push_back(static_cast<uint8_t>(0xD0 | (r & 7)));
 }
 
 // ---------------------------------------------------------------------------
@@ -540,15 +615,16 @@ void Patch64(std::vector<uint8_t>& out, size_t at, uint64_t v) {
 
 StitchResult StitchProgram(const BytecodeProgram& prog) {
   StitchResult res;
-  const OpTemplate* table = TemplateTable();
   bool layout_ok = RuntimeLayoutUsable();
   size_t n = prog.code.size();
   res.entry.assign(n, kNoEntry);
 
-  std::vector<uint8_t> usable(n, 0);
+  // Template selection is per instruction, not just per opcode: probe
+  // instructions pick the inline-i64 or generic-call variant on their key
+  // kind (templates.h SelectTemplate). Null means deopt.
+  std::vector<const OpTemplate*> sel(n, nullptr);
   for (size_t pc = 0; pc < n; ++pc) {
-    const OpTemplate& t = table[prog.code[pc].op];
-    usable[pc] = t.code != nullptr && (layout_ok || !t.needs_layout_probe);
+    sel[pc] = SelectTemplate(prog.code[pc], layout_ok);
   }
 
   // Layout pass: assign per-pc blob offsets (template sizes are fixed), a
@@ -557,11 +633,11 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
   const std::vector<uint8_t> prologue = BuildPrologue();
   size_t off = prologue.size();
   for (size_t pc = 0; pc < n; ++pc) {
-    if (!usable[pc]) continue;
+    if (sel[pc] == nullptr) continue;
     res.entry[pc] = static_cast<uint32_t>(off);
-    off += table[prog.code[pc].op].size;
+    off += sel[pc]->size;
     ++res.num_native;
-    bool segment_end = pc + 1 >= n || !usable[pc + 1];
+    bool segment_end = pc + 1 >= n || sel[pc + 1] == nullptr;
     if (segment_end && pc + 1 < n) off += ExitStubSize();
   }
   if (res.num_native == 0) return res;
@@ -571,8 +647,8 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
   // target order.
   std::vector<uint8_t> needs_thunk(n, 0);
   for (size_t pc = 0; pc < n; ++pc) {
-    if (!usable[pc]) continue;
-    const OpTemplate& t = table[prog.code[pc].op];
+    if (sel[pc] == nullptr) continue;
+    const OpTemplate& t = *sel[pc];
     const Insn& insn = prog.code[pc];
     for (uint8_t i = 0; i < t.num_patches; ++i) {
       if (t.patches[i].kind != PatchKind::kJumpD) continue;
@@ -587,14 +663,20 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
     off += ExitStubSize();
   }
 
+  // Precompile LIKE patterns (kPatternC patches point at these).
+  res.like_patterns.reserve(prog.patterns.size());
+  for (const std::string& p : prog.patterns) {
+    res.like_patterns.push_back({SplitLikePattern(p)});
+  }
+
   // Emit pass.
   std::vector<uint8_t>& out = res.code;
   out.reserve(off);
   out.insert(out.end(), prologue.begin(), prologue.end());
 
   for (size_t pc = 0; pc < n; ++pc) {
-    if (!usable[pc]) continue;
-    const OpTemplate& t = table[prog.code[pc].op];
+    if (sel[pc] == nullptr) continue;
+    const OpTemplate& t = *sel[pc];
     const Insn& insn = prog.code[pc];
     size_t start = out.size();
     assert(start == res.entry[pc]);
@@ -628,6 +710,27 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
           Patch64(out, at,
                   static_cast<uint64_t>(prog.consts[insn.b].i));
           break;
+        case PatchKind::kExtraA:
+          Patch64(out, at,
+                  reinterpret_cast<uint64_t>(prog.extra.data() + insn.a));
+          break;
+        case PatchKind::kExtraB:
+          Patch64(out, at,
+                  reinterpret_cast<uint64_t>(prog.extra.data() + insn.b));
+          break;
+        case PatchKind::kImmN:
+          Patch32(out, at, insn.n);
+          break;
+        case PatchKind::kImmN8:
+          Patch32(out, at, static_cast<uint32_t>(insn.n) * 8u);
+          break;
+        case PatchKind::kImmCMask:
+          Patch32(out, at, insn.c);
+          break;
+        case PatchKind::kPatternC:
+          Patch64(out, at,
+                  reinterpret_cast<uint64_t>(&res.like_patterns[insn.c]));
+          break;
         case PatchKind::kJumpD: {
           uint32_t target = static_cast<uint32_t>(pc + 1 + insn.d);
           uint32_t dest = res.entry[target] != kNoEntry ? res.entry[target]
@@ -638,7 +741,7 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
         }
       }
     }
-    bool segment_end = pc + 1 >= n || !usable[pc + 1];
+    bool segment_end = pc + 1 >= n || sel[pc + 1] == nullptr;
     if (segment_end && pc + 1 < n) {
       EmitExitStub(out, static_cast<uint32_t>(pc + 1));
     }

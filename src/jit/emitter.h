@@ -42,10 +42,17 @@ enum Reg : uint8_t {
   R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
 };
 
-// Register conventions inside JIT'd code (no calls are ever made from
-// native code, so everything except kSlotBase and rsp is scratch):
+// Register conventions inside JIT'd code:
 //   r12  base of the VM register file (Slot*) for the whole activation
-//   rax, rcx, rdx, r11, xmm0  scratch
+//   every other caller-saved register (rax, rcx, rdx, rsi, rdi, r8-r11,
+//   xmm0) is scratch; rbx/rbp/r13-r15 are never touched
+// Templates may call C++ helpers (strings, log/emit staging): r12 is
+// callee-saved so the register file survives, the scratch set is exactly
+// the SysV caller-saved set, and rsp is 16-byte aligned inside templates
+// (the prologue's push r12 realigns after the entry call), so a bare
+// `call` is ABI-clean. Helper addresses are materialized as imm64 + call
+// through a register — the mmap'd blob can land anywhere in the address
+// space, so rel32 calls into the C++ text segment may not reach.
 constexpr Reg kSlotBase = R12;
 
 enum Xmm : uint8_t { XMM0 = 0, XMM1 = 1 };
@@ -79,6 +86,8 @@ class Asm {
   // --- moves -------------------------------------------------------------
   // mov r64, [base + disp]. force_disp32 keeps the displacement patchable.
   void MovRegMem(Reg dst, Reg base, int32_t disp, bool force_disp32 = false);
+  // mov r32, [base + disp] (zero-extends into the full register)
+  void Mov32RegMem(Reg dst, Reg base, int32_t disp);
   // mov [base + disp], r64
   void MovMemReg(Reg base, int32_t disp, Reg src, bool force_disp32 = false);
   // mov r64, [base + index*2^scale + disp]
@@ -109,9 +118,16 @@ class Asm {
   void XorRegReg(Reg dst, Reg src);  // xor r64, r64
   void XorReg32(Reg r);        // xor r32, r32 (zero)
   void AndImm8(Reg r, uint8_t imm);  // and r32, imm8
+  void AddImm8(Reg r, int8_t imm);   // add r64, sign-extended imm8
+  void AddRegReg(Reg dst, Reg src);  // add r64, r64
+  void SubRegReg(Reg dst, Reg src);
+  void AndRegReg(Reg dst, Reg src);
+  void ImulRegReg(Reg dst, Reg src);
   void IncReg(Reg r);
+  void DecReg(Reg r);
   void NegReg(Reg r);
   void SarImm8(Reg r, uint8_t imm);
+  void ShrImm8(Reg r, uint8_t imm);
   void Cqo();
   void IdivReg(Reg r);
   void MovRegReg(Reg dst, Reg src);
@@ -148,10 +164,16 @@ class Asm {
   size_t Jcc8(Cond cc);
   size_t Jmp8();
   void PatchRel8(size_t at);  // retarget the rel8 at `at` to the current end
+  // Backward short branches to an already-emitted offset (template-local
+  // loops, e.g. the hash-chain walk and the log-append copy loop).
+  size_t here() const { return buf_.size(); }
+  void Jmp8Back(size_t target);
+  void Jcc8Back(Cond cc, size_t target);
   void PushR12();
   void PopR12();
   void Ret();
   void JmpReg(Reg r);
+  void CallReg(Reg r);
 
   void Byte(uint8_t b) { buf_.push_back(b); }
   void U32(uint32_t v);
@@ -194,11 +216,22 @@ class CodeBuffer {
 // Native offset table entry for "pc has no native code".
 constexpr uint32_t kNoEntry = 0xFFFFFFFFu;
 
+// A LIKE pattern pre-split into its '%'-delimited literal segments at
+// stitch time. The kStrLike template passes one of these to its helper, so
+// the per-row SplitLikePattern allocation the VM pays disappears from
+// JIT'd code — the JIT "compiles" the pattern.
+struct LikePattern {
+  std::vector<std::string> segs;
+};
+
 // A stitched (but not yet installed) program image.
 struct StitchResult {
   std::vector<uint8_t> code;    // prologue + instruction code + exit thunks
   std::vector<uint32_t> entry;  // per-pc blob offset, kNoEntry when deopt
   int num_native = 0;           // instructions that got native code
+  // One entry per prog.patterns element; kPatternC patches point into this
+  // vector, so its owner (JitProgram) must keep it alive with the code.
+  std::vector<LikePattern> like_patterns;
 };
 
 // Stitches every templated instruction of `prog` into one blob. Offsets in

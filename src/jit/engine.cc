@@ -1,5 +1,7 @@
 #include "jit/engine.h"
 
+#include <cstdio>
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
 #endif
@@ -51,11 +53,29 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog) {
   if (!JitAvailable() || prog.code.empty()) return nullptr;
   StitchResult stitched = StitchProgram(prog);
   if (stitched.num_native == 0) return nullptr;
+  if (EnvLevel("QC_JIT_STATS") >= 2) {
+    // Deopt-site histogram: which opcodes lack native code in this program.
+    int counts[static_cast<int>(BcOp::kNumOps)] = {};
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+      if (stitched.entry[pc] == kNoEntry) ++counts[prog.code[pc].op];
+    }
+    std::fprintf(stderr, "jit-deopt-pcs:");
+    for (int op = 0; op < static_cast<int>(BcOp::kNumOps); ++op) {
+      if (counts[op] > 0) {
+        std::fprintf(stderr, " %s=%d", BcOpName(static_cast<BcOp>(op)),
+                     counts[op]);
+      }
+    }
+    std::fprintf(stderr, "\n");
+  }
   std::unique_ptr<JitProgram> jp(new JitProgram());
   if (!jp->buf_.Install(stitched.code)) return nullptr;  // W^X refused
   jp->enter_ = reinterpret_cast<EnterFn>(
       reinterpret_cast<uintptr_t>(jp->buf_.base()));
   jp->entry_ = std::move(stitched.entry);
+  // Element addresses survive the vector move, so the imm64 patches the
+  // installed code carries stay valid.
+  jp->like_patterns_ = std::move(stitched.like_patterns);
   jp->num_native_ = stitched.num_native;
   return jp;
 }

@@ -26,6 +26,7 @@
 #ifndef QC_JIT_ENGINE_H_
 #define QC_JIT_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -63,7 +64,15 @@ class JitProgram {
 
   // Introspection (tests, bench reporting).
   int num_native() const { return num_native_; }
+  int total_pcs() const { return static_cast<int>(entry_.size()); }
   size_t code_bytes() const { return buf_.size(); }
+
+  // QC_JIT_STATS telemetry: each interpreted run of the hybrid driver —
+  // every transition out of native code other than kRet — counts as one
+  // deopt. Thread-safe (morsel workers share the program), monotone across
+  // Run()s; callers snapshot-and-diff per execution.
+  void CountDeopt() const { deopts_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t deopts() const { return deopts_.load(std::memory_order_relaxed); }
 
  private:
   JitProgram() = default;
@@ -73,7 +82,10 @@ class JitProgram {
   CodeBuffer buf_;
   EnterFn enter_ = nullptr;
   std::vector<uint32_t> entry_;
+  // Pre-split LIKE patterns the stitched code points into (kPatternC).
+  std::vector<LikePattern> like_patterns_;
   int num_native_ = 0;
+  mutable std::atomic<uint64_t> deopts_{0};
 };
 
 }  // namespace qc::exec::jit

@@ -1,19 +1,156 @@
 #include "jit/templates.h"
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/str.h"
 #include "jit/emitter.h"
 #include "storage/database.h"
+#include "storage/result.h"
 
 namespace qc::exec::jit {
 
 namespace {
 
 constexpr int kNumOps = static_cast<int>(BcOp::kNumOps);
+
+// ---------------------------------------------------------------------------
+// C++ helpers callable from templates (imm64 address + call-through-reg).
+// Each mirrors one VM handler exactly — same comparison, same interning,
+// same append order — so JIT results stay bit-identical.
+// ---------------------------------------------------------------------------
+
+int64_t HelpStrEq(const char* a, const char* b) {
+  return std::strcmp(a, b) == 0 ? 1 : 0;
+}
+int64_t HelpStrNe(const char* a, const char* b) {
+  return std::strcmp(a, b) != 0 ? 1 : 0;
+}
+int64_t HelpStrLt(const char* a, const char* b) {
+  return std::strcmp(a, b) < 0 ? 1 : 0;
+}
+int64_t HelpStrStarts(const char* s, const char* p) {
+  return StrStartsWith(s, p) ? 1 : 0;
+}
+int64_t HelpStrEnds(const char* s, const char* p) {
+  return StrEndsWith(s, p) ? 1 : 0;
+}
+int64_t HelpStrContains(const char* s, const char* p) {
+  return StrContains(s, p) ? 1 : 0;
+}
+// LIKE over a pattern pre-split at stitch time (LikePattern, emitter.h):
+// the matching core is shared with StrLike, so only the per-row
+// SplitLikePattern allocation disappears — the semantics cannot diverge.
+int64_t HelpStrLikePre(const char* str, const LikePattern* p) {
+  return StrLikeSegs(str, p->segs) ? 1 : 0;
+}
+
+// kLogRow grow path: the inline pointer-bump found end + nbytes > capacity
+// (only possible when a log channel appends more than once per row — inner
+// loops — since the runtime reserves one entry per morsel row up front).
+void HelpLogGrow(std::vector<Slot>* lg, const Slot* regs,
+                 const uint32_t* argv, uint64_t nbytes) {
+  uint64_t n = nbytes >> 3;
+  for (uint64_t i = 0; i < n; ++i) lg->push_back(regs[argv[i]]);
+}
+
+// Allocating opcodes: every piece of per-run mutable state these need is
+// reachable from an object the register file holds — the map/multimap
+// itself (which carries its AllocStats*), or the reserved context
+// registers (RecordHeap*, AllocStats*) the runtime writes at entry. Slot
+// payloads travel as int64_t bit patterns to keep the SysV classification
+// unambiguous.
+// Generic hash probes for string/record keys (the kMapKeyOther variants):
+// the typed SlotHasher runs in C++, but the probe is still a plain call
+// from native code — the surrounding loop never re-enters the interpreter.
+void* HelpMapFindGeneric(RtHashMap* m, int64_t key_bits) {
+  Slot k;
+  k.i = key_bits;
+  return m->Find(k);
+}
+int64_t HelpMapGetOrNullGeneric(RtHashMap* m, int64_t key_bits) {
+  Slot k;
+  k.i = key_bits;
+  RtHashMap::Node* n = m->Find(k);
+  return n == nullptr ? 0 : n->value.i;
+}
+int64_t HelpMMapGetOrNullGeneric(RtMultiMap* mm, int64_t key_bits) {
+  Slot k;
+  k.i = key_bits;
+  return reinterpret_cast<int64_t>(mm->GetOrNull(k));
+}
+
+void* HelpMapInsert(RtHashMap* m, int64_t key_bits, int64_t val_bits) {
+  Slot k, v;
+  k.i = key_bits;
+  v.i = val_bits;
+  return m->Insert(k, v);
+}
+void HelpMMapAdd(RtMultiMap* mm, int64_t key_bits, int64_t val_bits) {
+  Slot k, v;
+  k.i = key_bits;
+  v.i = val_bits;
+  mm->Add(k, v);
+}
+void HelpListAppend(RtList* l, AllocStats* stats, int64_t val_bits) {
+  Slot v;
+  v.i = val_bits;
+  size_t before = l->items.capacity();
+  l->items.push_back(v);
+  stats->vector_bytes += (l->items.capacity() - before) * sizeof(Slot);
+}
+void* HelpRecNew(RecordHeap* h, const Slot* regs, const uint32_t* argv,
+                 uint64_t n) {
+  Slot* rec = h->AllocHeap(n);
+  for (uint64_t i = 0; i < n; ++i) rec[i] = regs[argv[i]];
+  return rec;
+}
+void* HelpPoolRecNew(RecordHeap* h, const Slot* regs, const uint32_t* argv,
+                     uint64_t n) {
+  Slot* rec = h->AllocPool(n);
+  for (uint64_t i = 0; i < n; ++i) rec[i] = regs[argv[i]];
+  return rec;
+}
+void* HelpPoolAlloc(RecordHeap* h, int64_t fields) {
+  return h->AllocPool(static_cast<size_t>(fields));
+}
+
+// kEmit row staging: gather the argument slots, intern strings into the
+// destination table, append the row. `out` arrives through the program's
+// reserved out-register (BytecodeProgram::out_reg), so the helper works for
+// the main result table and for morsel-private tables alike.
+void HelpEmit(storage::ResultTable* out, const Slot* regs,
+              const uint32_t* argv, uint64_t n, uint64_t mask) {
+  std::vector<Slot> row;
+  row.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Slot v = regs[argv[i]];
+    if (mask & (1ull << i)) v = SlotS(out->InternString(v.s));
+    row.push_back(v);
+  }
+  out->AddRow(std::move(row));
+}
+
+// The hash-probe template hard-codes the splitmix64 finalizer in machine
+// code; hold it against the C++ implementation the VM hashes with.
+constexpr uint64_t kMix1 = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kMix2 = 0xbf58476d1ce4e5b9ull;
+constexpr uint64_t kMix3 = 0x94d049bb133111ebull;
+constexpr uint64_t JitHashMixRef(uint64_t x) {
+  x += kMix1;
+  x = (x ^ (x >> 30)) * kMix2;
+  x = (x ^ (x >> 27)) * kMix3;
+  return x ^ (x >> 31);
+}
+static_assert(JitHashMixRef(0xDEADBEEFCAFEull) == HashMix(0xDEADBEEFCAFEull) &&
+                  JitHashMixRef(0) == HashMix(0),
+              "HashMix changed: update the inline hash in the kMapFind/"
+              "kMapGetOrNull templates to match");
 
 // Builder for one template: the mini-assembler plus patch-point recording.
 // Every Slot access goes through the *Slot helpers so the displacement is
@@ -66,6 +203,12 @@ struct TB {
     a.AndImm8(RAX, 1);
     StoreSlot(RAX, PatchKind::kSlotA);
   }
+  // Call a C++ helper whose address is known at template build time.
+  // Arguments follow SysV (rdi, rsi, rdx, rcx, r8); the result is in rax.
+  void CallHelper(const void* fn) {
+    a.MovImm64(RAX, reinterpret_cast<uint64_t>(fn));
+    a.CallReg(RAX);
+  }
 };
 
 struct Built {
@@ -76,6 +219,9 @@ struct Built {
 
 struct Store {
   OpTemplate table[kNumOps];
+  // Variant templates selected per instruction (SelectTemplate): the
+  // generic helper-call hash probes for non-i64 map keys.
+  OpTemplate alt[kNumOps];
   std::vector<uint8_t> bytes;
 };
 
@@ -100,14 +246,23 @@ bool FSwapped(int i) { return i >= 4; }  // Gt, Ge
 Store* BuildTemplates() {
   Store* s = new Store();
   std::vector<Built> built(kNumOps);
-  auto def = [&](BcOp op, bool needs_probe,
-                 const std::function<void(TB&)>& fn) {
+  std::vector<Built> built_alt(kNumOps);
+  auto build_into = [](std::vector<Built>& dst, BcOp op, bool needs_probe,
+                       const std::function<void(TB&)>& fn) {
     TB t;
     fn(t);
-    Built& b = built[static_cast<int>(op)];
+    Built& b = dst[static_cast<int>(op)];
     b.bytes = t.a.bytes();
     b.patches = t.patches;
     b.needs_probe = needs_probe;
+  };
+  auto def = [&](BcOp op, bool needs_probe,
+                 const std::function<void(TB&)>& fn) {
+    build_into(built, op, needs_probe, fn);
+  };
+  auto defalt = [&](BcOp op, bool needs_probe,
+                    const std::function<void(TB&)>& fn) {
+    build_into(built_alt, op, needs_probe, fn);
   };
 
   // --- control flow --------------------------------------------------------
@@ -492,42 +647,320 @@ Store* BuildTemplates() {
     });
   }
 
-  // Everything else (allocation, hashing, sorting, strings, emission,
-  // morsel dispatch) deopts: code stays nullptr.
+  // --- generic hash-map probes (i64 keys) ----------------------------------
+  // The compiler tags kMapFind/kMapGetOrNull/kMMapGetOrNull with the map's
+  // key kind (insn.d); the stitcher only uses these templates for
+  // kMapKeyI64 instructions (integral hash + integral equality — exactly
+  // SlotHasher's default branch). The probe is self-contained: the bucket
+  // array pointer and mask are loaded from the live map object on every
+  // execution, so rehashing between (or during) loops needs no code
+  // invalidation, and only the insert/create path ever deopts.
+  size_t map_boff = RtHashMap::BucketsOffsetForJit();
+  size_t mmap_moff = RtMultiMap::MapOffsetForJit();
+  // rax = key, r11 = RtHashMap*; leaves r11 = matching node or null.
+  // Clobbers rcx/rdx. Node layout {key, value, next} checked by the probe.
+  auto emit_probe = [map_boff](TB& t) {
+    int32_t bo = static_cast<int32_t>(map_boff);
+    t.a.MovRegReg(RCX, RAX);  // h = HashMix(key): splitmix64 finalizer
+    t.a.MovImm64(RDX, kMix1);
+    t.a.AddRegReg(RCX, RDX);
+    t.a.MovRegReg(RDX, RCX);
+    t.a.ShrImm8(RDX, 30);
+    t.a.XorRegReg(RCX, RDX);
+    t.a.MovImm64(RDX, kMix2);
+    t.a.ImulRegReg(RCX, RDX);
+    t.a.MovRegReg(RDX, RCX);
+    t.a.ShrImm8(RDX, 27);
+    t.a.XorRegReg(RCX, RDX);
+    t.a.MovImm64(RDX, kMix3);
+    t.a.ImulRegReg(RCX, RDX);
+    t.a.MovRegReg(RDX, RCX);
+    t.a.ShrImm8(RDX, 31);
+    t.a.XorRegReg(RCX, RDX);
+    t.a.MovRegMem(RDX, R11, bo + 8);  // buckets.end
+    t.a.SubRegMem(RDX, R11, bo);      // - begin = bytes
+    t.a.SarImm8(RDX, 3);              // bucket count (a power of two)
+    t.a.DecReg(RDX);                  // mask
+    t.a.AndRegReg(RCX, RDX);          // bucket index
+    t.a.MovRegMem(R11, R11, bo);      // buckets.begin
+    t.a.MovRegMemIdx(R11, R11, RCX, 3);  // chain head
+    size_t loop = t.a.here();
+    t.a.TestRegReg(R11, R11);
+    size_t miss = t.a.Jcc8(kCondE);
+    t.a.CmpRegMem(RAX, R11, 0);  // key == node->key.i ?
+    size_t hit = t.a.Jcc8(kCondE);
+    t.a.MovRegMem(R11, R11, 16);  // node->next
+    t.a.Jmp8Back(loop);
+    t.a.PatchRel8(miss);
+    t.a.PatchRel8(hit);
+  };
+  def(BcOp::kMapFind, true, [&emit_probe](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotC);
+    t.LoadSlot(R11, PatchKind::kSlotB);
+    emit_probe(t);
+    t.StoreSlot(R11, PatchKind::kSlotA);
+  });
+  // Shared value-load tail: R[a] = node ? node->value : null (null stays 0
+  // in r11, so the store needs no second branch arm).
+  auto node_value = [](TB& t) {
+    t.a.TestRegReg(R11, R11);
+    size_t nul = t.a.Jcc8(kCondE);
+    t.a.MovRegMem(R11, R11, 8);  // node->value
+    t.a.PatchRel8(nul);
+    t.StoreSlot(R11, PatchKind::kSlotA);
+  };
+  def(BcOp::kMapGetOrNull, true, [&emit_probe, &node_value](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotC);
+    t.LoadSlot(R11, PatchKind::kSlotB);
+    emit_probe(t);
+    node_value(t);
+  });
+  def(BcOp::kMMapGetOrNull, true,
+      [&emit_probe, &node_value, mmap_moff](TB& t) {
+        t.LoadSlot(RAX, PatchKind::kSlotC);
+        t.LoadSlot(R11, PatchKind::kSlotB);
+        if (mmap_moff != 0) {  // the embedded key map
+          t.a.AddImm8(R11, static_cast<int8_t>(mmap_moff));
+        }
+        emit_probe(t);
+        node_value(t);  // node->value is the bucket RtList*
+      });
+  // Generic variants for string/record keys (SelectTemplate picks them
+  // when insn.d != kMapKeyI64): one helper call running the typed probe.
+  auto generic_probe = [&](BcOp op, const void* helper) {
+    defalt(op, false, [helper](TB& t) {
+      t.LoadSlot(RDI, PatchKind::kSlotB);  // map / multimap
+      t.LoadSlot(RSI, PatchKind::kSlotC);  // key bits
+      t.CallHelper(helper);
+      t.StoreSlot(RAX, PatchKind::kSlotA);
+    });
+  };
+  generic_probe(BcOp::kMapFind,
+                reinterpret_cast<const void*>(&HelpMapFindGeneric));
+  generic_probe(BcOp::kMapGetOrNull,
+                reinterpret_cast<const void*>(&HelpMapGetOrNullGeneric));
+  generic_probe(BcOp::kMMapGetOrNull,
+                reinterpret_cast<const void*>(&HelpMMapGetOrNullGeneric));
+  def(BcOp::kMapNodeVal, true, [](TB& t) {
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.MovRegMem(RAX, RAX, 8);  // node->value
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+  // Entry iteration (kMapForeach lowering) and size: pure loads through the
+  // insertion-order vector.
+  size_t map_eoff = RtHashMap::EntriesOffsetForJit();
+  def(BcOp::kMapEntryKV, true, [map_eoff](TB& t) {
+    int32_t eo = static_cast<int32_t>(map_eoff);
+    t.LoadSlot(R11, PatchKind::kSlotC);  // map
+    t.LoadSlot(RAX, PatchKind::kSlotD);  // entry index
+    t.a.MovRegMem(R11, R11, eo);         // entries.begin
+    t.a.MovRegMemIdx(R11, R11, RAX, 3);  // Node*
+    t.a.MovRegMem(RAX, R11, 0);          // key
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+    t.a.MovRegMem(RCX, R11, 8);          // value
+    t.StoreSlot(RCX, PatchKind::kSlotB);
+  });
+  def(BcOp::kMapSize, true, [map_eoff](TB& t) {
+    int32_t eo = static_cast<int32_t>(map_eoff);
+    t.LoadSlot(RAX, PatchKind::kSlotB);
+    t.a.MovRegMem(RCX, RAX, eo + 8);  // entries.end
+    t.a.SubRegMem(RCX, RAX, eo);      // - begin
+    t.a.SarImm8(RCX, 3);
+    t.StoreSlot(RCX, PatchKind::kSlotA);
+  });
+  // Inserts and per-row allocation: helper calls — the state they mutate
+  // is reachable from the object or from the reserved context registers,
+  // so the hot loop never re-enters the interpreter for them.
+  def(BcOp::kMapInsert, false, [](TB& t) {
+    t.LoadSlot(RDI, PatchKind::kSlotB);  // map
+    t.LoadSlot(RSI, PatchKind::kSlotC);  // key bits
+    t.LoadSlot(RDX, PatchKind::kSlotD);  // value bits
+    t.CallHelper(reinterpret_cast<const void*>(&HelpMapInsert));
+    t.StoreSlot(RAX, PatchKind::kSlotA);  // the new node
+  });
+  def(BcOp::kMMapAdd, false, [](TB& t) {
+    t.LoadSlot(RDI, PatchKind::kSlotA);  // multimap
+    t.LoadSlot(RSI, PatchKind::kSlotB);  // key bits
+    t.LoadSlot(RDX, PatchKind::kSlotC);  // value bits
+    t.CallHelper(reinterpret_cast<const void*>(&HelpMMapAdd));
+  });
+  def(BcOp::kListAppend, false, [](TB& t) {
+    t.LoadSlot(RDI, PatchKind::kSlotA);  // list
+    t.LoadSlot(RSI, PatchKind::kSlotC);  // AllocStats* (stats_reg)
+    t.LoadSlot(RDX, PatchKind::kSlotB);  // value bits
+    t.CallHelper(reinterpret_cast<const void*>(&HelpListAppend));
+  });
+  auto rec_new = [&](BcOp op, const void* helper) {
+    def(op, false, [helper](TB& t) {
+      t.LoadSlot(RDI, PatchKind::kSlotC);  // RecordHeap* (rec_reg)
+      t.a.MovRegReg(RSI, kSlotBase);
+      t.a.MovImm64(RDX, 0);
+      t.Mark(PatchKind::kExtraB);  // field operand list
+      t.a.MovImm32(RCX, 0);
+      t.Mark(PatchKind::kImmN);
+      t.CallHelper(helper);
+      t.StoreSlot(RAX, PatchKind::kSlotA);
+    });
+  };
+  rec_new(BcOp::kRecNew, reinterpret_cast<const void*>(&HelpRecNew));
+  rec_new(BcOp::kPoolRecNew, reinterpret_cast<const void*>(&HelpPoolRecNew));
+  def(BcOp::kPoolAlloc, false, [](TB& t) {
+    t.LoadSlot(RDI, PatchKind::kSlotC);  // RecordHeap* (rec_reg)
+    t.LoadSlot(RSI, PatchKind::kSlotB);  // field count
+    t.CallHelper(reinterpret_cast<const void*>(&HelpPoolAlloc));
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
 
-  // Flatten into stable storage: concatenate all template bytes, then
-  // resolve the code pointers against the final buffer.
-  for (int op = 0; op < kNumOps; ++op) {
-    Built& b = built[op];
-    if (b.bytes.empty()) continue;
-    OpTemplate& t = s->table[op];
-    if (b.patches.size() > sizeof(t.patches) / sizeof(t.patches[0])) {
-      std::fprintf(stderr,
-                   "jit: template for %s has %zu patch points (max %zu)\n",
-                   BcOpName(static_cast<BcOp>(op)), b.patches.size(),
-                   sizeof(t.patches) / sizeof(t.patches[0]));
-      std::abort();  // a template bug, not a runtime condition
+  // --- string comparisons (helper calls) -----------------------------------
+  // An interned/constant operand makes pointer equality a common case for
+  // kStrEq/kStrNe (dictionary-coded columns compare their pooled strings
+  // against a preset constant), so those short-circuit before the strcmp
+  // call; every template falls back to a C++ helper mirroring the VM.
+  // eq_result: value stored when both operands are the same pointer.
+  auto str2 = [&](BcOp op, const void* helper, int eq_result) {
+    def(op, false, [helper, eq_result](TB& t) {
+      t.LoadSlot(RDI, PatchKind::kSlotB);
+      t.LoadSlot(RSI, PatchKind::kSlotC);
+      t.a.CmpRegReg(RDI, RSI);
+      size_t same = t.a.Jcc8(kCondE);
+      t.CallHelper(helper);
+      size_t end = t.a.Jmp8();
+      t.a.PatchRel8(same);
+      t.a.MovImm32(RAX, static_cast<uint32_t>(eq_result));
+      t.a.PatchRel8(end);
+      t.StoreSlot(RAX, PatchKind::kSlotA);
+    });
+  };
+  str2(BcOp::kStrEq, reinterpret_cast<const void*>(&HelpStrEq), 1);
+  str2(BcOp::kStrNe, reinterpret_cast<const void*>(&HelpStrNe), 0);
+  str2(BcOp::kStrLt, reinterpret_cast<const void*>(&HelpStrLt), 0);
+  str2(BcOp::kStrStarts, reinterpret_cast<const void*>(&HelpStrStarts), 1);
+  str2(BcOp::kStrEnds, reinterpret_cast<const void*>(&HelpStrEnds), 1);
+  str2(BcOp::kStrContains,
+       reinterpret_cast<const void*>(&HelpStrContains), 1);
+  def(BcOp::kStrLike, false, [](TB& t) {
+    t.LoadSlot(RDI, PatchKind::kSlotB);
+    t.a.MovImm64(RSI, 0);
+    t.Mark(PatchKind::kPatternC);
+    t.CallHelper(reinterpret_cast<const void*>(&HelpStrLikePre));
+    t.StoreSlot(RAX, PatchKind::kSlotA);
+  });
+
+  // --- morsel addend logs --------------------------------------------------
+  // kLogRow appends R[extra[b..b+n)] to the channel's vector<Slot> (reached
+  // through the log register, insn.c). Fast path is a pure pointer bump —
+  // the runtime reserves one entry per morsel row, so growth only happens
+  // for channels appending from inner loops — and the grow path is a helper
+  // call, not a deopt: the scan loop stays native either way.
+  def(BcOp::kLogRow, true, [](TB& t) {
+    t.LoadSlot(R11, PatchKind::kSlotC);  // the log: std::vector<Slot>*
+    t.a.MovImm64(RDX, 0);
+    t.Mark(PatchKind::kExtraB);  // operand list
+    t.a.MovRegMem(RAX, R11, 8);  // end
+    t.a.MovImm32(RCX, 0);
+    t.Mark(PatchKind::kImmN8);  // n * sizeof(Slot)
+    t.a.AddRegReg(RCX, RAX);    // proposed new end
+    t.a.CmpRegMem(RCX, R11, 16);  // vs capacity end
+    size_t slow = t.a.Jcc8(kCondA);
+    size_t copy = t.a.here();  // n >= 1 always (channels log >= 1 value)
+    t.a.Mov32RegMem(RSI, RDX, 0);             // operand register index
+    t.a.MovRegMemIdx(R10, kSlotBase, RSI, 3); // its slot
+    t.a.MovMemReg(RAX, 0, R10);
+    t.a.AddImm8(RAX, 8);
+    t.a.AddImm8(RDX, 4);
+    t.a.CmpRegReg(RAX, RCX);
+    t.a.Jcc8Back(kCondNE, copy);
+    t.a.MovMemReg(R11, 8, RCX);  // commit the new end
+    size_t end = t.a.Jmp8();
+    t.a.PatchRel8(slow);
+    t.a.MovRegReg(RDI, R11);
+    t.a.MovRegReg(RSI, kSlotBase);
+    t.a.SubRegReg(RCX, RAX);  // byte count (rdx still holds argv)
+    t.CallHelper(reinterpret_cast<const void*>(&HelpLogGrow));
+    t.a.PatchRel8(end);
+  });
+
+  // --- result emission -----------------------------------------------------
+  // One helper call staging the row straight into the ResultTable the
+  // out-register points at — works for any emit schema (the string mask
+  // routes interning), and for main and morsel-private tables alike.
+  def(BcOp::kEmit, false, [](TB& t) {
+    t.LoadSlot(RDI, PatchKind::kSlotB);  // ResultTable* (prog.out_reg)
+    t.a.MovRegReg(RSI, kSlotBase);       // the register file
+    t.a.MovImm64(RDX, 0);
+    t.Mark(PatchKind::kExtraA);  // operand list
+    t.a.MovImm32(RCX, 0);
+    t.Mark(PatchKind::kImmN);
+    t.a.MovImm32(R8, 0);
+    t.Mark(PatchKind::kImmCMask);
+    t.CallHelper(reinterpret_cast<const void*>(&HelpEmit));
+  });
+
+  // Everything else (allocation into the engine's heaps, map/multimap
+  // inserts, sorting, morsel dispatch) deopts: code stays nullptr.
+
+  // Flatten into stable storage: concatenate all template bytes (main
+  // table first, then variants), then resolve the code pointers against
+  // the final buffer.
+  auto flatten = [&](std::vector<Built>& src, OpTemplate* table) {
+    for (int op = 0; op < kNumOps; ++op) {
+      Built& b = src[op];
+      if (b.bytes.empty()) continue;
+      OpTemplate& t = table[op];
+      if (b.patches.size() > sizeof(t.patches) / sizeof(t.patches[0])) {
+        std::fprintf(stderr,
+                     "jit: template for %s has %zu patch points (max %zu)\n",
+                     BcOpName(static_cast<BcOp>(op)), b.patches.size(),
+                     sizeof(t.patches) / sizeof(t.patches[0]));
+        std::abort();  // a template bug, not a runtime condition
+      }
+      t.size = static_cast<uint16_t>(b.bytes.size());
+      t.num_patches = static_cast<uint8_t>(b.patches.size());
+      for (size_t i = 0; i < b.patches.size(); ++i) t.patches[i] = b.patches[i];
+      t.needs_layout_probe = b.needs_probe;
+      s->bytes.insert(s->bytes.end(), b.bytes.begin(), b.bytes.end());
     }
-    t.size = static_cast<uint16_t>(b.bytes.size());
-    t.num_patches = static_cast<uint8_t>(b.patches.size());
-    for (size_t i = 0; i < b.patches.size(); ++i) t.patches[i] = b.patches[i];
-    t.needs_layout_probe = b.needs_probe;
-    s->bytes.insert(s->bytes.end(), b.bytes.begin(), b.bytes.end());
-  }
+  };
+  flatten(built, s->table);
+  flatten(built_alt, s->alt);
   size_t off = 0;
-  for (int op = 0; op < kNumOps; ++op) {
-    if (built[op].bytes.empty()) continue;
-    s->table[op].code = s->bytes.data() + off;
-    off += built[op].bytes.size();
-  }
+  auto resolve = [&](std::vector<Built>& src, OpTemplate* table) {
+    for (int op = 0; op < kNumOps; ++op) {
+      if (src[op].bytes.empty()) continue;
+      table[op].code = s->bytes.data() + off;
+      off += src[op].bytes.size();
+    }
+  };
+  resolve(built, s->table);
+  resolve(built_alt, s->alt);
   return s;
+}
+
+const Store* GetStore() {
+  static const Store* store = BuildTemplates();
+  return store;
 }
 
 }  // namespace
 
-const OpTemplate* TemplateTable() {
-  static const Store* store = BuildTemplates();
-  return store->table;
+const OpTemplate* SelectTemplate(const Insn& insn, bool layout_ok) {
+  const Store* s = GetStore();
+  const OpTemplate* t = &s->table[insn.op];
+  switch (static_cast<BcOp>(insn.op)) {
+    case BcOp::kMapFind:
+    case BcOp::kMapGetOrNull:
+    case BcOp::kMMapGetOrNull:
+      // Non-i64 keys take the generic helper-call probe; so do i64 keys
+      // when the layout probe failed — the helper runs the typed C++
+      // probe and needs no raw layout, keeping probe loops native.
+      if (insn.d != kMapKeyI64 || !layout_ok) t = &s->alt[insn.op];
+      break;
+    default:
+      break;
+  }
+  if (t->code == nullptr) return nullptr;
+  if (t->needs_layout_probe && !layout_ok) return nullptr;
+  return t;
 }
 
 bool RuntimeLayoutUsable() {
@@ -540,6 +973,61 @@ bool RuntimeLayoutUsable() {
     std::memcpy(&b, raw, 8);
     std::memcpy(&e, raw + 8, 8);
     if (b != v.data() || e != v.data() + 3) return false;
+    {
+      // Capacity pointer in the third word — the kLogRow bump checks it.
+      std::vector<Slot> c;
+      c.reserve(7);
+      unsigned char* craw = reinterpret_cast<unsigned char*>(&c);
+      Slot* cap = nullptr;
+      std::memcpy(&cap, craw + 16, 8);
+      if (cap != c.data() + 7) return false;
+    }
+    // Hash-map probe templates: node field offsets, the bucket vector of a
+    // live map (16 null chain heads after construction), and the embedded
+    // member offsets small enough for the template's addressing.
+    if (offsetof(RtHashMap::Node, key) != 0 ||
+        offsetof(RtHashMap::Node, value) != 8 ||
+        offsetof(RtHashMap::Node, next) != 16) {
+      return false;
+    }
+    {
+      size_t boff = RtHashMap::BucketsOffsetForJit();
+      size_t eoff = RtHashMap::EntriesOffsetForJit();
+      if (boff > 96 || eoff > 96 || RtMultiMap::MapOffsetForJit() > 96) {
+        return false;
+      }
+      // End-to-end: insert through the C++ map, then re-find every key the
+      // way the stitched probe does — raw member offsets, the inline
+      // splitmix64 hash, bucket mask from the vector span, intrusive chain
+      // walk — across a rehash (40 inserts grow 16 -> 64 buckets). The
+      // insertion-order vector feeds the kMapEntryKV/kMapSize templates.
+      ir::Type i64t;
+      i64t.kind = ir::TypeKind::kI64;
+      AllocStats stats;
+      RtHashMap m(&i64t, &stats);
+      for (int64_t k = 0; k < 40; ++k) m.Insert(SlotI(k * 7), SlotI(k));
+      unsigned char* mraw = reinterpret_cast<unsigned char*>(&m);
+      RtHashMap::Node** bb = nullptr;
+      RtHashMap::Node** be = nullptr;
+      std::memcpy(&bb, mraw + boff, 8);
+      std::memcpy(&be, mraw + boff + 8, 8);
+      size_t nb = static_cast<size_t>(be - bb);
+      if (nb < 40 || (nb & (nb - 1)) != 0) return false;
+      for (int64_t k = 0; k < 40; ++k) {
+        RtHashMap::Node* n =
+            bb[HashMix(static_cast<uint64_t>(k * 7)) & (nb - 1)];
+        while (n != nullptr && n->key.i != k * 7) n = n->next;
+        if (n == nullptr || n->value.i != k) return false;
+      }
+      RtHashMap::Node** eb = nullptr;
+      RtHashMap::Node** ee = nullptr;
+      std::memcpy(&eb, mraw + eoff, 8);
+      std::memcpy(&ee, mraw + eoff + 8, 8);
+      if (ee - eb != 40) return false;
+      for (int64_t k = 0; k < 40; ++k) {
+        if (eb[k]->key.i != k * 7) return false;
+      }
+    }
     RtArray arr;
     if (reinterpret_cast<unsigned char*>(&arr.data) !=
         reinterpret_cast<unsigned char*>(&arr)) {

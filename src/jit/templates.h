@@ -14,13 +14,17 @@
 // each patchable field landed. Invariants every template obeys:
 //   * r12 holds the VM register-file base (Slot*); VM register k lives at
 //     [r12 + k*8], always addressed with a patchable disp32.
-//   * rax/rcx/rdx/r11/xmm0 are scratch; nothing is preserved across
+//   * every caller-saved register is scratch; nothing is preserved across
 //     templates except the register file itself (state lives in memory,
 //     exactly like the bytecode VM's Slot array — which is what makes
 //     mid-program deopt re-entry trivial).
-//   * Templates never call anything. Operations that need the C++ runtime
-//     (allocation, hashing, sorting, string interning, morsel dispatch)
-//     simply have no template and deopt to the VM (engine.h).
+//   * Templates may call C++ helpers through an imm64 address baked in at
+//     template build time (string predicates, log/emit staging): r12 is
+//     callee-saved and rsp stays 16-byte aligned, so the calls are
+//     ABI-clean and cost no deopt. Operations that genuinely need VM
+//     state the register file cannot reach (allocation into the engine's
+//     deques, sorting, morsel dispatch) still have no template and deopt
+//     to the VM (engine.h).
 //   * Fall-through is the next stitched instruction; taken branches are
 //     rel32 fields patched by the emitter's branch-fixup pass.
 #ifndef QC_JIT_TEMPLATES_H_
@@ -43,6 +47,13 @@ enum class PatchKind : uint8_t {
   kPtrB,    // imm64 <- prog.ptrs[insn.b] (pre-resolved column/index ptr)
   kConstB,  // imm64 <- prog.consts[insn.b] raw slot bits
   kJumpD,   // rel32 <- native code of pc + 1 + insn.d (branch fixup)
+  kExtraA,  // imm64 <- &prog.extra[insn.a] (variable-length operand list)
+  kExtraB,  // imm64 <- &prog.extra[insn.b]
+  kImmN,    // imm32 <- insn.n (operand count)
+  kImmN8,   // imm32 <- insn.n * 8 (operand count in slot bytes)
+  kImmCMask,   // imm32 <- insn.c (kEmit string-interning mask)
+  kPatternC,   // imm64 <- &like_patterns[insn.c], the pattern pre-split at
+               //          stitch time (kStrLike; see emitter.h LikePattern)
 };
 
 struct PatchPoint {
@@ -62,9 +73,16 @@ struct OpTemplate {
   bool needs_layout_probe = false;
 };
 
-// The template table, indexed by BcOp, BcOp::kNumOps entries. Built on
-// first call (thread-safe function-local static).
-const OpTemplate* TemplateTable();
+// Template selection for one concrete instruction — the only lookup into
+// the table (built on first call, thread-safe function-local static):
+// the main entry, or a variant keyed on instruction metadata — the
+// hash-probe opcodes (kMapFind/kMapGetOrNull/kMMapGetOrNull) use the
+// inline i64 probe for kMapKeyI64 instructions and a generic helper-call
+// probe (typed SlotHasher in C++, no deopt) for string/record keys; the
+// generic variant also serves i64 keys when the layout probe failed, so
+// probe loops stay native even there. Returns nullptr when the
+// instruction must deopt (no template, or probe-gated with no variant).
+const OpTemplate* SelectTemplate(const Insn& insn, bool layout_ok);
 
 // One-time probe of the standard-library memory layout the container
 // templates compile against (vector = {begin, end, cap} pointers; RtArray/

@@ -582,6 +582,262 @@ TEST(JitDeopt, SortComparatorCrossesBoundary) {
   ExpectBitExact(jit.Run(fn), bc.Run(fn), "jit sort comparator");
 }
 
+// --------------------------------------------------------------------------
+// Native templates for the deopt-dominated families: hash probes, string
+// comparisons, kLogRow, kEmit, and the allocating helper-call opcodes.
+// --------------------------------------------------------------------------
+
+std::vector<uint32_t> PcsOf(const BytecodeProgram& prog, BcOp op) {
+  std::vector<uint32_t> pcs;
+  for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+    if (prog.code[pc].op == static_cast<uint16_t>(op)) {
+      pcs.push_back(static_cast<uint32_t>(pc));
+    }
+  }
+  return pcs;
+}
+
+void ExpectOpNative(const BytecodeProgram& prog,
+                    const exec::jit::JitProgram& jp, BcOp op) {
+  std::vector<uint32_t> pcs = PcsOf(prog, op);
+  EXPECT_FALSE(pcs.empty()) << BcOpName(op) << " absent from program";
+  for (uint32_t pc : pcs) {
+    EXPECT_TRUE(jp.HasEntry(pc)) << BcOpName(op) << " deopts at pc " << pc;
+  }
+}
+
+// GOEU probe loop over i64 keys: 1000 distinct keys grow the map through
+// several rehashes (16 -> 1024+ buckets) while the inline probe template
+// keeps finding through the live bucket array — resize mid-loop needs no
+// invalidation because the mask and bucket base are re-read per probe.
+TEST(JitNative, I64MapProbeInlinesAndSurvivesRehash) {
+  storage::Database db;
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* map = b.MapNew(types.I64(), types.I64());
+  Stmt* total = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(5000), [&](Stmt* i) {
+    Stmt* k = b.Mod(i, b.I64(1000));
+    Stmt* v = b.MapGetOrElseUpdate(map, k, [&] { return b.Mul(k, b.I64(3)); });
+    b.VarAssign(total, b.Add(b.VarRead(total), v));
+  });
+  b.EmitRow({b.VarRead(total), b.MapSize(map)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  for (uint32_t pc : PcsOf(prog, BcOp::kMapFind)) {
+    EXPECT_EQ(prog.code[pc].d, exec::kMapKeyI64);
+  }
+  if (exec::jit::JitAvailable()) {
+    auto jp = exec::jit::JitProgram::Compile(prog);
+    ASSERT_NE(jp, nullptr);
+    ExpectOpNative(prog, *jp, BcOp::kMapFind);
+    ExpectOpNative(prog, *jp, BcOp::kMapInsert);
+    ExpectOpNative(prog, *jp, BcOp::kMapNodeVal);
+    ExpectOpNative(prog, *jp, BcOp::kMapSize);
+  }
+  exec::Interpreter bc(&db, Bytecode());
+  exec::Interpreter jit(&db, Jit());
+  ExpectBitExact(jit.Run(fn), bc.Run(fn), "i64 map probe");
+}
+
+storage::Database StrKeyDb() {
+  storage::Database db;
+  storage::TableDef t;
+  t.name = "S";
+  t.columns = {{"k", storage::ColType::kStr},
+               {"v", storage::ColType::kI64}};
+  storage::Table* tt = db.AddTable(t);
+  static const char* kNames[] = {"alpha", "beta", "gamma", "delta", "beta"};
+  for (int i = 0; i < 200; ++i) {
+    tt->column(0).data.push_back(SlotS(kNames[i % 5]));
+    tt->column(1).data.push_back(SlotI(i));
+  }
+  return db;
+}
+
+// String-keyed maps take the *generic* probe variant (typed SlotHasher via
+// helper call): the probe pcs are still native — no deopt — but flagged
+// kMapKeyOther by the compiler.
+TEST(JitNative, StringKeyProbeUsesGenericVariant) {
+  storage::Database db = StrKeyDb();
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* map = b.MapNew(types.Str(), types.I64());
+  b.ForRange(b.I64(0), b.TableRows(0), [&](Stmt* row) {
+    Stmt* k = b.ColGet(0, 0, row, types.Str());
+    Stmt* cnt = b.MapGetOrElseUpdate(map, k, [&] { return b.I64(0); });
+    (void)cnt;
+    Stmt* probe = b.MapGetOrNull(map, k);
+    b.If(b.Not(b.IsNull(probe)), [&] {});
+  });
+  b.EmitRow({b.MapSize(map)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  for (uint32_t pc : PcsOf(prog, BcOp::kMapFind)) {
+    EXPECT_EQ(prog.code[pc].d, exec::kMapKeyOther);
+  }
+  if (exec::jit::JitAvailable()) {
+    auto jp = exec::jit::JitProgram::Compile(prog);
+    ASSERT_NE(jp, nullptr);
+    ExpectOpNative(prog, *jp, BcOp::kMapFind);
+    ExpectOpNative(prog, *jp, BcOp::kMapGetOrNull);
+  }
+  exec::Interpreter bc(&db, Bytecode());
+  exec::Interpreter jit(&db, Jit());
+  ExpectBitExact(jit.Run(fn), bc.Run(fn), "string key generic probe");
+}
+
+// Non-dict string comparisons against constants (strcmp-helper path, with
+// the pointer-equality fast path for interned operands), plus the
+// pattern-precompiled kStrLike — all native, bit-exact with the VM.
+TEST(JitNative, StringCompareTemplates) {
+  storage::Database db = StrKeyDb();
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* eq_n = b.VarNew(b.I64(0));
+  Stmt* like_n = b.VarNew(b.I64(0));
+  Stmt* ptr_n = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.TableRows(0), [&](Stmt* row) {
+    Stmt* k = b.ColGet(0, 0, row, types.Str());
+    // Non-dict path: content comparison against an unrelated constant.
+    b.If(b.StrEq(k, b.StrC("beta")),
+         [&] { b.VarAssign(eq_n, b.Add(b.VarRead(eq_n), b.I64(1))); });
+    // Interned path: both operands are the same column read — the
+    // template's pointer-equality fast path must still report equal.
+    Stmt* k2 = b.ColGet(0, 0, row, types.Str());
+    b.If(b.StrEq(k, k2),
+         [&] { b.VarAssign(ptr_n, b.Add(b.VarRead(ptr_n), b.I64(1))); });
+    b.If(b.StrLike(k, "%t%a%"),
+         [&] { b.VarAssign(like_n, b.Add(b.VarRead(like_n), b.I64(1))); });
+  });
+  b.EmitRow({b.VarRead(eq_n), b.VarRead(ptr_n), b.VarRead(like_n)});
+
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
+  if (exec::jit::JitAvailable()) {
+    auto jp = exec::jit::JitProgram::Compile(prog);
+    ASSERT_NE(jp, nullptr);
+    ExpectOpNative(prog, *jp, BcOp::kStrEq);
+    ExpectOpNative(prog, *jp, BcOp::kStrLike);
+  }
+  exec::Interpreter bc(&db, Bytecode());
+  exec::Interpreter jit(&db, Jit());
+  storage::ResultTable want = bc.Run(fn);
+  storage::ResultTable got = jit.Run(fn);
+  ExpectBitExact(got, want, "string compares");
+  EXPECT_EQ(want.row(0)[0].i, 80);   // "beta" at i%5 in {1,4}
+  EXPECT_EQ(want.row(0)[1].i, 200);  // self-compare always true
+  EXPECT_EQ(want.row(0)[2].i, 120);  // %t%a%: beta (x2 per cycle), delta
+}
+
+// The Q13/Q20 shapes that previously ping-ponged between native code and
+// the VM: every probe, string, allocation, and emit pc must be native at
+// the 5-level stack, and results stay bit-exact at threads {1, 4}.
+TEST(JitNative, Q13Q20DeoptGapClosed) {
+  storage::Database db = tpch::MakeTpchDatabase(0.01);
+  for (int q : {13, 20}) {
+    qplan::PlanPtr plan = tpch::MakeQuery(q);
+    qplan::ResolvePlan(plan.get(), db);
+    ir::TypeFactory types;
+    QueryCompiler qc(&db, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+    ir::ParallelInfo par = ir::AnalyzeParallelism(*res.fn);
+    BytecodeProgram prog = BytecodeCompiler(&db).Compile(*res.fn, &par);
+    if (exec::jit::JitAvailable()) {
+      auto jp = exec::jit::JitProgram::Compile(prog);
+      ASSERT_NE(jp, nullptr);
+      for (BcOp op : {BcOp::kMapFind, BcOp::kMapGetOrNull,
+                      BcOp::kMMapGetOrNull, BcOp::kStrLike, BcOp::kStrEq,
+                      BcOp::kEmit, BcOp::kRecNew, BcOp::kPoolRecNew,
+                      BcOp::kMapInsert, BcOp::kMMapAdd, BcOp::kListAppend,
+                      BcOp::kMapEntryKV}) {
+        for (uint32_t pc : PcsOf(prog, op)) {
+          EXPECT_TRUE(jp->HasEntry(pc))
+              << "Q" << q << ": " << BcOpName(op) << " deopts at pc " << pc;
+        }
+      }
+    }
+    exec::Interpreter bc(&db, Bytecode());
+    storage::ResultTable want = bc.Run(*res.fn);
+    for (int threads : {1, 4}) {
+      exec::Interpreter jit(&db, Jit(threads));
+      ExpectBitExact(jit.Run(*res.fn), want,
+                     "Q" + std::to_string(q) + " t" + std::to_string(threads));
+    }
+  }
+}
+
+// Morsel-fragment scan loops must be deopt-free: with kLogRow (and the
+// allocating ops) native, every pc of every fragment — entry through its
+// kRet — has native code on Q1 and Q6 at the 5-level stack.
+TEST(JitNative, MorselFragmentsDeoptFree) {
+  if (!exec::jit::JitAvailable()) GTEST_SKIP();
+  storage::Database db = tpch::MakeTpchDatabase(0.01);
+  for (int q : {1, 6}) {
+    qplan::PlanPtr plan = tpch::MakeQuery(q);
+    qplan::ResolvePlan(plan.get(), db);
+    ir::TypeFactory types;
+    QueryCompiler qc(&db, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+    ir::ParallelInfo par = ir::AnalyzeParallelism(*res.fn);
+    BytecodeProgram prog = BytecodeCompiler(&db).Compile(*res.fn, &par);
+    ASSERT_FALSE(prog.par_loops.empty()) << "Q" << q;
+    auto jp = exec::jit::JitProgram::Compile(prog);
+    ASSERT_NE(jp, nullptr);
+    for (const exec::ParLoopCode& plc : prog.par_loops) {
+      uint32_t pc = plc.entry;
+      while (true) {
+        EXPECT_TRUE(jp->HasEntry(pc))
+            << "Q" << q << " fragment deopts at pc " << pc << " ("
+            << BcOpName(static_cast<BcOp>(prog.code[pc].op)) << ")";
+        if (prog.code[pc].op == static_cast<uint16_t>(BcOp::kRet)) break;
+        ++pc;
+      }
+    }
+  }
+}
+
+// kLogRow grow path: a channel appending from an inner loop logs more
+// than one entry per row, overflowing the one-entry-per-row reserve — the
+// native append's grow helper (not a deopt) must keep results and
+// AllocStats bit-identical across engines and thread counts.
+TEST(JitLogRow, InnerLoopChannelGrowsPastReserve) {
+  storage::Database db = ScanDb();
+  TypeFactory types;
+  Function fn("f", &types);
+  Builder b(&fn);
+  Stmt* total = b.VarNew(b.F64(0.0));
+  b.ForRange(b.I64(0), b.TableRows(0), [&](Stmt* row) {
+    Stmt* v = b.ColGet(0, 1, row, types.F64());
+    b.ForRange(b.I64(0), b.I64(3), [&](Stmt* j) {
+      Stmt* w = b.Add(v, b.Cast(j, types.F64()));
+      b.VarAssign(total, b.Add(b.VarRead(total), w));
+    });
+  });
+  b.EmitRow({b.VarRead(total)});
+
+  ir::ParallelInfo par = ir::AnalyzeParallelism(fn);
+  BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn, &par);
+  ASSERT_GE(CountOp(prog, BcOp::kLogRow), 1)
+      << "inner-loop f64 sum no longer forms a log channel; the grow-path "
+         "coverage of this test is gone";
+
+  exec::Interpreter ref(&db, Bytecode());
+  storage::ResultTable want = ref.Run(fn);
+  for (int threads : {1, 4}) {
+    InterpOptions o = Jit(threads);
+    o.morsel_rows = 8;  // tiny morsels: reserve = 8 entries, logged = 24
+    exec::Interpreter jit(&db, o);
+    ExpectBitExact(jit.Run(fn), want, "log grow t" + std::to_string(threads));
+    EXPECT_EQ(jit.stats().heap_bytes, ref.stats().heap_bytes);
+    EXPECT_EQ(jit.stats().vector_bytes, ref.stats().vector_bytes);
+  }
+}
+
 // QC_JIT_DISABLE degrades kJit to the plain bytecode VM — selecting the
 // engine must stay safe (and correct) with the JIT forced off.
 TEST(JitDeopt, DisableKnobDegradesToBytecode) {
