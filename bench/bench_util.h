@@ -178,26 +178,15 @@ inline std::string BenchJsonPath(const std::string& default_name) {
 
 // Thread counts for the interpreter rows: QC_BENCH_THREADS is a
 // comma-separated list (e.g. "1,2,4"); default is sequential only. Each
-// count produces one measurement row per query.
+// count produces one measurement row per query. Parsing is the shared
+// hardened EnvIntList: negative, zero, non-numeric, and absurd tokens are
+// dropped (no wrap, no thread-count explosion), and an all-invalid knob
+// falls back to {1}.
 inline std::vector<int> BenchThreadCounts() {
   std::vector<int> counts;
-  const char* v = std::getenv("QC_BENCH_THREADS");
-  if (v != nullptr) {
-    int cur = 0;
-    bool have = false;
-    for (const char* p = v;; ++p) {
-      if (*p >= '0' && *p <= '9') {
-        cur = cur * 10 + (*p - '0');
-        have = true;
-      } else if (*p == ',' || *p == '\0') {
-        if (have && cur > 0) counts.push_back(cur);
-        cur = 0;
-        have = false;
-        if (*p == '\0') break;
-      }
-    }
+  for (long long v : EnvIntList("QC_BENCH_THREADS", 1, 1, 1024)) {
+    counts.push_back(static_cast<int>(v));
   }
-  if (counts.empty()) counts.push_back(1);
   return counts;
 }
 

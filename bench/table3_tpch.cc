@@ -92,6 +92,8 @@ int main() {
   int speedup_count = 0;
   double jit_log_sum = 0;
   int jit_count = 0;
+  double jit_deopt_sum = 0;  // total deopt events across all ir-jit runs
+  bool have_deopts = false;
   for (int q = 1; q <= tpch::kNumQueries; ++q) {
     Row row;
     row.query = q;
@@ -121,6 +123,10 @@ int main() {
       if (with_jit) {
         jit = harness.RunInterp(q, StackConfig::Level(5),
                                 exec::InterpOptions::Engine::kJit, 3, threads);
+        if (jit.jit_deopts >= 0) {
+          jit_deopt_sum += jit.jit_deopts;
+          have_deopts = true;
+        }
       }
       if (t == 0) {
         row.threads = threads;
@@ -190,6 +196,14 @@ int main() {
   if (jit_count > 0) {
     std::printf("JIT vs bytecode VM: %.2fx geomean speedup (%d queries)\n",
                 std::exp(jit_log_sum / jit_count), jit_count);
+  }
+  if (have_deopts) {
+    // The deopt trajectory the PRs chase: with native sorts, all remaining
+    // deopts should be once-per-query (container construction) or
+    // once-per-output (kStrSubstr interning) — nothing per-row or
+    // per-comparison.
+    std::printf("JIT deopt events, all queries/threads: %.0f\n",
+                jit_deopt_sum);
   }
   if (!interp_only) {
     std::printf(

@@ -14,12 +14,22 @@ queries would make the gate flaky.
 When the artifacts carry JIT telemetry (QC_JIT_STATS=1 during the bench:
 "ir-jit-coverage" cells, percent of bytecode pcs with native code), the
 gate additionally fails if any query's coverage dropped more than
---coverage-points vs the baseline — timing noise can hide a lost template,
-the coverage number cannot.
+--coverage-points vs the baseline, or its deopt-event count
+("ir-jit-deopts") exploded past --deopt-factor. Both counters are
+deterministic — timing noise can hide a lost template, these numbers
+cannot.
+
+Robustness contract: a baseline that predates some cells (older artifact
+without ir-jit-coverage / ir-jit-deopts), a row set that changed between
+runs, or a malformed baseline artifact must never crash the gate — such
+cells are skipped with a printed notice, and the script exits non-zero
+only on real regressions (or a missing/broken *current* artifact, which
+means the benchmark step itself regressed).
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
-      [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0]
+      [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0] \
+      [--deopt-factor 2.0]
 """
 
 import argparse
@@ -33,11 +43,24 @@ INTERP_COLUMNS = ("ir-tree", "ir-bc", "ir-jit")
 def load_rows(path):
     with open(path) as f:
         data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top-level JSON is not an object")
+    row_list = data.get("rows", [])
+    if not isinstance(row_list, list):
+        raise ValueError(f"{path}: \"rows\" is not a list")
     rows = {}
-    for row in data.get("rows", []):
+    for row in row_list:
+        if not isinstance(row, dict) or "query" not in row:
+            print(f"notice: skipping malformed row in {path}: {row!r}")
+            continue
         key = (row.get("query"), row.get("threads", 1))
         rows[key] = row
     return data, rows
+
+
+def as_number(row, col):
+    v = row.get(col)
+    return v if isinstance(v, (int, float)) else None
 
 
 def main():
@@ -50,6 +73,9 @@ def main():
                     help="skip cells below this baseline time")
     ap.add_argument("--coverage-points", type=float, default=5.0,
                     help="allowed ir-jit native-coverage drop in points")
+    ap.add_argument("--deopt-factor", type=float, default=2.0,
+                    help="allowed ir-jit-deopts growth factor (plus a "
+                         "small absolute slack for tiny counts)")
     args = ap.parse_args()
 
     # First runs and forks have no previous successful main-branch artifact:
@@ -66,23 +92,49 @@ def main():
               "the benchmark step did not produce JSON", file=sys.stderr)
         return 1
 
-    base_meta, base = load_rows(args.baseline)
-    cur_meta, cur = load_rows(args.current)
+    # A corrupt baseline (truncated upload, artifact format drift) is the
+    # missing-baseline case in disguise: skip with a notice. A corrupt
+    # current artifact is a broken benchmark step: fail.
+    try:
+        base_meta, base = load_rows(args.baseline)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"notice: unreadable baseline artifact ({e}); skipping "
+              "regression check")
+        return 0
+    try:
+        cur_meta, cur = load_rows(args.current)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"error: unreadable current benchmark output ({e})",
+              file=sys.stderr)
+        return 1
 
     if base_meta.get("sf") != cur_meta.get("sf"):
         print(f"scale factors differ (baseline sf={base_meta.get('sf')}, "
               f"current sf={cur_meta.get('sf')}); skipping comparison")
         return 0
 
+    # A changed row set (different thread matrix, added/removed queries) is
+    # a configuration change, not a regression: report it, compare the
+    # intersection.
+    only_base = sorted(set(base) - set(cur), key=repr)
+    only_cur = sorted(set(cur) - set(base), key=repr)
+    if only_base:
+        print(f"notice: {len(only_base)} baseline row(s) missing from the "
+              f"current run (row set changed), e.g. {only_base[:3]}; "
+              "comparing the intersection")
+    if only_cur:
+        print(f"notice: {len(only_cur)} new row(s) have no baseline yet, "
+              f"e.g. {only_cur[:3]}")
+
     regressions = []
     compared = 0
-    for key, brow in sorted(base.items()):
+    for key, brow in sorted(base.items(), key=lambda kv: repr(kv[0])):
         crow = cur.get(key)
         if crow is None:
             continue
         for col in INTERP_COLUMNS:
-            b = brow.get(col)
-            c = crow.get(col)
+            b = as_number(brow, col)
+            c = as_number(crow, col)
             if b is None or c is None or b < args.min_ms or b <= 0 or c <= 0:
                 continue
             compared += 1
@@ -93,17 +145,19 @@ def main():
 
     # JIT native-coverage gate: deterministic (no timing jitter), so any
     # drop beyond the allowance is a lost template or a stitching change.
+    # A baseline predating the telemetry cells simply has no coverage rows:
+    # the gate skips with a notice instead of guessing.
     cov_compared = 0
     base_cov_rows = 0
-    for key, brow in sorted(base.items()):
+    for key, brow in sorted(base.items(), key=lambda kv: repr(kv[0])):
         crow = cur.get(key)
         if crow is None:
             continue
-        b = brow.get("ir-jit-coverage")
-        c = crow.get("ir-jit-coverage")
+        b = as_number(brow, "ir-jit-coverage")
         if b is None:
             continue
         base_cov_rows += 1
+        c = as_number(crow, "ir-jit-coverage")
         if c is None:
             # The baseline had telemetry for this query but the current run
             # emitted none: that query's JIT degraded entirely — the
@@ -117,6 +171,9 @@ def main():
             regressions.append(
                 f"Q{key[0]} threads={key[1]} ir-jit-coverage: "
                 f"{b:.1f}% -> {c:.1f}% (-{b - c:.1f} points)")
+    if base_cov_rows == 0:
+        print("notice: baseline artifact predates ir-jit-coverage telemetry; "
+              "coverage gate skipped")
     # Same failure at whole-artifact granularity, with the likelier cause
     # called out (QC_JIT_STATS dropped from the benchmark invocation).
     if base_cov_rows > 0 and cov_compared == 0:
@@ -125,10 +182,47 @@ def main():
             "current has none (JIT fully degraded, or QC_JIT_STATS missing "
             "from the benchmark step)")
 
+    # Deopt gate: deopt events are deterministic counts; with native sorts
+    # they are once-per-query constants, so an explosion means a hot-path
+    # opcode lost its template or a comparator region stopped stitching.
+    # The absolute slack keeps tiny counts (0 -> 3) from tripping the gate.
+    deopt_compared = 0
+    base_deopt_rows = 0
+    deopt_missing = 0
+    for key, brow in sorted(base.items(), key=lambda kv: repr(kv[0])):
+        crow = cur.get(key)
+        if crow is None:
+            continue
+        b = as_number(brow, "ir-jit-deopts")
+        if b is None:
+            continue
+        base_deopt_rows += 1
+        c = as_number(crow, "ir-jit-deopts")
+        if c is None:
+            # Full JIT degradation also drops ir-jit-coverage and fails
+            # there; a row missing only its deopt cell means the telemetry
+            # emission changed — surface it rather than skipping silently.
+            deopt_missing += 1
+            continue
+        deopt_compared += 1
+        if c > max(b * args.deopt_factor, b + 8):
+            regressions.append(
+                f"Q{key[0]} threads={key[1]} ir-jit-deopts: "
+                f"{b:.0f} -> {c:.0f} events")
+    if base_deopt_rows == 0:
+        print("notice: baseline artifact predates ir-jit-deopts telemetry; "
+              "deopt gate skipped")
+    elif deopt_missing > 0:
+        print(f"notice: {deopt_missing} row(s) lost their ir-jit-deopts "
+              "cell vs the baseline; those rows were not deopt-gated "
+              "(check the benchmark step's telemetry emission)")
+
     print(f"compared {compared} interpreter cells "
           f"(threshold +{args.threshold * 100:.0f}%, "
-          f"min {args.min_ms}ms) and {cov_compared} ir-jit coverage cells "
-          f"(allowance {args.coverage_points} points)")
+          f"min {args.min_ms}ms), {cov_compared} ir-jit coverage cells "
+          f"(allowance {args.coverage_points} points), and "
+          f"{deopt_compared} ir-jit deopt cells "
+          f"(allowance x{args.deopt_factor:g})")
     if regressions:
         print("interpreter-row regressions:")
         for r in regressions:

@@ -697,6 +697,71 @@ uint32_t BytecodeCompiler::CompileSubroutine(const Block* b) {
   return entry;
 }
 
+bool BytecodeCompiler::SubroutineParallelSafe(uint32_t entry) const {
+  // Whitelist: control flow, register moves/arithmetic (registers are
+  // private per execution context), reads of shared containers/columns,
+  // and the non-interning string predicates. Anything that allocates,
+  // interns (kStrSubstr), emits, logs, or stores into shared records/
+  // arrays/lists/maps disqualifies the comparator from running on worker
+  // threads. The scan covers [entry, current code end) — everything the
+  // just-finished CompileSubroutine emitted — rather than stopping at the
+  // first kRet, which would terminate early on a nested subroutine's kRet
+  // and skip the rest of the outer comparator (e.g. a nested, non-
+  // whitelisted sort instruction).
+  for (size_t pc = entry; pc < prog_.code.size(); ++pc) {
+    switch (static_cast<BcOp>(prog_.code[pc].op)) {
+      case BcOp::kRet:
+        break;  // subroutine terminators (outer or nested) carry no effect
+      case BcOp::kJmp:
+      case BcOp::kJz:
+      case BcOp::kJnz:
+      case BcOp::kJgeI:
+      case BcOp::kForNext:
+      case BcOp::kIncJmp:
+      case BcOp::kLoadK:
+      case BcOp::kMov:
+      case BcOp::kAddI: case BcOp::kSubI: case BcOp::kMulI:
+      case BcOp::kDivI: case BcOp::kModI: case BcOp::kNegI:
+      case BcOp::kAddF: case BcOp::kSubF: case BcOp::kMulF:
+      case BcOp::kDivF: case BcOp::kNegF:
+      case BcOp::kCastIF: case BcOp::kCastFI:
+      case BcOp::kEqI: case BcOp::kNeI: case BcOp::kLtI:
+      case BcOp::kLeI: case BcOp::kGtI: case BcOp::kGeI:
+      case BcOp::kEqF: case BcOp::kNeF: case BcOp::kLtF:
+      case BcOp::kLeF: case BcOp::kGtF: case BcOp::kGeF:
+      case BcOp::kAnd: case BcOp::kOr: case BcOp::kNot: case BcOp::kBitAnd:
+      case BcOp::kStrEq: case BcOp::kStrNe: case BcOp::kStrLt:
+      case BcOp::kStrStarts: case BcOp::kStrEnds: case BcOp::kStrContains:
+      case BcOp::kStrLike: case BcOp::kStrLen:
+      case BcOp::kRecGet:
+      case BcOp::kArrGet: case BcOp::kArrLen:
+      case BcOp::kListSize: case BcOp::kListGet:
+      case BcOp::kMapFind: case BcOp::kMapNodeVal:
+      case BcOp::kMapGetOrNull: case BcOp::kMapSize: case BcOp::kMapEntryKV:
+      case BcOp::kMMapGetOrNull:
+      case BcOp::kIsNull:
+      case BcOp::kColGet: case BcOp::kColDict:
+      case BcOp::kIdxBucketLen: case BcOp::kIdxBucketRow: case BcOp::kIdxPkRow:
+      case BcOp::kColGetEqI: case BcOp::kColGetNeI: case BcOp::kColGetLtI:
+      case BcOp::kColGetLeI: case BcOp::kColGetGtI: case BcOp::kColGetGeI:
+      case BcOp::kColGetEqF: case BcOp::kColGetNeF: case BcOp::kColGetLtF:
+      case BcOp::kColGetLeF: case BcOp::kColGetGtF: case BcOp::kColGetGeF:
+      case BcOp::kJnEqI: case BcOp::kJnNeI: case BcOp::kJnLtI:
+      case BcOp::kJnLeI: case BcOp::kJnGtI: case BcOp::kJnGeI:
+      case BcOp::kJnEqF: case BcOp::kJnNeF: case BcOp::kJnLtF:
+      case BcOp::kJnLeF: case BcOp::kJnGtF: case BcOp::kJnGeF:
+      case BcOp::kJnColEqI: case BcOp::kJnColNeI: case BcOp::kJnColLtI:
+      case BcOp::kJnColLeI: case BcOp::kJnColGtI: case BcOp::kJnColGeI:
+      case BcOp::kJnColEqF: case BcOp::kJnColNeF: case BcOp::kJnColLtF:
+      case BcOp::kJnColLeF: case BcOp::kJnColGtF: case BcOp::kJnColGeF:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
 size_t BytecodeCompiler::EmitWhileExit(const Block* b) {
   const Stmt* res = b->result;
   auto in_b = [&](const Stmt* s) {
@@ -1063,8 +1128,13 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       PatchToHere(skip);
       uint32_t off = ExtraList(
           {Reg(cmp->params[0]), Reg(cmp->params[1]), Reg(cmp->result)});
+      // The parallel flag is withheld inside morsel fragments (par_ set):
+      // fragment code runs on worker threads while the pool's scan batch
+      // is in flight, and the single-batch WorkerPool cannot nest — the
+      // JIT's sort helper sees only this flag, not the morsel context.
       Emit(BcOp::kArrSort, Reg(s->args[0]), Reg(s->args[1]), entry,
-           static_cast<int32_t>(off));
+           static_cast<int32_t>(off),
+           par_ == nullptr && SubroutineParallelSafe(entry) ? 1 : 0);
       return;
     }
 
@@ -1107,8 +1177,10 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       PatchToHere(skip);
       uint32_t off = ExtraList(
           {Reg(cmp->params[0]), Reg(cmp->params[1]), Reg(cmp->result)});
+      // Same in-fragment rule as kArrSort: never parallel on a worker.
       Emit(BcOp::kListSort, Reg(s->args[0]), 0, entry,
-           static_cast<int32_t>(off));
+           static_cast<int32_t>(off),
+           par_ == nullptr && SubroutineParallelSafe(entry) ? 1 : 0);
       return;
     }
 
@@ -1307,6 +1379,66 @@ bool BytecodeVM::TryParallelLoop(parallel::ExecState& st,
     Exec(ws, plc.entry);
   };
   return parallel::RunForRange(*par_eng_, run);
+}
+
+void BytecodeVM::SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
+                           const Insn& insn) {
+  const uint32_t* ps = &prog_->extra[insn.d];
+  uint32_t entry = insn.c;
+  // Comparator over the live register file: exactly the pre-sort-subsystem
+  // semantics (parameter slots written, subroutine executed — natively
+  // under the hybrid JIT driver — result slot read).
+  struct VmCmp : SlotCmp {
+    BytecodeVM* vm;
+    parallel::ExecState* st;
+    const uint32_t* ps;
+    uint32_t entry;
+    bool Less(Slot a, Slot b) override {
+      st->regs[ps[0]] = a;
+      st->regs[ps[1]] = b;
+      vm->Exec(*st, entry);
+      return st->regs[ps[2]].i != 0;
+    }
+  };
+  // Morsel-parallel path: only outside morsel runs, only for a
+  // compiler-proven pure comparator (insn.n), and only when the input
+  // clears the chunk threshold (ParallelStableSort checks the size). Each
+  // task's comparator owns a private register-file copy; the main file is
+  // never written during the parallel sort, so post-sort register state is
+  // identical to loop entry — comparator temporaries are subroutine-local
+  // and dead afterwards either way.
+  if (par_eng_ != nullptr && st.morsel == nullptr && insn.n != 0) {
+    struct ParCmp : SlotCmp {
+      BytecodeVM* vm;
+      std::vector<Slot> regs;
+      parallel::ExecState ws;
+      const uint32_t* ps;
+      uint32_t entry;
+      bool Less(Slot a, Slot b) override {
+        ws.regs[ps[0]] = a;
+        ws.regs[ps[1]] = b;
+        vm->Exec(ws, entry);
+        return ws.regs[ps[2]].i != 0;
+      }
+    };
+    auto make_cmp = [&]() -> std::unique_ptr<SlotCmp> {
+      auto cmp = std::make_unique<ParCmp>();
+      cmp->vm = this;
+      cmp->regs.assign(st.regs, st.regs + prog_->num_regs);
+      cmp->ws = st;
+      cmp->ws.regs = cmp->regs.data();
+      cmp->ps = ps;
+      cmp->entry = entry;
+      return cmp;
+    };
+    if (parallel::ParallelStableSort(*par_eng_, data, n, make_cmp)) return;
+  }
+  VmCmp cmp;
+  cmp.vm = this;
+  cmp.st = &st;
+  cmp.ps = ps;
+  cmp.entry = entry;
+  StableSortSlots(data, n, cmp);
 }
 
 void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
@@ -1536,16 +1668,7 @@ uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   DISPATCH();
   TARGET(kArrSort) {
     RtArray* arr = static_cast<RtArray*>(R[I->a].p);
-    int64_t n = R[I->b].i;
-    const uint32_t* ps = &prog_->extra[I->d];
-    uint32_t entry = I->c;
-    std::stable_sort(arr->data.begin(), arr->data.begin() + n,
-                     [&](Slot x, Slot y) {
-                       R[ps[0]] = x;
-                       R[ps[1]] = y;
-                       Exec(st, entry);
-                       return R[ps[2]].i != 0;
-                     });
+    SortSlots(st, arr->data.data(), R[I->b].i, *I);
   }
   DISPATCH();
 
@@ -1572,14 +1695,8 @@ uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   DISPATCH();
   TARGET(kListSort) {
     RtList* l = static_cast<RtList*>(R[I->a].p);
-    const uint32_t* ps = &prog_->extra[I->d];
-    uint32_t entry = I->c;
-    std::stable_sort(l->items.begin(), l->items.end(), [&](Slot x, Slot y) {
-      R[ps[0]] = x;
-      R[ps[1]] = y;
-      Exec(st, entry);
-      return R[ps[2]].i != 0;
-    });
+    SortSlots(st, l->items.data(), static_cast<int64_t>(l->items.size()),
+              *I);
   }
   DISPATCH();
 

@@ -97,11 +97,14 @@ class JitProgram;  // src/jit/engine.h
   X(kArrGet)  /* a = dst, b = array reg, c = index reg */                   \
   X(kArrSet)  /* a = array reg, b = index reg, c = src reg */               \
   X(kArrLen)                                                                \
-  X(kArrSort) /* a = array, b = n reg, c = cmp entry pc, d = extra off */   \
+  X(kArrSort) /* a = array, b = n reg, c = cmp entry pc, d = extra off,    \
+                 n = 1 when the comparator subroutine is pure (reads only) \
+                 and the sort may therefore run morsel-parallel */          \
   /* lists (kListAppend: a = list, b = value, c = register holding the     \
      AllocStats*, prog.stats_reg — the append accounts vector growth) */    \
   X(kListNew) X(kListAppend) X(kListSize) X(kListGet)                       \
-  X(kListSort) /* a = list, c = cmp entry pc, d = extra off */              \
+  X(kListSort) /* a = list, c = cmp entry pc, d = extra off, n = pure-     \
+                  comparator flag (see kArrSort) */                         \
   /* generic hash maps. Probe instructions carry the map's key kind in d   \
      (kMapKeyOther / kMapKeyI64) — the "map layout id" the JIT stitcher    \
      keys its i64 hash-probe specialization on; the VM ignores it. */       \
@@ -302,6 +305,11 @@ class BytecodeCompiler {
   // Compiles a comparator block as a skipped-over subroutine; returns its
   // entry pc.
   uint32_t CompileSubroutine(const ir::Block* b);
+  // True when the subroutine at [entry, its kRet] only reads shared state
+  // (registers are private per execution context): such a comparator can
+  // run concurrently over private register files, which is what gates the
+  // morsel-parallel sort (the pure-comparator flag on kArrSort/kListSort).
+  bool SubroutineParallelSafe(uint32_t entry) const;
   // While-condition branch fusion: emits the loop-exit branch for the
   // condition block without materializing its boolean result when the
   // result is a fusible tail (Not(IsNull(p)), IsNull, Not, or a numeric
@@ -366,6 +374,12 @@ class BytecodeVM {
   // Runs one parallelizable loop on the worker pool; false = run the
   // sequential fallback instead.
   bool TryParallelLoop(parallel::ExecState& st, const ParLoopCode& plc);
+  // kArrSort/kListSort: sorts data[0, n) through the shared stable merge
+  // core (exec/runtime.h), morsel-parallel when a pool is attached, the
+  // compiler proved the comparator pure (insn.n), and the input is large
+  // enough — sequential otherwise. Bitwise-identical output either way.
+  void SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
+                 const Insn& insn);
 
   static const char* Intern(parallel::ExecState& st, std::string s) {
     st.strings->push_back(std::move(s));

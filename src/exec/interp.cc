@@ -17,6 +17,78 @@ using ir::Stmt;
 using ir::Type;
 using ir::TypeKind;
 
+namespace {
+
+// True when the comparator block only reads shared state: every write goes
+// to a statement register (private per execution context under the
+// parallel sort), so the block can run concurrently on worker threads.
+// Mirrors BytecodeCompiler::SubroutineParallelSafe — the engines may
+// disagree on edge cases (each gate is conservative), but never on
+// results: the sequential and parallel sorts produce identical bytes.
+bool CmpBlockParallelSafe(const Block* b) {
+  for (const Stmt* s : b->stmts) {
+    switch (s->op) {
+      case Op::kConst:
+      case Op::kNull:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kNeg:
+      case Op::kCast:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kNot:
+      case Op::kBitAnd:
+      case Op::kStrEq:
+      case Op::kStrNe:
+      case Op::kStrLt:
+      case Op::kStrStartsWith:
+      case Op::kStrEndsWith:
+      case Op::kStrContains:
+      case Op::kStrLike:
+      case Op::kStrLen:
+      case Op::kVarRead:
+      case Op::kVarNew:
+      case Op::kRecGet:
+      case Op::kArrGet:
+      case Op::kArrLen:
+      case Op::kListSize:
+      case Op::kListGet:
+      case Op::kMapGetOrNull:
+      case Op::kMapSize:
+      case Op::kMMapGetOrNull:
+      case Op::kIsNull:
+      case Op::kTableRows:
+      case Op::kColGet:
+      case Op::kColDict:
+      case Op::kIdxBucketLen:
+      case Op::kIdxBucketRow:
+      case Op::kIdxPkRow:
+        break;
+      case Op::kIf:
+        for (const Block* nb : s->blocks) {
+          if (!CmpBlockParallelSafe(nb)) return false;
+        }
+        break;
+      default:
+        // Allocation, interning (kStrSubstr), stores, emits, loops over
+        // mutable containers: keep the sort sequential.
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 storage::ResultTable Interpreter::Run(const ir::Function& fn) {
   if (opts_.engine != InterpOptions::Engine::kTreeWalk) {
     auto it = programs_.find(&fn);
@@ -36,6 +108,10 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
         // Null on non-x86-64 builds, denied executable pages, or
         // QC_JIT_DISABLE: the engine silently degrades to the plain VM.
         cached.jit = jit::JitProgram::Compile(cached.prog);
+        if (cached.jit != nullptr && par_ != nullptr) {
+          // Native sort sites run big post-aggregation sorts on the pool.
+          cached.jit->BindParallel(par_.get());
+        }
         cached.jit_compiled = true;
       }
       vm_.SetJit(cached.jit.get());
@@ -187,6 +263,64 @@ bool Interpreter::TreeParallelLoop(parallel::ExecState& st,
     }
   };
   return parallel::RunForRange(*par_, run);
+}
+
+void Interpreter::SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
+                            const Stmt* s) {
+  const Block* cmp_block = s->blocks[0];
+  struct TwCmp : SlotCmp {
+    Interpreter* in;
+    parallel::ExecState* st;
+    const Block* blk;
+    bool Less(Slot a, Slot b) override {
+      in->Set(*st, blk->params[0], a);
+      in->Set(*st, blk->params[1], b);
+      return in->BlockCond(*st, blk);
+    }
+  };
+  // The purity verdict depends only on the (immutable) comparator block;
+  // memoized so in-loop sorts don't re-walk it every iteration. The cache
+  // is main-thread-only state: it must stay behind the morsel gate, since
+  // worker threads also reach here for loop-local sorts inside fragments.
+  bool cmp_safe = false;
+  if (par_ != nullptr && st.morsel == nullptr) {
+    auto safe_it = cmp_safe_.find(s);
+    if (safe_it == cmp_safe_.end()) {
+      safe_it = cmp_safe_.emplace(s, CmpBlockParallelSafe(cmp_block)).first;
+    }
+    cmp_safe = safe_it->second;
+  }
+  if (cmp_safe) {
+    // Each parallel task's comparator runs on a private register-file copy;
+    // the live file is never touched, which is safe because a pure
+    // comparator's register writes are all block-local temporaries.
+    struct ParCmp : SlotCmp {
+      Interpreter* in;
+      std::vector<Slot> regs;
+      parallel::ExecState ws;
+      const Block* blk;
+      bool Less(Slot a, Slot b) override {
+        in->Set(ws, blk->params[0], a);
+        in->Set(ws, blk->params[1], b);
+        return in->BlockCond(ws, blk);
+      }
+    };
+    auto make_cmp = [&]() -> std::unique_ptr<SlotCmp> {
+      auto cmp = std::make_unique<ParCmp>();
+      cmp->in = this;
+      cmp->regs.assign(st.regs, st.regs + regs_.size());
+      cmp->ws = st;
+      cmp->ws.regs = cmp->regs.data();
+      cmp->blk = cmp_block;
+      return cmp;
+    };
+    if (parallel::ParallelStableSort(*par_, data, n, make_cmp)) return;
+  }
+  TwCmp cmp;
+  cmp.in = this;
+  cmp.st = &st;
+  cmp.blk = cmp_block;
+  StableSortSlots(data, n, cmp);
 }
 
 void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
@@ -432,14 +566,7 @@ void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
       break;
     case Op::kArrSortBy: {
       RtArray* arr = static_cast<RtArray*>(Val(st, s->args[0]).p);
-      int64_t n = Val(st, s->args[1]).i;
-      const Block* cmp = s->blocks[0];
-      std::stable_sort(arr->data.begin(), arr->data.begin() + n,
-                       [&](Slot a, Slot b) {
-                         Set(st, cmp->params[0], a);
-                         Set(st, cmp->params[1], b);
-                         return BlockCond(st, cmp);
-                       });
+      SortSlots(st, arr->data.data(), Val(st, s->args[1]).i, s);
       break;
     }
 
@@ -477,13 +604,8 @@ void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
       break;
     case Op::kListSortBy: {
       RtList* l = static_cast<RtList*>(Val(st, s->args[0]).p);
-      const Block* cmp = s->blocks[0];
-      std::stable_sort(l->items.begin(), l->items.end(),
-                       [&](Slot a, Slot b) {
-                         Set(st, cmp->params[0], a);
-                         Set(st, cmp->params[1], b);
-                         return BlockCond(st, cmp);
-                       });
+      SortSlots(st, l->items.data(),
+                static_cast<int64_t>(l->items.size()), s);
       break;
     }
 

@@ -114,6 +114,12 @@ class Interpreter {
   // sequentially.
   bool TreeParallelLoop(parallel::ExecState& st, const ir::ParLoop& plan,
                         const ir::Stmt* s);
+  // kArrSortBy/kListSortBy: the shared stable merge core (exec/runtime.h),
+  // morsel-parallel when a pool is attached and the comparator block is
+  // provably pure; sequential otherwise. Output is bitwise identical
+  // either way.
+  void SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
+                 const ir::Stmt* s);
   void AppendLog(parallel::ExecState& st, const ir::Stmt* s);
 
   static const char* Intern(parallel::ExecState& st, std::string s) {
@@ -152,7 +158,10 @@ class Interpreter {
   JitRunStats jit_stats_;
 
   // Tree-walk engine: emit types and the parallel analysis discovered once
-  // per function, not per Run.
+  // per function, not per Run. cmp_safe_ memoizes the comparator purity
+  // scan per sort statement (same lifetime caveat as the program cache:
+  // statements must outlive the Interpreter).
+  std::unordered_map<const ir::Stmt*, bool> cmp_safe_;
   const ir::Function* prepared_fn_ = nullptr;
   std::string prepared_name_;
   int prepared_stmts_ = -1;

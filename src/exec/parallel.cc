@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/env.h"
@@ -182,7 +183,11 @@ class Merger {
       RtList* vals = static_cast<RtList*>(n->value.p);
       run_.stats->CreditHeap(sizeof(RtHashMap::Node), 1);
       run_.stats->CreditVector(vals->items.capacity() * sizeof(Slot));
-      for (Slot v : vals->items) main->Add(n->key, v);
+      // One probe per (key, morsel), holding the key's value list (the
+      // tail) across the whole chain — not one Find per merged value,
+      // which re-walked the key's hash chain per value and made merging a
+      // skewed key's long chain quadratic in the chain length.
+      main->AddAll(n->key, vals->items.data(), vals->items.size());
     }
   }
 
@@ -209,7 +214,10 @@ class Merger {
 
   // Sequential builds prepend (rec.next = bucket; bucket = rec), so later
   // rows sit in front. Prepending each morsel's complete chain, morsels in
-  // order, reproduces the exact sequential chain.
+  // order, reproduces the exact sequential chain. The tail walk below
+  // traverses only the morsel's own private chain, exactly once per
+  // (bucket, morsel) — never the growing main chain — so the merge is
+  // O(total nodes) even under full key skew.
   void MergeBucketArray(size_t i, MorselState& ms) {
     const ir::ParReduction& red = run_.plan->reductions[i];
     RtArray* main =
@@ -372,11 +380,10 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
   // half; 1 disables) so stolen tail morsels balance across workers instead
   // of one straggler holding the pool. The morsels stay contiguous
   // ascending row ranges, so the ordered merge — and with it the bitwise
-  // determinism contract — is untouched.
-  static const int64_t tail_div = [] {
-    int64_t d = EnvInt("QC_PAR_TAIL_DIV", 2);
-    return d < 1 ? 1 : d;
-  }();
+  // determinism contract — is untouched. The clamp (EnvIntClamped) keeps a
+  // zero/negative/garbage knob from ever reaching the division below.
+  static const int64_t tail_div =
+      EnvIntClamped("QC_PAR_TAIL_DIV", 2, 1, 1 << 20);
   int64_t tail_mr = mr / tail_div < 1 ? 1 : mr / tail_div;
   int64_t tail_rows = tail_div > 1 ? rows / 8 : 0;
   if (tail_rows < tail_mr) tail_rows = 0;  // small loops stay uniform
@@ -514,6 +521,107 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
                  static_cast<long long>(rows),
                  static_cast<long long>(num_morsels), eng.pool().threads(),
                  plan.reductions.size(), plan.logs.size(),
+                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel stable sort
+// ---------------------------------------------------------------------------
+
+int64_t ParallelSortMinChunk() {
+  // Read per call, not cached: sorts run once per query, and tests flip the
+  // knob between runs.
+  return EnvIntClamped("QC_PAR_SORT_MIN", 2048, 2, 1ll << 40);
+}
+
+namespace {
+
+// Runs every task index of [0, count) on the pool with the caller thread
+// stealing, then synchronizes. Wait() establishes the happens-before edge
+// the next merge level needs to read this level's output.
+void RunTasks(Engine& eng, int count, const std::function<void(int)>& task) {
+  eng.pool().Begin(count, task);
+  int t;
+  while ((t = eng.pool().TrySteal()) >= 0) task(t);
+  eng.pool().Wait();
+}
+
+}  // namespace
+
+bool ParallelStableSort(Engine& eng, Slot* data, int64_t n,
+                        const SortCmpFactory& make_cmp) {
+  int threads = eng.pool().threads();
+  int64_t min_chunk = ParallelSortMinChunk();
+  if (threads < 2 || n < 2 * min_chunk) return false;
+
+  // Contiguous chunk boundaries. The decomposition affects only wall-clock:
+  // stable per-chunk sorts folded by stable ordered merges produce the
+  // unique stable ordering whatever the chunk count, so determinism does
+  // not depend on `threads` even though the chunk count does.
+  int64_t chunks = n / min_chunk;
+  int64_t max_chunks = static_cast<int64_t>(threads) * 4;
+  if (chunks > max_chunks) chunks = max_chunks;
+  std::vector<int64_t> bounds(static_cast<size_t>(chunks) + 1);
+  for (int64_t c = 0; c <= chunks; ++c) {
+    bounds[static_cast<size_t>(c)] = n * c / chunks;
+  }
+
+  static const bool trace = EnvFlagSet("QC_PAR_TRACE");
+  auto t0 = std::chrono::steady_clock::now();
+
+  // One full-size scratch buffer for both phases: each chunk sort merges
+  // through its own disjoint slice, so phase 1 costs no per-task
+  // allocation on the workers.
+  std::vector<Slot> scratch(static_cast<size_t>(n));
+
+  // Phase 1: one stable sorted run per chunk, each task on its own
+  // comparator (private register file).
+  std::function<void(int)> sort_chunk = [&](int c) {
+    std::unique_ptr<SlotCmp> cmp = make_cmp();
+    StableSortSlots(data + bounds[c], bounds[c + 1] - bounds[c], *cmp,
+                    scratch.data() + bounds[c]);
+  };
+  RunTasks(eng, static_cast<int>(chunks), sort_chunk);
+
+  // Phase 2: tree of ordered merges, ping-ponging between the data and the
+  // same scratch buffer. Each level pairs adjacent runs; an odd trailing
+  // run is copied through so every element lives in the level's output
+  // buffer.
+  Slot* src = data;
+  Slot* dst = scratch.data();
+  while (bounds.size() > 2) {
+    size_t pairs = (bounds.size() - 1) / 2;
+    bool odd = (bounds.size() - 1) % 2 != 0;
+    std::function<void(int)> merge_pair = [&](int p) {
+      std::unique_ptr<SlotCmp> cmp = make_cmp();
+      MergeSortedRuns(src, bounds[2 * p], bounds[2 * p + 1],
+                      bounds[2 * p + 2], dst, *cmp);
+    };
+    RunTasks(eng, static_cast<int>(pairs), merge_pair);
+    if (odd) {
+      int64_t lo = bounds[bounds.size() - 2];
+      std::memcpy(dst + lo, src + lo,
+                  static_cast<size_t>(n - lo) * sizeof(Slot));
+    }
+    std::vector<int64_t> next;
+    next.reserve(pairs + 2);
+    for (size_t b = 0; b < bounds.size(); b += 2) next.push_back(bounds[b]);
+    if (next.back() != n) next.push_back(n);
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != data) {
+    std::memcpy(data, src, static_cast<size_t>(n) * sizeof(Slot));
+  }
+
+  if (trace) {
+    auto t1 = std::chrono::steady_clock::now();
+    std::fprintf(stderr, "parallel-sort: n=%lld chunks=%lld threads=%d "
+                 "total=%.2fms\n",
+                 static_cast<long long>(n), static_cast<long long>(chunks),
+                 threads,
                  std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
   return true;

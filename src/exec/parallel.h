@@ -206,6 +206,29 @@ struct LoopRun {
 // private-array budget would be exceeded.
 bool RunForRange(Engine& eng, const LoopRun& run);
 
+// Minimum rows per sorted run before a post-aggregation sort goes parallel
+// (QC_PAR_SORT_MIN, clamped to >= 2; smaller sorts stay sequential — the
+// run/merge bookkeeping would cost more than it saves).
+int64_t ParallelSortMinChunk();
+
+// Creates one comparator instance for one parallel-sort task. Invoked on
+// whichever thread executes the task, possibly concurrently with other
+// invocations, so it must be thread-safe; each returned comparator is
+// driven by exactly one task and typically owns a private register-file
+// copy for the engine executing the comparator code.
+using SortCmpFactory = std::function<std::unique_ptr<SlotCmp>()>;
+
+// Morsel-parallel stable sort of data[0, n): contiguous chunks are
+// insertion/merge-sorted per worker (StableSortSlots), then folded by a
+// tree of ordered merges (MergeSortedRuns) on the same pool, caller thread
+// stealing throughout. Stability of both phases makes the result the
+// unique stable ordering — bitwise identical to the sequential engines for
+// any thread count and chunk decomposition. Returns false (nothing
+// executed) when the input is too small for two chunks or the pool has no
+// workers; the caller then runs the shared sequential core itself.
+bool ParallelStableSort(Engine& eng, Slot* data, int64_t n,
+                        const SortCmpFactory& make_cmp);
+
 }  // namespace qc::exec::parallel
 
 #endif  // QC_EXEC_PARALLEL_H_

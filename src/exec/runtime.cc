@@ -1,8 +1,80 @@
 #include "exec/runtime.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace qc::exec {
+
+namespace {
+
+// Base-case width of the merge sort. Runs of this size are insertion-sorted
+// in place; larger inputs pay one scratch buffer and log2(n/kSortRunWidth)
+// merge passes.
+constexpr int64_t kSortRunWidth = 24;
+
+// Stable insertion sort of data[lo, hi): equal elements never cross.
+void InsertionSortSlots(Slot* data, int64_t lo, int64_t hi, SlotCmp& cmp) {
+  for (int64_t i = lo + 1; i < hi; ++i) {
+    Slot v = data[i];
+    int64_t j = i;
+    while (j > lo && cmp.Less(v, data[j - 1])) {
+      data[j] = data[j - 1];
+      --j;
+    }
+    data[j] = v;
+  }
+}
+
+}  // namespace
+
+void MergeSortedRuns(const Slot* src, int64_t lo, int64_t mid, int64_t hi,
+                     Slot* dst, SlotCmp& cmp) {
+  int64_t i = lo;
+  int64_t j = mid;
+  int64_t k = lo;
+  while (i < mid && j < hi) {
+    // The right element advances only when strictly less: ties keep the
+    // left run's (earlier) elements first — the stability invariant.
+    if (cmp.Less(src[j], src[i])) {
+      dst[k++] = src[j++];
+    } else {
+      dst[k++] = src[i++];
+    }
+  }
+  while (i < mid) dst[k++] = src[i++];
+  while (j < hi) dst[k++] = src[j++];
+}
+
+void StableSortSlots(Slot* data, int64_t n, SlotCmp& cmp, Slot* scratch) {
+  if (n < 2) return;
+  for (int64_t lo = 0; lo < n; lo += kSortRunWidth) {
+    InsertionSortSlots(data, lo, std::min(lo + kSortRunWidth, n), cmp);
+  }
+  if (n <= kSortRunWidth) return;
+  // Bottom-up merges, ping-ponging between the data and the scratch buffer.
+  Slot* src = data;
+  Slot* dst = scratch;
+  for (int64_t w = kSortRunWidth; w < n; w *= 2) {
+    for (int64_t lo = 0; lo < n; lo += 2 * w) {
+      int64_t mid = std::min(lo + w, n);
+      int64_t hi = std::min(lo + 2 * w, n);
+      MergeSortedRuns(src, lo, mid, hi, dst, cmp);  // mid == hi: plain copy
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::memcpy(data, src, static_cast<size_t>(n) * sizeof(Slot));
+}
+
+void StableSortSlots(Slot* data, int64_t n, SlotCmp& cmp) {
+  if (n <= kSortRunWidth) {
+    InsertionSortSlots(data, 0, n, cmp);
+    return;
+  }
+  // Runtime scratch, not accounted — std::stable_sort's internal buffer
+  // was not either.
+  std::vector<Slot> scratch(static_cast<size_t>(n));
+  StableSortSlots(data, n, cmp, scratch.data());
+}
 
 uint64_t SlotHasher::HashTyped(const ir::Type* t, Slot v) {
   switch (t->kind) {
@@ -101,7 +173,10 @@ void RtHashMap::MaybeRehash() {
   buckets_ = std::move(nb);
 }
 
-void RtMultiMap::Add(Slot key, Slot value) {
+void RtMultiMap::Add(Slot key, Slot value) { AddAll(key, &value, 1); }
+
+void RtMultiMap::AddAll(Slot key, const Slot* values, size_t count) {
+  if (count == 0) return;
   RtHashMap::Node* n = map_.Find(key);
   RtList* list;
   if (n == nullptr) {
@@ -111,9 +186,14 @@ void RtMultiMap::Add(Slot key, Slot value) {
   } else {
     list = static_cast<RtList*>(n->value.p);
   }
-  size_t before = list->items.capacity();
-  list->items.push_back(value);
-  stats_->vector_bytes += (list->items.capacity() - before) * sizeof(Slot);
+  // Per-element push_back, not a ranged insert: the sequential engine grows
+  // the list one row at a time, and vector_bytes must account the exact
+  // same capacity steps (a ranged insert may size the buffer differently).
+  for (size_t i = 0; i < count; ++i) {
+    size_t before = list->items.capacity();
+    list->items.push_back(values[i]);
+    stats_->vector_bytes += (list->items.capacity() - before) * sizeof(Slot);
+  }
 }
 
 RecordHeap::~RecordHeap() {

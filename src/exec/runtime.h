@@ -60,6 +60,41 @@ struct RtList {
   std::vector<Slot> items;
 };
 
+// Strict-weak-order over slots, implemented by each engine (the tree walker
+// executes the comparator block, the VM its subroutine, the JIT its stitched
+// native segment). Distinct instances must be usable concurrently — the
+// parallel sort gives every worker task its own instance over a private
+// register file.
+class SlotCmp {
+ public:
+  virtual ~SlotCmp() = default;
+  virtual bool Less(Slot a, Slot b) = 0;
+};
+
+// The shared sort core: every engine's ORDER BY goes through these, so the
+// output ordering — including the order of equal keys — is identical across
+// {tree walk, VM, JIT} x any thread count by construction.
+//
+// StableSortSlots is a stable merge sort (insertion-sort base runs, then
+// bottom-up ordered merges through one scratch buffer). Stability pins the
+// output uniquely for any comparator that is a strict weak order, which is
+// the same guarantee std::stable_sort gave the engines before; the explicit
+// core exists so the JIT can drive its native comparator segment from plain
+// C++ instead of re-entering the VM dispatch loop per comparison.
+//
+// The scratch overload merges through caller-provided storage of at least
+// `n` slots (the parallel sort slices one full-size buffer across its
+// concurrent chunk sorts); the two-argument form allocates its own.
+void StableSortSlots(Slot* data, int64_t n, SlotCmp& cmp);
+void StableSortSlots(Slot* data, int64_t n, SlotCmp& cmp, Slot* scratch);
+
+// Stable ordered merge of the adjacent sorted runs src[lo, mid) and
+// src[mid, hi) into dst[lo, hi): ties take the left (earlier) run, which is
+// what makes merging per-worker sorted runs reproduce the full stable sort
+// for any run decomposition (exec/parallel.h ParallelStableSort).
+void MergeSortedRuns(const Slot* src, int64_t lo, int64_t mid, int64_t hi,
+                     Slot* dst, SlotCmp& cmp);
+
 // Fixed array of slots.
 struct RtArray {
   std::vector<Slot> data;
@@ -138,6 +173,14 @@ class RtMultiMap {
   }
 
   void Add(Slot key, Slot value);
+
+  // Bulk variant for the parallel ordered merge: one key lookup (and at
+  // most one insert) per (key, morsel) instead of one Find per merged
+  // value, so merging a long value chain is O(values) even when the key's
+  // hash chain is long (skewed keys). Appends one value at a time so the
+  // list's capacity growth — and with it AllocStats::vector_bytes — stays
+  // bitwise identical to the sequential per-row Add path.
+  void AddAll(Slot key, const Slot* values, size_t count);
 
   // Key-grouped contents in first-insertion order (the parallel merge walks
   // worker-local multimaps through this).

@@ -627,6 +627,40 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
     sel[pc] = SelectTemplate(prog.code[pc], layout_ok);
   }
 
+  // Sort instructions stay native only when every pc of the comparator
+  // subroutine stitched natively — the sort helper drives the comparator
+  // segment through JitProgram::Run and has no way to continue a deopt.
+  // The compiler emits [kJmp-skip, comparator..., kRet, sort], so the
+  // region [insn.c, sort pc) is exactly the subroutine, nested
+  // subroutines included.
+  // Sites are fully materialized here, before any patching — like
+  // like_patterns, the vector never grows once an address has been baked
+  // into code, so there is no cross-loop size invariant to get wrong.
+  std::vector<uint32_t> site_of(n, kNoEntry);
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Insn& insn = prog.code[pc];
+    BcOp op = static_cast<BcOp>(insn.op);
+    if (op != BcOp::kArrSort && op != BcOp::kListSort) continue;
+    if (sel[pc] == nullptr) continue;
+    size_t entry = insn.c;
+    bool ok = entry < pc;
+    for (size_t t = entry; ok && t < pc; ++t) ok = sel[t] != nullptr;
+    if (!ok) {
+      sel[pc] = nullptr;  // comparator would deopt: the sort deopts whole
+      continue;
+    }
+    JitSortSite site;
+    site.obj_reg = insn.a;
+    site.n_reg = insn.b;
+    site.is_list = op == BcOp::kListSort;
+    site.par_safe = insn.n != 0;
+    site.cmp_entry = static_cast<uint32_t>(entry);
+    site.ps = prog.extra.data() + static_cast<uint32_t>(insn.d);
+    site.num_regs = prog.num_regs;
+    site_of[pc] = static_cast<uint32_t>(res.sort_sites.size());
+    res.sort_sites.push_back(site);
+  }
+
   // Layout pass: assign per-pc blob offsets (template sizes are fixed), a
   // fall-through exit stub at every segment end, then one deopt thunk per
   // distinct non-native branch target.
@@ -730,6 +764,11 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
         case PatchKind::kPatternC:
           Patch64(out, at,
                   reinterpret_cast<uint64_t>(&res.like_patterns[insn.c]));
+          break;
+        case PatchKind::kSortSite:
+          assert(site_of[pc] != kNoEntry);
+          Patch64(out, at,
+                  reinterpret_cast<uint64_t>(&res.sort_sites[site_of[pc]]));
           break;
         case PatchKind::kJumpD: {
           uint32_t target = static_cast<uint32_t>(pc + 1 + insn.d);

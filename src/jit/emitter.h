@@ -224,6 +224,27 @@ struct LikePattern {
   std::vector<std::string> segs;
 };
 
+class JitProgram;  // engine.h
+
+// One kArrSort/kListSort instruction's resolved descriptor (kSortSite
+// patches point at these). Created at stitch time — only when the whole
+// comparator subroutine [cmp_entry, its kRet] stitched natively — and
+// completed after installation: `jp` is backpatched once the code buffer
+// exists, `par` is bound by the owning Interpreter when it has a worker
+// pool. The sort helper (templates.cc) drives the comparator segment
+// through jp->Run, so a JIT'd sort executes with zero deopts.
+struct JitSortSite {
+  uint32_t obj_reg = 0;    // register holding the RtArray* / RtList*
+  uint32_t n_reg = 0;      // kArrSort: register holding the element count
+  bool is_list = false;    // kListSort sorts the list's full extent
+  bool par_safe = false;   // compiler-proven pure comparator (insn.n)
+  uint32_t cmp_entry = 0;  // comparator subroutine entry pc
+  const uint32_t* ps = nullptr;  // {param0, param1, result} registers
+  uint32_t num_regs = 0;         // register-file size (parallel ctx copies)
+  const JitProgram* jp = nullptr;      // backpatched after Install
+  parallel::Engine* par = nullptr;     // null: sorts stay sequential
+};
+
 // A stitched (but not yet installed) program image.
 struct StitchResult {
   std::vector<uint8_t> code;    // prologue + instruction code + exit thunks
@@ -232,6 +253,10 @@ struct StitchResult {
   // One entry per prog.patterns element; kPatternC patches point into this
   // vector, so its owner (JitProgram) must keep it alive with the code.
   std::vector<LikePattern> like_patterns;
+  // One entry per natively-stitched sort instruction, in pc order;
+  // kSortSite patches point into this vector (same ownership rule as
+  // like_patterns — reserved up front so element addresses never move).
+  std::vector<JitSortSite> sort_sites;
 };
 
 // Stitches every templated instruction of `prog` into one blob. Offsets in

@@ -73,9 +73,11 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog) {
   jp->enter_ = reinterpret_cast<EnterFn>(
       reinterpret_cast<uintptr_t>(jp->buf_.base()));
   jp->entry_ = std::move(stitched.entry);
-  // Element addresses survive the vector move, so the imm64 patches the
+  // Element addresses survive the vector moves, so the imm64 patches the
   // installed code carries stay valid.
   jp->like_patterns_ = std::move(stitched.like_patterns);
+  jp->sort_sites_ = std::move(stitched.sort_sites);
+  for (JitSortSite& s : jp->sort_sites_) s.jp = jp.get();
   jp->num_native_ = stitched.num_native;
   return jp;
 }

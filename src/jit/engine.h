@@ -74,6 +74,17 @@ class JitProgram {
   void CountDeopt() const { deopts_.fetch_add(1, std::memory_order_relaxed); }
   uint64_t deopts() const { return deopts_.load(std::memory_order_relaxed); }
 
+  // Binds the morsel worker pool to the native sort sites so big JIT'd
+  // sorts run morsel-parallel (null keeps them sequential). Called once by
+  // the owning Interpreter right after Compile, before any Run — the sites
+  // are shared by every execution of this program.
+  void BindParallel(parallel::Engine* eng) {
+    for (JitSortSite& s : sort_sites_) s.par = eng;
+  }
+
+  // Natively-stitched sort instructions (introspection/tests).
+  size_t num_sort_sites() const { return sort_sites_.size(); }
+
  private:
   JitProgram() = default;
 
@@ -84,6 +95,9 @@ class JitProgram {
   std::vector<uint32_t> entry_;
   // Pre-split LIKE patterns the stitched code points into (kPatternC).
   std::vector<LikePattern> like_patterns_;
+  // Sort-site descriptors the stitched code points into (kSortSite);
+  // their jp backlinks are patched in Compile once `this` exists.
+  std::vector<JitSortSite> sort_sites_;
   int num_native_ = 0;
   mutable std::atomic<uint64_t> deopts_{0};
 };

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/str.h"
 #include "jit/emitter.h"
+#include "jit/engine.h"
 #include "storage/database.h"
 #include "storage/result.h"
 
@@ -118,6 +119,60 @@ void* HelpPoolRecNew(RecordHeap* h, const Slot* regs, const uint32_t* argv,
 }
 void* HelpPoolAlloc(RecordHeap* h, int64_t fields) {
   return h->AllocPool(static_cast<size_t>(fields));
+}
+
+// kArrSort/kListSort: the native sort driver. Stitched only when the whole
+// comparator subroutine is native (StitchProgram checks the region), so
+// every comparison is one trampoline call into the stitched comparator
+// segment — the sort never re-enters the VM dispatch loop and costs zero
+// deopt events. The ordering core (StableSortSlots / ParallelStableSort)
+// is the same code the VM and the tree walker run, so results stay
+// bit-exact across engines and thread counts.
+struct JitNativeCmp : SlotCmp {
+  const JitSortSite* site;
+  Slot* regs;
+  bool Less(Slot a, Slot b) override {
+    regs[site->ps[0]] = a;
+    regs[site->ps[1]] = b;
+    // The comparator region is fully native: Run executes from the entry
+    // through the subroutine's kRet and returns the kRetPc sentinel, so no
+    // interpreter continuation can be needed here.
+    site->jp->Run(regs, site->cmp_entry);
+    return regs[site->ps[2]].i != 0;
+  }
+};
+
+void HelpSort(Slot* regs, const JitSortSite* site) {
+  Slot* data;
+  int64_t n;
+  if (site->is_list) {
+    RtList* l = static_cast<RtList*>(regs[site->obj_reg].p);
+    data = l->items.data();
+    n = static_cast<int64_t>(l->items.size());
+  } else {
+    RtArray* a = static_cast<RtArray*>(regs[site->obj_reg].p);
+    data = a->data.data();
+    n = regs[site->n_reg].i;
+  }
+  if (site->par != nullptr && site->par_safe) {
+    // Private register-file copy per parallel task; the live file is never
+    // written during the sort (same contract as the VM's parallel path).
+    struct ParCmp : JitNativeCmp {
+      std::vector<Slot> own;
+    };
+    auto make_cmp = [&]() -> std::unique_ptr<SlotCmp> {
+      auto cmp = std::make_unique<ParCmp>();
+      cmp->site = site;
+      cmp->own.assign(regs, regs + site->num_regs);
+      cmp->regs = cmp->own.data();
+      return cmp;
+    };
+    if (parallel::ParallelStableSort(*site->par, data, n, make_cmp)) return;
+  }
+  JitNativeCmp cmp;
+  cmp.site = site;
+  cmp.regs = regs;
+  StableSortSlots(data, n, cmp);
 }
 
 // kEmit row staging: gather the argument slots, intern strings into the
@@ -880,6 +935,24 @@ Store* BuildTemplates() {
     t.a.PatchRel8(end);
   });
 
+  // --- sorts ---------------------------------------------------------------
+  // One helper call: regs + the instruction's JitSortSite descriptor. The
+  // helper reads the container/count through the register file, drives the
+  // native comparator segment per comparison, and shares the stable merge
+  // core (and the morsel-parallel run/merge tree) with the VM. The stitcher
+  // only uses this template when the comparator region is fully native
+  // (emitter.cc); otherwise the sort deopts as before.
+  auto sort_op = [&](BcOp op) {
+    def(op, false, [](TB& t) {
+      t.a.MovRegReg(RDI, kSlotBase);
+      t.a.MovImm64(RSI, 0);
+      t.Mark(PatchKind::kSortSite);
+      t.CallHelper(reinterpret_cast<const void*>(&HelpSort));
+    });
+  };
+  sort_op(BcOp::kArrSort);
+  sort_op(BcOp::kListSort);
+
   // --- result emission -----------------------------------------------------
   // One helper call staging the row straight into the ResultTable the
   // out-register points at — works for any emit schema (the string mask
@@ -896,8 +969,8 @@ Store* BuildTemplates() {
     t.CallHelper(reinterpret_cast<const void*>(&HelpEmit));
   });
 
-  // Everything else (allocation into the engine's heaps, map/multimap
-  // inserts, sorting, morsel dispatch) deopts: code stays nullptr.
+  // Everything else (container construction into the engine's deques,
+  // kStrSubstr interning, morsel dispatch) deopts: code stays nullptr.
 
   // Flatten into stable storage: concatenate all template bytes (main
   // table first, then variants), then resolve the code pointers against

@@ -19,12 +19,12 @@
 //     exactly like the bytecode VM's Slot array — which is what makes
 //     mid-program deopt re-entry trivial).
 //   * Templates may call C++ helpers through an imm64 address baked in at
-//     template build time (string predicates, log/emit staging): r12 is
-//     callee-saved and rsp stays 16-byte aligned, so the calls are
-//     ABI-clean and cost no deopt. Operations that genuinely need VM
-//     state the register file cannot reach (allocation into the engine's
-//     deques, sorting, morsel dispatch) still have no template and deopt
-//     to the VM (engine.h).
+//     template build time (string predicates, log/emit staging, the sort
+//     driver): r12 is callee-saved and rsp stays 16-byte aligned, so the
+//     calls are ABI-clean and cost no deopt. Operations that genuinely
+//     need VM state the register file cannot reach (container
+//     construction into the engine's deques, morsel dispatch) still have
+//     no template and deopt to the VM (engine.h).
 //   * Fall-through is the next stitched instruction; taken branches are
 //     rel32 fields patched by the emitter's branch-fixup pass.
 #ifndef QC_JIT_TEMPLATES_H_
@@ -54,6 +54,10 @@ enum class PatchKind : uint8_t {
   kImmCMask,   // imm32 <- insn.c (kEmit string-interning mask)
   kPatternC,   // imm64 <- &like_patterns[insn.c], the pattern pre-split at
                //          stitch time (kStrLike; see emitter.h LikePattern)
+  kSortSite,   // imm64 <- &sort_sites[i] for this sort instruction's
+               //          descriptor (kArrSort/kListSort; emitter.h
+               //          JitSortSite — only stitched when the comparator
+               //          subroutine is fully native)
 };
 
 struct PatchPoint {

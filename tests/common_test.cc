@@ -2,10 +2,13 @@
 // arenas, deterministic RNG, hashing.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <vector>
 
 #include "common/arena.h"
 #include "common/date.h"
+#include "common/env.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/str.h"
@@ -154,6 +157,108 @@ TEST(Hash, DistributesAndIsStable) {
   std::set<uint64_t> seen;
   for (uint64_t i = 0; i < 1000; ++i) seen.insert(HashMix(i));
   EXPECT_EQ(seen.size(), 1000u);
+}
+
+// Environment-knob hardening (common/env.h): every QC_* integer knob must
+// survive garbage, zero, and negative values without wrapping, crashing,
+// or — for divisor knobs — dividing by zero. One test per knob, each
+// exercised through the exact parse call its call site uses.
+class EnvKnobTest : public ::testing::Test {
+ protected:
+  void SetKnob(const char* name, const char* v) {
+    ::setenv(name, v, 1);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* name : set_) ::unsetenv(name);
+  }
+  std::vector<const char*> set_;
+};
+
+TEST_F(EnvKnobTest, ParTailDivNeverReachesZero) {
+  // exec/parallel.cc divides the morsel size by this knob.
+  auto read = [] { return EnvIntClamped("QC_PAR_TAIL_DIV", 2, 1, 1 << 20); };
+  EXPECT_EQ(read(), 2);  // unset: default
+  SetKnob("QC_PAR_TAIL_DIV", "0");
+  EXPECT_EQ(read(), 1);  // zero clamps, never divides by zero
+  SetKnob("QC_PAR_TAIL_DIV", "-7");
+  EXPECT_EQ(read(), 1);
+  SetKnob("QC_PAR_TAIL_DIV", "garbage");
+  EXPECT_EQ(read(), 2);
+  SetKnob("QC_PAR_TAIL_DIV", "4x");  // trailing garbage: rejected whole
+  EXPECT_EQ(read(), 2);
+  SetKnob("QC_PAR_TAIL_DIV", "4");
+  EXPECT_EQ(read(), 4);
+  SetKnob("QC_PAR_TAIL_DIV", "99999999999999999999");  // overflow: clamped
+  EXPECT_EQ(read(), 1 << 20);
+}
+
+TEST_F(EnvKnobTest, ParSortMinStaysPositive) {
+  // Exactly the parse exec/parallel.cc ParallelSortMinChunk() performs.
+  auto read = [] {
+    return EnvIntClamped("QC_PAR_SORT_MIN", 2048, 2, 1ll << 40);
+  };
+  EXPECT_EQ(read(), 2048);
+  SetKnob("QC_PAR_SORT_MIN", "0");
+  EXPECT_EQ(read(), 2);  // a chunk must hold at least two rows
+  SetKnob("QC_PAR_SORT_MIN", "-1");
+  EXPECT_EQ(read(), 2);
+  SetKnob("QC_PAR_SORT_MIN", "none");
+  EXPECT_EQ(read(), 2048);
+  SetKnob("QC_PAR_SORT_MIN", "512");
+  EXPECT_EQ(read(), 512);
+}
+
+TEST_F(EnvKnobTest, BenchThreadsRejectsNegativeAndGarbage) {
+  // bench_util.h BenchThreadCounts: comma list, tokens validated in [1, 1024].
+  auto read = [] { return EnvIntList("QC_BENCH_THREADS", 1, 1, 1024); };
+  EXPECT_EQ(read(), std::vector<long long>({1}));  // unset: sequential
+  SetKnob("QC_BENCH_THREADS", "-1");
+  EXPECT_EQ(read(), std::vector<long long>({1}));  // no wrap to huge count
+  SetKnob("QC_BENCH_THREADS", "zzz");
+  EXPECT_EQ(read(), std::vector<long long>({1}));
+  SetKnob("QC_BENCH_THREADS", "1,2,4");
+  EXPECT_EQ(read(), std::vector<long long>({1, 2, 4}));
+  SetKnob("QC_BENCH_THREADS", "2x,3");  // bad token dropped, good one kept
+  EXPECT_EQ(read(), std::vector<long long>({3}));
+  SetKnob("QC_BENCH_THREADS", "0,8,1000000");  // out-of-range tokens dropped
+  EXPECT_EQ(read(), std::vector<long long>({8}));
+  SetKnob("QC_BENCH_THREADS", ",,");
+  EXPECT_EQ(read(), std::vector<long long>({1}));
+}
+
+TEST_F(EnvKnobTest, JitStatsLevelNeverNegative) {
+  auto read = [] { return EnvLevel("QC_JIT_STATS"); };
+  EXPECT_EQ(read(), 0);
+  SetKnob("QC_JIT_STATS", "2");
+  EXPECT_EQ(read(), 2);
+  SetKnob("QC_JIT_STATS", "-3");
+  EXPECT_EQ(read(), 0);  // clamped: a negative level is "off"
+  SetKnob("QC_JIT_STATS", "true");
+  EXPECT_EQ(read(), 1);  // flag-style value follows the flag rule
+  SetKnob("QC_JIT_STATS", "0");
+  EXPECT_EQ(read(), 0);
+}
+
+TEST_F(EnvKnobTest, EnvIntRejectsTrailingGarbage) {
+  auto read = [] { return EnvInt("QC_TEST_INT_KNOB", 7); };
+  EXPECT_EQ(read(), 7);
+  SetKnob("QC_TEST_INT_KNOB", "12abc");
+  EXPECT_EQ(read(), 7);  // partial parses are whole-value rejections
+  SetKnob("QC_TEST_INT_KNOB", "12");
+  EXPECT_EQ(read(), 12);
+  SetKnob("QC_TEST_INT_KNOB", "");
+  EXPECT_EQ(read(), 7);
+  // Stray whitespace (YAML env blocks, command substitutions with a
+  // trailing newline) must not silently revert a valid value.
+  SetKnob("QC_TEST_INT_KNOB", " 42 \n");
+  EXPECT_EQ(read(), 42);
+  SetKnob("QC_JIT_STATS", "2\n");
+  EXPECT_EQ(EnvLevel("QC_JIT_STATS"), 2);
+  ::unsetenv("QC_JIT_STATS");
+  SetKnob("QC_BENCH_THREADS", "1, 2 ,4\n");
+  EXPECT_EQ(EnvIntList("QC_BENCH_THREADS", 1, 1, 1024),
+            std::vector<long long>({1, 2, 4}));
 }
 
 }  // namespace

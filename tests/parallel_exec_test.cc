@@ -200,6 +200,61 @@ TEST(ParallelScalarReductionTest, SumCountMinMaxMatchSequential) {
   }
 }
 
+// Skewed-key multimap build: a handful of hot keys whose value chains span
+// every morsel. Locks the ordered merge's per-key bulk append (one probe
+// per key per morsel, RtMultiMap::AddAll) — the values must recombine in
+// exact sequential row order, with AllocStats to the byte, at every thread
+// count and for a decomposition into many morsels.
+TEST(ParallelSkewedKeyTest, HotKeyChainsMergeInRowOrder) {
+  storage::Database db;
+  ir::TypeFactory types;
+  ir::Function fn("skewed_mmap", &types);
+  ir::Builder b(&fn);
+  const ir::Type* i64 = types.I64();
+  const int64_t kRows = 60000;
+  const int64_t kKeys = 3;  // three hot chains, ~20k values each
+  ir::Stmt* mm = b.MMapNew(i64, i64);
+  b.ForRange(b.I64(0), b.I64(kRows), [&](ir::Stmt* i) {
+    b.MMapAdd(mm, b.Mod(i, b.I64(kKeys)), b.Mul(i, b.I64(3)));
+  });
+  for (int64_t k = 0; k < kKeys; ++k) {
+    ir::Stmt* vals = b.MMapGetOrNull(mm, b.I64(k));
+    b.If(b.Not(b.IsNull(vals)), [&] {
+      b.ListForeach(vals, [&](ir::Stmt* v) { b.EmitRow({v}); });
+    });
+  }
+
+  // The build loop must qualify with the multimap reduction.
+  ir::ParallelInfo info = ir::AnalyzeParallelism(fn);
+  ASSERT_EQ(info.loops.size(), 1u);
+  ASSERT_EQ(info.loops[0].reductions.size(), 1u);
+  EXPECT_EQ(info.loops[0].reductions[0].kind, ir::ParRedKind::kMMap);
+
+  exec::Interpreter ref(&db, Opts(InterpOptions::Engine::kBytecode, 1));
+  storage::ResultTable want = ref.Run(fn);
+  ASSERT_EQ(want.size(), static_cast<size_t>(kRows));
+  for (auto engine : {InterpOptions::Engine::kBytecode,
+                      InterpOptions::Engine::kTreeWalk}) {
+    exec::AllocStats seq_stats;
+    const char* name =
+        engine == InterpOptions::Engine::kBytecode ? "bytecode" : "treewalk";
+    for (int threads : {1, 2, 4}) {
+      // Morsel size 509: ~118 morsels, so every hot chain is stitched from
+      // over a hundred per-morsel fragments.
+      exec::Interpreter interp(&db, Opts(engine, threads, 509));
+      storage::ResultTable got = interp.Run(fn);
+      std::string t = std::string("skewed ") + name + " threads=" +
+                      std::to_string(threads);
+      ExpectBitExact(got, want, t);
+      if (threads == 1) {
+        seq_stats = interp.stats();
+      } else {
+        ExpectStatsEqual(interp.stats(), seq_stats, t);
+      }
+    }
+  }
+}
+
 // Two 4-thread runs must produce identical bytes (scheduling independence).
 TEST(ParallelDeterminismTest, FourThreadRunsIdentical) {
   storage::Database db = tpch::MakeTpchDatabase(0.01);

@@ -1,0 +1,359 @@
+// The sort subsystem's contract (exec/runtime.h StableSortSlots +
+// exec/parallel.h ParallelStableSort + the src/jit/ native sort sites):
+// every engine sorts through the same stable merge core, so the output —
+// including the relative order of equal keys — is identical across
+// {tree walk, bytecode VM, JIT} x threads {1, 2, 4} x any chunk
+// decomposition, and bit-identical to the pre-subsystem std::stable_sort
+// engines. Duplicate-key inputs are the interesting case: only stability
+// pins their output order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "exec/interp.h"
+#include "ir/builder.h"
+#include "jit/engine.h"
+#include "lower/pipeline.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace qc {
+namespace {
+
+using compiler::QueryCompiler;
+using compiler::StackConfig;
+using exec::InterpOptions;
+using ir::Stmt;
+
+InterpOptions Opts(InterpOptions::Engine e, int threads,
+                   int64_t morsel_rows = 2048) {
+  InterpOptions o;
+  o.engine = e;
+  o.num_threads = threads;
+  o.morsel_rows = morsel_rows;
+  return o;
+}
+
+const InterpOptions::Engine kEngines[] = {InterpOptions::Engine::kBytecode,
+                                          InterpOptions::Engine::kTreeWalk,
+                                          InterpOptions::Engine::kJit};
+const char* kEngineNames[] = {"bytecode", "treewalk", "jit"};
+
+void ExpectBitExact(const storage::ResultTable& got,
+                    const storage::ResultTable& want,
+                    const std::string& tag) {
+  ASSERT_EQ(got.size(), want.size()) << tag << ": row count";
+  ASSERT_EQ(got.types().size(), want.types().size()) << tag << ": arity";
+  for (size_t r = 0; r < got.size(); ++r) {
+    for (size_t c = 0; c < got.types().size(); ++c) {
+      if (got.types()[c] == storage::ColType::kStr) {
+        ASSERT_STREQ(got.row(r)[c].s, want.row(r)[c].s)
+            << tag << ": row " << r << " col " << c;
+      } else {
+        ASSERT_EQ(got.row(r)[c].i, want.row(r)[c].i)
+            << tag << ": row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+void ExpectStatsEqual(const exec::AllocStats& got,
+                      const exec::AllocStats& want, const std::string& tag) {
+  EXPECT_EQ(got.heap_bytes, want.heap_bytes) << tag << ": heap_bytes";
+  EXPECT_EQ(got.heap_allocs, want.heap_allocs) << tag << ": heap_allocs";
+  EXPECT_EQ(got.pool_bytes, want.pool_bytes) << tag << ": pool_bytes";
+  EXPECT_EQ(got.vector_bytes, want.vector_bytes) << tag << ": vector_bytes";
+}
+
+// Forces the parallel sort to engage on small test inputs; restored so
+// other suites in the same process see the default.
+struct ScopedSortMin {
+  explicit ScopedSortMin(const char* v) {
+    ::setenv("QC_PAR_SORT_MIN", v, 1);
+  }
+  ~ScopedSortMin() { ::unsetenv("QC_PAR_SORT_MIN"); }
+};
+
+// Builds: a list of `rows` encoded (key, seq) values — key = (i * 7919) %
+// `keys` so every key repeats many times, seq = i — appended by a scan
+// loop (which itself qualifies for morsel parallelism), sorted by key
+// ONLY, then emitted. Ties are broken by nothing: only stability fixes
+// the output order (seq must stay ascending within each key).
+std::unique_ptr<ir::Function> BuildDupKeySort(ir::TypeFactory* types,
+                                              int64_t rows, int64_t keys,
+                                              const std::string& name) {
+  auto fn = std::make_unique<ir::Function>(name, types);
+  ir::Builder b(fn.get());
+  const ir::Type* i64 = types->I64();
+  Stmt* enc = b.I64(1 << 20);  // value = key * 2^20 + seq
+  Stmt* list = b.ListNew(i64);
+  b.ForRange(b.I64(0), b.I64(rows), [&](Stmt* i) {
+    Stmt* key = b.Mod(b.Mul(i, b.I64(7919)), b.I64(keys));
+    b.ListAppend(list, b.Add(b.Mul(key, enc), i));
+  });
+  b.ListSortBy(list, [&](Stmt* x, Stmt* y) {
+    return b.Lt(b.Div(x, enc), b.Div(y, enc));  // compares the key only
+  });
+  b.ListForeach(list, [&](Stmt* e) {
+    b.EmitRow({b.Div(e, enc), b.Mod(e, enc)});
+  });
+  return fn;
+}
+
+TEST(SortStability, DuplicateKeysIdenticalAcrossEnginesAndThreads) {
+  ScopedSortMin min_rows("256");  // well below rows/2: the sort parallelizes
+  storage::Database db;
+  ir::TypeFactory types;
+  const int64_t kRows = 50000;
+  const int64_t kKeys = 97;
+  auto fn = BuildDupKeySort(&types, kRows, kKeys, "dup_key_sort");
+
+  // Independent oracle: the stable sort of (key, seq) by key.
+  std::vector<std::pair<int64_t, int64_t>> want;
+  want.reserve(kRows);
+  for (int64_t i = 0; i < kRows; ++i) {
+    want.emplace_back((i * 7919) % kKeys, i);
+  }
+  std::stable_sort(want.begin(), want.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;  // key only: ties untouched
+                   });
+
+  storage::ResultTable ref;
+  bool have_ref = false;
+  for (int e = 0; e < 3; ++e) {
+    for (int threads : {1, 2, 4}) {
+      exec::Interpreter interp(&db, Opts(kEngines[e], threads, 512));
+      storage::ResultTable got = interp.Run(*fn);
+      std::string tag = std::string("dup-key ") + kEngineNames[e] +
+                        " threads=" + std::to_string(threads);
+      ASSERT_EQ(got.size(), static_cast<size_t>(kRows)) << tag;
+      for (size_t r = 0; r < got.size(); ++r) {
+        ASSERT_EQ(got.row(r)[0].i, want[r].first) << tag << ": key row " << r;
+        ASSERT_EQ(got.row(r)[1].i, want[r].second)
+            << tag << ": tie order lost at row " << r;
+      }
+      if (!have_ref) {
+        ref = std::move(got);
+        have_ref = true;
+      } else {
+        ExpectBitExact(got, ref, tag);
+      }
+    }
+  }
+}
+
+TEST(SortStability, EmptyAndSingleChunkEdges) {
+  ScopedSortMin min_rows("256");
+  storage::Database db;
+  ir::TypeFactory types;
+  // Empty input: the sort must be a no-op on every path.
+  auto empty = BuildDupKeySort(&types, 0, 7, "empty_sort");
+  // Below 2 * QC_PAR_SORT_MIN: exactly one chunk — the parallel path
+  // declines and the sequential core runs, same bytes.
+  auto single = BuildDupKeySort(&types, 300, 7, "single_chunk_sort");
+  for (auto* fn : {empty.get(), single.get()}) {
+    storage::ResultTable ref;
+    bool have_ref = false;
+    for (int e = 0; e < 3; ++e) {
+      for (int threads : {1, 4}) {
+        exec::Interpreter interp(&db, Opts(kEngines[e], threads, 64));
+        storage::ResultTable got = interp.Run(*fn);
+        std::string tag = fn->name() + " " + kEngineNames[e] + " threads=" +
+                          std::to_string(threads);
+        if (!have_ref) {
+          ref = std::move(got);
+          have_ref = true;
+        } else {
+          ExpectBitExact(got, ref, tag);
+        }
+      }
+    }
+    ASSERT_EQ(ref.size(),
+              static_cast<size_t>(fn == empty.get() ? 0 : 300));
+  }
+}
+
+// A sort of loop-local state inside a morsel-parallelized scan loop: the
+// loop qualifies (ir/parallel.cc allows loop-local kListSortBy), so under
+// threads > 1 the sort executes on worker threads while the pool's scan
+// batch is in flight. The single-batch WorkerPool cannot nest, so these
+// sorts must stay sequential on every engine — the compiler withholds the
+// parallel flag inside morsel fragments (the JIT's sort helper sees only
+// that flag), and the interpreters additionally gate on morsel context.
+// QC_PAR_SORT_MIN=2 makes any missed gate redispatch immediately.
+TEST(SortStability, InLoopSortsStaySequentialOnWorkers) {
+  ScopedSortMin min_rows("2");
+  storage::Database db;
+  ir::TypeFactory types;
+  ir::Function fn("in_loop_sort", &types);
+  ir::Builder b(&fn);
+  const ir::Type* i64 = types.I64();
+  Stmt* sum = b.VarNew(b.I64(0));
+  b.ForRange(b.I64(0), b.I64(20000), [&](Stmt* i) {
+    Stmt* local = b.ListNew(i64);  // iteration-local: the loop qualifies
+    // Six elements: past ParallelStableSort's floor of 2 * QC_PAR_SORT_MIN
+    // (= 4 at the clamp minimum), so a missed gate would actually
+    // redispatch onto the busy pool instead of passing vacuously.
+    for (int64_t m : {7, 5, 3, 11, 13, 2}) {
+      b.ListAppend(local, b.Mod(i, b.I64(m)));
+    }
+    b.ListSortBy(local, [&](Stmt* x, Stmt* y) { return b.Lt(x, y); });
+    b.VarAssign(sum, b.Add(b.VarRead(sum), b.ListGet(local, b.I64(4))));
+  });
+  b.EmitRow({b.VarRead(sum)});
+
+  ir::ParallelInfo info = ir::AnalyzeParallelism(fn);
+  ASSERT_EQ(info.loops.size(), 1u) << "the in-loop-sort scan must qualify";
+
+  // Structural half of the lock: the main-stream copy of the sort (the
+  // sequential fallback, main-thread-only) keeps the pure-comparator
+  // parallel flag, while the morsel-fragment copy must have it withheld —
+  // the JIT's sort helper sees only that flag.
+  {
+    storage::Database cdb;
+    exec::BytecodeProgram prog =
+        exec::BytecodeCompiler(&cdb).Compile(fn, &info);
+    ASSERT_EQ(prog.par_loops.size(), 1u);
+    uint32_t frag_entry = prog.par_loops[0].entry;
+    int main_sorts = 0, frag_sorts = 0;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+      if (static_cast<exec::BcOp>(prog.code[pc].op) !=
+          exec::BcOp::kListSort) {
+        continue;
+      }
+      if (pc < frag_entry) {
+        ++main_sorts;
+        EXPECT_EQ(prog.code[pc].n, 1u) << "main-stream sort lost the flag";
+      } else {
+        ++frag_sorts;
+        EXPECT_EQ(prog.code[pc].n, 0u)
+            << "fragment sort at pc " << pc
+            << " may redispatch onto the busy pool from a worker";
+      }
+    }
+    EXPECT_EQ(main_sorts, 1);
+    EXPECT_EQ(frag_sorts, 1);
+  }
+
+  storage::ResultTable ref;
+  bool have_ref = false;
+  for (int e = 0; e < 3; ++e) {
+    for (int threads : {1, 4}) {
+      exec::Interpreter interp(&db, Opts(kEngines[e], threads, 512));
+      storage::ResultTable got = interp.Run(fn);
+      std::string tag = std::string("in-loop sort ") + kEngineNames[e] +
+                        " threads=" + std::to_string(threads);
+      ASSERT_EQ(got.size(), 1u) << tag;
+      if (!have_ref) {
+        ref = std::move(got);
+        have_ref = true;
+      } else {
+        ExpectBitExact(got, ref, tag);
+      }
+    }
+  }
+}
+
+// The sort-heavy TPC-H queries (every ORDER BY shape the stack lowers:
+// Q1/Q3/Q10/Q16/Q18), at both stack levels, all engines, threads {1,2,4},
+// with the parallel sort forced on: bit-exact results and exact AllocStats
+// vs the sequential bytecode VM.
+class SortHeavyTpchTest : public ::testing::TestWithParam<int> {
+ protected:
+  static storage::Database* db() {
+    static storage::Database* db =
+        new storage::Database(tpch::MakeTpchDatabase(0.01));
+    return db;
+  }
+
+  static void CheckAllConfigs(const ir::Function& fn,
+                              const std::string& tag) {
+    exec::Interpreter refi(db(), Opts(InterpOptions::Engine::kBytecode, 1));
+    storage::ResultTable want = refi.Run(fn);
+    for (int e = 0; e < 3; ++e) {
+      exec::AllocStats seq_stats;
+      for (int threads : {1, 2, 4}) {
+        exec::Interpreter interp(db(), Opts(kEngines[e], threads, 777));
+        storage::ResultTable got = interp.Run(fn);
+        std::string t = tag + " " + kEngineNames[e] + " threads=" +
+                        std::to_string(threads);
+        ExpectBitExact(got, want, t);
+        if (threads == 1) {
+          seq_stats = interp.stats();
+        } else {
+          ExpectStatsEqual(interp.stats(), seq_stats, t);
+        }
+      }
+    }
+  }
+};
+
+TEST_P(SortHeavyTpchTest, BothStackLevelsBitExact) {
+  ScopedSortMin min_rows("64");
+  int q = GetParam();
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *db());
+  {
+    ir::TypeFactory types;
+    auto fn = lower::LowerPlanPipelined(*plan, *db(), &types,
+                                        "q" + std::to_string(q));
+    CheckAllConfigs(*fn, "Q" + std::to_string(q) + " L3");
+  }
+  {
+    ir::TypeFactory types;
+    QueryCompiler qc(db(), &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+    CheckAllConfigs(*res.fn, "Q" + std::to_string(q) + " L5");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OrderByQueries, SortHeavyTpchTest,
+                         ::testing::Values(1, 3, 10, 16, 18));
+
+// The tentpole's JIT claim, asserted structurally: on the sort-heavy
+// queries every kArrSort/kListSort instruction — and every pc of its
+// comparator subroutine — stitches natively, so sorts contribute zero
+// deopt events (the comparator segment is driven by the native merge sort,
+// never by the hybrid VM driver).
+TEST(SortStability, JitSortSitesFullyNativeOnSortQueries) {
+  if (!exec::jit::JitAvailable()) {
+    GTEST_SKIP() << "JIT unavailable on this platform/configuration";
+  }
+  storage::Database db = tpch::MakeTpchDatabase(0.002);
+  for (int q : {1, 3, 10, 16, 18}) {
+    qplan::PlanPtr plan = tpch::MakeQuery(q);
+    qplan::ResolvePlan(plan.get(), db);
+    ir::TypeFactory types;
+    QueryCompiler qc(&db, &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, StackConfig::Level(5), "q" + std::to_string(q));
+    exec::BytecodeProgram prog = exec::BytecodeCompiler(&db).Compile(*res.fn);
+    auto jp = exec::jit::JitProgram::Compile(prog);
+    ASSERT_NE(jp, nullptr) << "Q" << q;
+    size_t sort_insns = 0;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+      exec::BcOp op = static_cast<exec::BcOp>(prog.code[pc].op);
+      if (op != exec::BcOp::kArrSort && op != exec::BcOp::kListSort) continue;
+      ++sort_insns;
+      EXPECT_TRUE(jp->HasEntry(static_cast<uint32_t>(pc)))
+          << "Q" << q << ": sort at pc " << pc << " deopts";
+      for (uint32_t t = prog.code[pc].c; t < pc; ++t) {
+        EXPECT_TRUE(jp->HasEntry(t))
+            << "Q" << q << ": comparator pc " << t << " of sort at " << pc
+            << " deopts";
+      }
+    }
+    EXPECT_GT(sort_insns, 0u) << "Q" << q << " should contain a sort";
+    EXPECT_EQ(jp->num_sort_sites(), sort_insns) << "Q" << q;
+  }
+}
+
+}  // namespace
+}  // namespace qc
