@@ -43,6 +43,9 @@ struct InterpRun {
   // engine was not kJit or the JIT degraded to the VM.
   double jit_coverage = -1;
   double jit_deopts = -1;
+  // Why a kJit run degraded to the VM (jit::JitFallback as int, 0 = it
+  // didn't) — keeps silent degradation visible in the bench artifact.
+  int jit_fallback = 0;
 };
 
 class Harness {
@@ -104,9 +107,13 @@ class Harness {
   // cached inside the Interpreter afterwards); best-of-N over >= 2 reps
   // reports steady-state execution. `threads` > 1 runs qualifying scan
   // loops morsel-parallel (exec/parallel.h); results are bit-identical.
+  // `control` (optional) attaches a governance ExecControl to every run —
+  // with no deadline/budget set this measures pure safepoint overhead (the
+  // ir-*-gov cells the regression gate watches).
   InterpRun RunInterp(int query, const compiler::StackConfig& cfg,
                       exec::InterpOptions::Engine engine,
-                      int repetitions = 3, int threads = 1) {
+                      int repetitions = 3, int threads = 1,
+                      exec::ExecControl* control = nullptr) {
     InterpRun out;
     qplan::PlanPtr plan = tpch::MakeQuery(query);
     qplan::ResolvePlan(plan.get(), db_);
@@ -121,6 +128,7 @@ class Harness {
     exec::InterpOptions opts;
     opts.engine = engine;
     opts.num_threads = threads;
+    opts.control = control;
     exec::Interpreter interp(&db_, opts);
     double best = 1e300;
     for (int r = 0; r < repetitions; ++r) {
@@ -137,6 +145,7 @@ class Harness {
         out.jit_coverage = js.CoveragePct();
         out.jit_deopts = static_cast<double>(js.deopts);
       }
+      out.jit_fallback = js.fallback_reason;
     }
     out.ok = true;
     return out;
@@ -162,6 +171,12 @@ inline bool BenchInterpOnly() { return EnvFlagSet("QC_BENCH_INTERP_ONLY"); }
 // support the engine silently degrades to the bytecode VM, so the column
 // then mirrors ir-bc.
 inline bool BenchJit() { return EnvFlagSet("QC_BENCH_JIT"); }
+
+// True when the table3 rows should also measure the interpreter engines
+// with a governance control attached (no deadline/budget — pure safepoint
+// overhead, the ir-bc-gov / ir-jit-gov cells). The regression gate asserts
+// these stay within a small factor of the ungoverned cells.
+inline bool BenchGoverned() { return EnvFlagSet("QC_BENCH_GOVERNED"); }
 
 // True when ir-jit rows should also carry the QC_JIT_STATS telemetry
 // (ir-jit-coverage / ir-jit-deopts cells) — what the CI coverage gate in

@@ -11,6 +11,8 @@
 //   QC_BENCH_INTERP_ONLY  skip the generated-C columns (no external cc)
 //   QC_BENCH_JSON         "1" or a path: also write BENCH_table3.json
 //   QC_BENCH_JIT          add the in-process JIT engine rows (ir-jit)
+//   QC_BENCH_GOVERNED     also measure ir-bc/ir-jit with a governance
+//                         control attached (ir-bc-gov / ir-jit-gov cells)
 //   QC_BENCH_THREADS      comma list of interpreter thread counts
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
@@ -27,6 +29,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "exec/governor.h"
 #include "volcano/volcano.h"
 
 using namespace qc;           // NOLINT
@@ -68,6 +71,10 @@ int main() {
   double sf = bench::BenchScaleFactor();
   bool interp_only = bench::BenchInterpOnly();
   bool with_jit = bench::BenchJit();
+  bool governed = bench::BenchGoverned();
+  // An attached control with no deadline/budget: the governed cells measure
+  // pure safepoint overhead, which the regression gate bounds.
+  exec::ExecControl gov_ctl;
   std::vector<int> thread_counts = bench::BenchThreadCounts();
   std::printf("=== Table 3: TPC-H performance (ms), SF=%.3f%s ===\n", sf,
               interp_only ? " (interpreters only)" : "");
@@ -128,6 +135,17 @@ int main() {
           have_deopts = true;
         }
       }
+      bench::InterpRun bc_gov, jit_gov;
+      if (governed) {
+        bc_gov = harness.RunInterp(q, StackConfig::Level(5),
+                                   exec::InterpOptions::Engine::kBytecode, 3,
+                                   threads, &gov_ctl);
+        if (with_jit) {
+          jit_gov = harness.RunInterp(q, StackConfig::Level(5),
+                                      exec::InterpOptions::Engine::kJit, 3,
+                                      threads, &gov_ctl);
+        }
+      }
       if (t == 0) {
         row.threads = threads;
         std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
@@ -136,6 +154,10 @@ int main() {
         if (with_jit) {
           std::printf(" %10.2f", jit.query_ms);
           row.cells.emplace_back("ir-jit", jit.query_ms);
+          // Degradation is never invisible: the artifact records why a
+          // kJit row ran on the VM (jit::JitFallback as int, 0 = native).
+          row.cells.emplace_back("ir-jit-fallback",
+                                 static_cast<double>(jit.jit_fallback));
           if (bench::BenchJitStats() && jit.jit_coverage >= 0) {
             row.cells.emplace_back("ir-jit-coverage", jit.jit_coverage);
             row.cells.emplace_back("ir-jit-deopts", jit.jit_deopts);
@@ -144,6 +166,10 @@ int main() {
             jit_log_sum += std::log(bc.query_ms / jit.query_ms);
             ++jit_count;
           }
+        }
+        if (governed) {
+          row.cells.emplace_back("ir-bc-gov", bc_gov.query_ms);
+          if (with_jit) row.cells.emplace_back("ir-jit-gov", jit_gov.query_ms);
         }
         if (tree.ok && bc.ok && bc.query_ms > 0) {
           speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
@@ -157,9 +183,17 @@ int main() {
         trow.cells.emplace_back("ir-bc", bc.query_ms);
         if (with_jit) {
           trow.cells.emplace_back("ir-jit", jit.query_ms);
+          trow.cells.emplace_back("ir-jit-fallback",
+                                  static_cast<double>(jit.jit_fallback));
           if (bench::BenchJitStats() && jit.jit_coverage >= 0) {
             trow.cells.emplace_back("ir-jit-coverage", jit.jit_coverage);
             trow.cells.emplace_back("ir-jit-deopts", jit.jit_deopts);
+          }
+        }
+        if (governed) {
+          trow.cells.emplace_back("ir-bc-gov", bc_gov.query_ms);
+          if (with_jit) {
+            trow.cells.emplace_back("ir-jit-gov", jit_gov.query_ms);
           }
         }
         json_rows.push_back(std::move(trow));

@@ -19,6 +19,14 @@ gate additionally fails if any query's coverage dropped more than
 deterministic — timing noise can hide a lost template, these numbers
 cannot.
 
+When the current artifact carries governed cells (QC_BENCH_GOVERNED=1
+during the bench: "ir-bc-gov" / "ir-jit-gov", the same engine run with an
+idle governance ExecControl attached), the gate additionally bounds the
+*safepoint overhead*: the geometric mean of governed/ungoverned across all
+queries must stay within --gov-overhead (default 2%). This check is
+intra-artifact — it compares cells of the same run on the same machine, so
+it works on the very first run and is immune to cross-run machine drift.
+
 Robustness contract: a baseline that predates some cells (older artifact
 without ir-jit-coverage / ir-jit-deopts), a row set that changed between
 runs, or a malformed baseline artifact must never crash the gate — such
@@ -29,15 +37,63 @@ means the benchmark step itself regressed).
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
       [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0] \
-      [--deopt-factor 2.0]
+      [--deopt-factor 2.0] [--gov-overhead 0.02]
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
 INTERP_COLUMNS = ("ir-tree", "ir-bc", "ir-jit")
+
+# (ungoverned, governed) cell pairs for the safepoint-overhead gate.
+GOV_COLUMNS = (("ir-bc", "ir-bc-gov"), ("ir-jit", "ir-jit-gov"))
+
+# Cells faster than this in the ungoverned column are excluded from the
+# overhead geomean: at timer resolution the ratio is dominated by noise,
+# not by safepoint cost. Deliberately lower than --min-ms — the geomean
+# over many queries averages jitter out, a single-cell gate cannot.
+GOV_FLOOR_MS = 0.1
+
+
+def gov_overhead_regressions(cur, allowed):
+    """Intra-artifact governed/ungoverned geomean check (current run only).
+
+    Returns a list of regression strings; empty when within the allowance
+    or when the artifact has no governed cells (bench ran without
+    QC_BENCH_GOVERNED — reported as a notice, not a failure).
+    """
+    regressions = []
+    pairs_seen = 0
+    for base_col, gov_col in GOV_COLUMNS:
+        logs = []
+        for key in sorted(cur, key=repr):
+            row = cur[key]
+            b = as_number(row, base_col)
+            g = as_number(row, gov_col)
+            if b is None or g is None or b < GOV_FLOOR_MS or g <= 0:
+                continue
+            logs.append(math.log(g / b))
+        if not logs:
+            continue
+        pairs_seen += 1
+        geo = math.exp(sum(logs) / len(logs))
+        print(f"governance overhead {gov_col}/{base_col}: geomean "
+              f"{(geo - 1.0) * 100.0:+.2f}% over {len(logs)} cells "
+              f"(allowance +{allowed * 100:.0f}%)")
+        if geo > 1.0 + allowed:
+            regressions.append(
+                f"{gov_col}: governed runs {(geo - 1.0) * 100.0:.1f}% slower "
+                f"than {base_col} geomean over {len(logs)} cells "
+                f"(allowance {allowed * 100:.0f}%) — a safepoint left the "
+                "cold path or the poll interval collapsed")
+    if pairs_seen == 0:
+        print("notice: current artifact has no governed cells "
+              "(QC_BENCH_GOVERNED not set during the bench); "
+              "governance-overhead gate skipped")
+    return regressions
 
 
 def load_rows(path):
@@ -76,14 +132,11 @@ def main():
     ap.add_argument("--deopt-factor", type=float, default=2.0,
                     help="allowed ir-jit-deopts growth factor (plus a "
                          "small absolute slack for tiny counts)")
+    ap.add_argument("--gov-overhead", type=float, default=0.02,
+                    help="allowed governed/ungoverned geomean slowdown "
+                         "(0.02 = 2%%; intra-artifact, needs no baseline)")
     args = ap.parse_args()
 
-    # First runs and forks have no previous successful main-branch artifact:
-    # that is not a regression, so report and succeed instead of crashing.
-    if not os.path.exists(args.baseline):
-        print(f"no baseline artifact at {args.baseline}; skipping regression "
-              "check (first run, expired artifact, or fork)")
-        return 0
     if not os.path.exists(args.current):
         # Unlike a missing baseline, this means the benchmark step itself
         # broke (JSON emission regressed): fail loudly, or the gate would
@@ -91,16 +144,7 @@ def main():
         print(f"error: no current benchmark output at {args.current}; "
               "the benchmark step did not produce JSON", file=sys.stderr)
         return 1
-
-    # A corrupt baseline (truncated upload, artifact format drift) is the
-    # missing-baseline case in disguise: skip with a notice. A corrupt
-    # current artifact is a broken benchmark step: fail.
-    try:
-        base_meta, base = load_rows(args.baseline)
-    except (ValueError, OSError, json.JSONDecodeError) as e:
-        print(f"notice: unreadable baseline artifact ({e}); skipping "
-              "regression check")
-        return 0
+    # A corrupt current artifact is a broken benchmark step: fail.
     try:
         cur_meta, cur = load_rows(args.current)
     except (ValueError, OSError, json.JSONDecodeError) as e:
@@ -108,10 +152,41 @@ def main():
               file=sys.stderr)
         return 1
 
+    # The governance-overhead gate compares cells within the current
+    # artifact, so it runs before (and independently of) any baseline.
+    gov_regressions = gov_overhead_regressions(cur, args.gov_overhead)
+
+    def finish_without_baseline():
+        if gov_regressions:
+            print("governance-overhead regressions:")
+            for r in gov_regressions:
+                print("  " + r)
+            return 1
+        print("no governance-overhead regressions")
+        return 0
+
+    # First runs and forks have no previous successful main-branch artifact:
+    # that is not a regression, so report and succeed instead of crashing.
+    if not os.path.exists(args.baseline):
+        print(f"no baseline artifact at {args.baseline}; skipping "
+              "cross-run regression check (first run, expired artifact, "
+              "or fork)")
+        return finish_without_baseline()
+
+    # A corrupt baseline (truncated upload, artifact format drift) is the
+    # missing-baseline case in disguise: skip with a notice.
+    try:
+        base_meta, base = load_rows(args.baseline)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"notice: unreadable baseline artifact ({e}); skipping "
+              "cross-run regression check")
+        return finish_without_baseline()
+
     if base_meta.get("sf") != cur_meta.get("sf"):
         print(f"scale factors differ (baseline sf={base_meta.get('sf')}, "
-              f"current sf={cur_meta.get('sf')}); skipping comparison")
-        return 0
+              f"current sf={cur_meta.get('sf')}); skipping cross-run "
+              "comparison")
+        return finish_without_baseline()
 
     # A changed row set (different thread matrix, added/removed queries) is
     # a configuration change, not a regression: report it, compare the
@@ -126,7 +201,7 @@ def main():
         print(f"notice: {len(only_cur)} new row(s) have no baseline yet, "
               f"e.g. {only_cur[:3]}")
 
-    regressions = []
+    regressions = list(gov_regressions)
     compared = 0
     for key, brow in sorted(base.items(), key=lambda kv: repr(kv[0])):
         crow = cur.get(key)
@@ -228,7 +303,7 @@ def main():
         for r in regressions:
             print("  " + r)
         return 1
-    print("no interpreter-row regressions")
+    print("no interpreter-row or governance-overhead regressions")
     return 0
 
 

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/timer.h"
 
@@ -91,9 +92,23 @@ std::string CcDriver::Compile(const std::string& name,
     if (compile_ms != nullptr) *compile_ms = 0;  // cache hit: no cc run
     return bin_path;  // the matching .c is still there from the cache fill
   }
+  // Write the source atomically too (temp + rename(2)): a crash or a
+  // concurrent compile of the same name must never leave a truncated .c
+  // behind for another process to feed to the compiler.
   {
-    std::ofstream f(src_path);
+    std::string src_tmp =
+        src_path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::ofstream f(src_tmp);
     f << source;
+    f.flush();
+    bool write_failed = FaultPoint("cc_cache_write") || !f.good();
+    f.close();
+    if (write_failed ||
+        std::rename(src_tmp.c_str(), src_path.c_str()) != 0) {
+      std::remove(src_tmp.c_str());
+      if (error != nullptr) *error = "cannot write " + src_path;
+      return "";
+    }
   }
   // Compile to a process-unique temp name and rename on success, so neither
   // an interrupted compiler nor a concurrent compile of the same source can

@@ -1,0 +1,41 @@
+// Deterministic fault injection for robustness tests.
+//
+// QC_FAULT=<site>:<nth>[,<site>:<nth>...] arms one or more named injection
+// sites; the site fires exactly on its <nth> occurrence (1-based) within the
+// process (or since the last FaultReArm()).  Production code sprinkles
+// FaultPoint("site") calls at the places that can fail in the real world —
+// mmap/mprotect for JIT code pages, worker-thread spawn, record-heap
+// allocation, the compiler-cache write — and the chaos test sweeps every
+// site across engines and thread counts asserting the failure path is
+// crash-free.
+//
+// The fast path is a single relaxed atomic-bool load (qc_fault_armed); when
+// QC_FAULT is unset every FaultPoint() call is one predictable branch.
+#ifndef QC_COMMON_FAULT_H_
+#define QC_COMMON_FAULT_H_
+
+#include <atomic>
+
+namespace qc {
+
+// True when QC_FAULT named at least one site (set at first use / ReArm).
+extern std::atomic<bool> qc_fault_armed;
+
+// Slow path: returns true iff `site` is armed and this call is exactly its
+// configured nth occurrence.  Counts every call per site, so a site keeps a
+// stable occurrence numbering whether or not it ever fires.
+bool FaultShouldFireSlow(const char* site);
+
+// Re-reads QC_FAULT from the environment and resets all occurrence
+// counters.  Tests call this after setenv() to re-arm within one process.
+void FaultReArm();
+
+// The injection-site check used by production code.
+inline bool FaultPoint(const char* site) {
+  if (!qc_fault_armed.load(std::memory_order_relaxed)) return false;
+  return FaultShouldFireSlow(site);
+}
+
+}  // namespace qc
+
+#endif  // QC_COMMON_FAULT_H_

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/str.h"
 #include "ir/numbering.h"
 #include "jit/engine.h"
@@ -189,6 +190,7 @@ std::string Disassemble(const BytecodeProgram& prog) {
       case BcOp::kJgeI:
       case BcOp::kForNext:
       case BcOp::kIncJmp:
+      case BcOp::kJmpSp:
       case BcOp::kParLoop:
 #define QC_BC_DIS_JMP(name) case BcOp::name:
         QC_BC_DIS_JMP(kJnEqI) QC_BC_DIS_JMP(kJnNeI) QC_BC_DIS_JMP(kJnLtI)
@@ -316,6 +318,10 @@ BytecodeProgram BytecodeCompiler::Compile(const ir::Function& fn,
   prog_.out_reg = NewTemp();
   prog_.stats_reg = NewTemp();
   prog_.rec_reg = NewTemp();
+  // Governance registers: must stay consecutive (gov_cnt_reg == gov_reg+1,
+  // see BytecodeProgram) — the JIT safepoint template depends on it.
+  prog_.gov_reg = NewTemp();
+  prog_.gov_cnt_reg = NewTemp();
   uses_ = ir::ComputeUseCounts(fn);
   alias_.clear();
   last_value_stmt_ = nullptr;
@@ -718,6 +724,7 @@ bool BytecodeCompiler::SubroutineParallelSafe(uint32_t entry) const {
       case BcOp::kJgeI:
       case BcOp::kForNext:
       case BcOp::kIncJmp:
+      case BcOp::kJmpSp:
       case BcOp::kLoadK:
       case BcOp::kMov:
       case BcOp::kAddI: case BcOp::kSubI: case BcOp::kMulI:
@@ -1085,7 +1092,9 @@ void BytecodeCompiler::CompileStmt(const Stmt* s) {
       size_t cond_start = prog_.code.size();
       size_t exit_j = EmitWhileExit(s->blocks[0]);
       CompileBlock(s->blocks[1]);
-      Emit(BcOp::kJmp, 0, 0, 0, OffsetTo(cond_start));
+      // kJmpSp, not kJmp: while back edges are governance safepoints (the
+      // for-loop families fuse the check into kForNext/kIncJmp instead).
+      Emit(BcOp::kJmpSp, 0, 0, 0, OffsetTo(cond_start));
       PatchToHere(exit_j);
       return;
     }
@@ -1324,6 +1333,12 @@ storage::ResultTable BytecodeVM::Run(const BytecodeProgram& prog) {
   regs_[prog.out_reg] = SlotP(&out_);
   regs_[prog.stats_reg] = SlotP(stats_);
   regs_[prog.rec_reg] = SlotP(&records_);
+  // Governance context: GovState* + countdown through the register file
+  // (INT64_MAX when ungoverned — the safepoint slow path is unreachable).
+  gov_.Attach(ctl_, stats_);
+  records_.SetGovernor(&gov_);
+  regs_[prog.gov_reg] = SlotP(&gov_);
+  regs_[prog.gov_cnt_reg] = SlotI(gov_.InitialCountdown());
   parallel::ExecState st;
   st.regs = regs_.data();
   st.stats = stats_;
@@ -1334,6 +1349,7 @@ storage::ResultTable BytecodeVM::Run(const BytecodeProgram& prog) {
   st.mmaps = &mmaps_;
   st.strings = &strings_;
   st.out = &out_;
+  st.gov = &gov_;
   Exec(st, 0);
   return std::move(out_);
 }
@@ -1351,6 +1367,7 @@ bool BytecodeVM::TryParallelLoop(parallel::ExecState& st,
   run.stats = st.stats;
   run.out = st.out;
   run.emit_types = &prog_->emit_types;
+  run.ctl = ctl_;
   // Snapshot of the register file at loop entry: workers must not read the
   // live file — the merge (overlapped with the scan) updates accumulator
   // registers in it concurrently.
@@ -1372,6 +1389,11 @@ bool BytecodeVM::TryParallelLoop(parallel::ExecState& st,
     ms.regs[prog_->out_reg] = SlotP(&ms.out);
     ms.regs[prog_->stats_reg] = SlotP(&ms.stats);
     ms.regs[prog_->rec_reg] = SlotP(&ms.records);
+    // Per-morsel governance state over the morsel's private stats.
+    ms.gov.Attach(ctl_, &ms.stats);
+    ms.records.SetGovernor(&ms.gov);
+    ms.regs[prog_->gov_reg] = SlotP(&ms.gov);
+    ms.regs[prog_->gov_cnt_reg] = SlotI(ms.gov.InitialCountdown());
     for (size_t c = 0; c < plc.log_regs.size(); ++c) {
       ms.regs[plc.log_regs[c]] = SlotP(&ms.logs[c]);
     }
@@ -1429,7 +1451,10 @@ void BytecodeVM::SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
       cmp->ws.regs = cmp->regs.data();
       cmp->ps = ps;
       cmp->entry = entry;
-      return cmp;
+      // Governed: once the query trips, every comparator returns false and
+      // the in-flight sort drains in linear time (runtime.h sort core is
+      // memory-safe under any comparator).
+      return std::make_unique<GovernedCmpOwned>(std::move(cmp), st.gov);
     };
     if (parallel::ParallelStableSort(*par_eng_, data, n, make_cmp)) return;
   }
@@ -1438,7 +1463,8 @@ void BytecodeVM::SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
   cmp.st = &st;
   cmp.ps = ps;
   cmp.entry = entry;
-  StableSortSlots(data, n, cmp);
+  GovernedCmp gcmp(cmp, st.gov);
+  StableSortSlots(data, n, gcmp);
 }
 
 void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
@@ -1447,8 +1473,16 @@ void BytecodeVM::Exec(parallel::ExecState& st, uint32_t pc) {
   // state lives in st, so the same loop serves the main program, sort
   // comparators, and per-worker morsel fragments.
   if (jit_ != nullptr) {
-    while (pc != jit::kRetPc) {
+    while (pc != jit::kRetPc && pc != jit::kAbortPc) {
       if (jit_->HasEntry(pc)) {
+        // Forced mid-query deopt (QC_FAULT=jit_deopt:<n>): interpret the
+        // rest of the fragment instead of entering native code — the
+        // state-free deopt contract makes this bit-exact.
+        if (FaultPoint("jit_deopt")) {
+          jit_->CountDeopt();
+          pc = ExecImpl<false>(st, pc);
+          continue;
+        }
         pc = jit_->Run(st.regs, pc);
       } else {
         // One interpreted run = one deopt event (the QC_JIT_STATS counter;
@@ -1467,6 +1501,11 @@ uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   const Insn* code = prog_->code.data();
   Slot* R = st.regs;
   const Insn* I = nullptr;
+  // Governance safepoint state, reached through the reserved registers.
+  // Ungoverned runs preset the countdown to INT64_MAX, so back edges pay
+  // one dec + never-taken branch and the slow path is unreachable.
+  int64_t* const gov_cnt = &R[prog_->gov_cnt_reg].i;
+  GovState* const gov = static_cast<GovState*>(R[prog_->gov_reg].p);
 
 #if QC_BC_USE_CGOTO
   static const void* kTargets[] = {
@@ -1509,12 +1548,28 @@ uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   }
   DISPATCH();
   TARGET(kForNext) {
-    if (++R[I->a].i < R[I->b].i) pc += I->d;
+    if (++R[I->a].i < R[I->b].i) {
+      pc += I->d;
+      // Safepoint, fused into the taken back edge (exit paths need none).
+      if (--*gov_cnt <= 0 && qc_gov_safepoint(gov, gov_cnt) != 0) {
+        return jit::kAbortPc;
+      }
+    }
   }
   DISPATCH();
   TARGET(kIncJmp) {
     ++R[I->a].i;
     pc += I->d;
+    if (--*gov_cnt <= 0 && qc_gov_safepoint(gov, gov_cnt) != 0) {
+      return jit::kAbortPc;
+    }
+  }
+  DISPATCH();
+  TARGET(kJmpSp) {
+    pc += I->d;
+    if (--*gov_cnt <= 0 && qc_gov_safepoint(gov, gov_cnt) != 0) {
+      return jit::kAbortPc;
+    }
   }
   DISPATCH();
 
@@ -1866,6 +1921,11 @@ uint32_t BytecodeVM::ExecImpl(parallel::ExecState& st, uint32_t pc) {
   DISPATCH();
 
   TARGET(kParLoop) {
+    // Direct safepoint at loop dispatch: a query tripped between loops (or
+    // pre-cancelled mid-statement) stops before fanning out new morsels.
+    if (gov != nullptr && gov->ctl != nullptr && gov->Poll() != 0) {
+      return jit::kAbortPc;
+    }
     // Parallel header of a morsel-parallelizable scan loop. When a worker
     // pool is attached and the runtime gates pass, the loop executes
     // morsel-parallel and the sequential fallback that follows is skipped;

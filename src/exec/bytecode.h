@@ -65,6 +65,7 @@ class JitProgram;  // src/jit/engine.h
   X(kJgeI)    /* if R[a].i >= R[b].i: pc += d (loop-head guard) */          \
   X(kForNext) /* ++R[a].i; if R[a].i < R[b].i: pc += d (fused back edge) */ \
   X(kIncJmp)  /* ++R[a].i; pc += d (back edge with re-checked bound) */     \
+  X(kJmpSp)   /* pc += d; while-loop back edge (safepoint checked) */       \
   /* moves */                                                               \
   X(kLoadK)   /* R[a] = consts[b] */                                        \
   X(kMov)     /* R[a] = R[b] */                                             \
@@ -230,6 +231,14 @@ struct BytecodeProgram {
   uint32_t out_reg = 0;
   uint32_t stats_reg = 0;
   uint32_t rec_reg = 0;
+  // Governance context: gov_reg holds the context's GovState*, gov_cnt_reg
+  // its safepoint countdown (int64). Allocated consecutively — the JIT's
+  // safepoint slow path relies on gov_cnt_reg == gov_reg + 1 to reach the
+  // GovState* from the countdown slot's address with one unpatched load.
+  // Ungoverned runs preset the countdown to INT64_MAX, making the slow
+  // path unreachable (back edges cost one dec + predictable branch).
+  uint32_t gov_reg = 0;
+  uint32_t gov_cnt_reg = 0;
   int fused = 0;  // number of super-instructions formed (introspection)
 };
 
@@ -356,6 +365,12 @@ class BytecodeVM {
   // null keeps every loop on the sequential fallback path.
   void SetParallel(parallel::Engine* eng) { par_eng_ = eng; }
 
+  // Attaches the governance control for subsequent Run() calls (owned by
+  // the caller; null = ungoverned). The VM binds it to a per-run GovState
+  // reachable through the register file (prog.gov_reg), so JIT'd code and
+  // morsel fragments poll the same control.
+  void SetControl(ExecControl* ctl) { ctl_ = ctl; }
+
   // Attaches JIT'd native code for the program about to Run (owned by the
   // caller, compiled from the same BytecodeProgram). Non-null switches
   // Exec to the hybrid native/interpreter driver: templated instruction
@@ -389,6 +404,8 @@ class BytecodeVM {
   const BytecodeProgram* prog_ = nullptr;
   AllocStats* stats_;
   RecordHeap records_;
+  ExecControl* ctl_ = nullptr;
+  GovState gov_;  // main-context governance state, rebound per Run
   parallel::Engine* par_eng_ = nullptr;
   const jit::JitProgram* jit_ = nullptr;
   std::vector<Slot> regs_;

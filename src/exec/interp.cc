@@ -87,9 +87,36 @@ bool CmpBlockParallelSafe(const Block* b) {
   return true;
 }
 
+// Tree-walk loop safepoint: true when the governed query must abort. Each
+// loop construct checks this on its back edge (and kWhile at the top of
+// every iteration — a while body with no inner loop would otherwise never
+// reach a safepoint, and post-abort condition values must not spin it).
+inline bool GovLoopAbort(parallel::ExecState& st) {
+  return st.gov != nullptr && st.gov->TreeBackEdge();
+}
+
 }  // namespace
 
 storage::ResultTable Interpreter::Run(const ir::Function& fn) {
+  ExecControl* ctl = opts_.control;
+  last_status_ = QueryStatus();
+  if (ctl != nullptr) {
+    ctl->BeginRun();
+    // Pre-run poll: an already-cancelled or already-expired control never
+    // starts executing (or even compiling) the query.
+    if (ctl->cancel.load(std::memory_order_relaxed)) {
+      ctl->Trip(QueryStatusCode::kCancelled);
+    } else {
+      int64_t dl = ctl->deadline_ns.load(std::memory_order_relaxed);
+      if (dl != 0 && GovNowNs() >= dl) {
+        ctl->Trip(QueryStatusCode::kDeadlineExceeded);
+      }
+    }
+    if (ctl->Tripped()) {
+      last_status_ = ctl->status();
+      return storage::ResultTable();
+    }
+  }
   if (opts_.engine != InterpOptions::Engine::kTreeWalk) {
     auto it = programs_.find(&fn);
     if (it == programs_.end() || it->second.fn_name != fn.name() ||
@@ -106,8 +133,21 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
     if (opts_.engine == InterpOptions::Engine::kJit) {
       if (!cached.jit_compiled) {
         // Null on non-x86-64 builds, denied executable pages, or
-        // QC_JIT_DISABLE: the engine silently degrades to the plain VM.
-        cached.jit = jit::JitProgram::Compile(cached.prog);
+        // QC_JIT_DISABLE: the engine degrades to the plain VM — with the
+        // structured reason recorded and a one-time stderr notice (no more
+        // invisible fallbacks).
+        cached.jit = jit::JitProgram::Compile(cached.prog,
+                                              &cached.jit_fallback);
+        if (cached.jit == nullptr) {
+          static std::atomic<bool> warned{false};
+          if (!warned.exchange(true)) {
+            std::fprintf(stderr,
+                         "jit: degraded to bytecode VM (%s); further "
+                         "fallbacks are silent — see "
+                         "Interpreter::last_jit_stats\n",
+                         jit::JitFallbackName(cached.jit_fallback));
+          }
+        }
         if (cached.jit != nullptr && par_ != nullptr) {
           // Native sort sites run big post-aggregation sorts on the pool.
           cached.jit->BindParallel(par_.get());
@@ -121,10 +161,20 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
         jp != nullptr && opts_.engine == InterpOptions::Engine::kJit
             ? jp->deopts()
             : 0;
+    vm_.SetControl(ctl);
     storage::ResultTable result = vm_.Run(cached.prog);
     vm_.SetJit(nullptr);
+    vm_.SetControl(nullptr);
+    if (ctl != nullptr && ctl->Tripped()) {
+      // Aborted at a safepoint: surface the structured status and drop the
+      // partial rows. All engine state was already reset for this run and
+      // is reset again by the next one — the Interpreter stays reusable.
+      last_status_ = ctl->status();
+      result = storage::ResultTable();
+    }
     if (opts_.engine == InterpOptions::Engine::kJit) {
       jit_stats_ = JitRunStats();
+      jit_stats_.fallback_reason = static_cast<int>(cached.jit_fallback);
       if (jp != nullptr) {
         jit_stats_.jitted = true;
         jit_stats_.native_pcs = jp->num_native();
@@ -179,7 +229,20 @@ storage::ResultTable Interpreter::RunTreeWalk(const ir::Function& fn) {
   st.mmaps = &mmaps_;
   st.strings = &strings_;
   st.out = &out_;
+  // Governance: loop back edges call GovState::TreeBackEdge through st.gov
+  // (null when ungoverned — the checks vanish behind one pointer test).
+  if (opts_.control != nullptr) {
+    tw_gov_.Attach(opts_.control, &stats_);
+    records_.SetGovernor(&tw_gov_);
+    st.gov = &tw_gov_;
+  } else {
+    records_.SetGovernor(nullptr);
+  }
   ExecBlock(st, fn.body());
+  if (opts_.control != nullptr && opts_.control->Tripped()) {
+    last_status_ = opts_.control->status();
+    return storage::ResultTable();
+  }
   return std::move(out_);
 }
 
@@ -250,16 +313,22 @@ bool Interpreter::TreeParallelLoop(parallel::ExecState& st,
   run.stats = st.stats;
   run.out = st.out;
   run.emit_types = &emit_types_;
+  run.ctl = opts_.control;
   run.body = [&](int64_t mlo, int64_t mhi, parallel::MorselState& ms) {
     ms.regs = entry_regs;
     for (size_t i = 0; i < red_regs.size(); ++i) {
       ms.regs[red_regs[i]] = ms.priv[i];
     }
+    // Per-morsel governance over the morsel's private stats; a trip
+    // mid-morsel breaks the row loop at the next back edge.
+    ms.gov.Attach(opts_.control, &ms.stats);
+    ms.records.SetGovernor(&ms.gov);
     parallel::ExecState ws = ms.MakeState();
     ws.par = &plan;
     for (int64_t i = mlo; i < mhi; ++i) {
       ws.regs[ivar->id] = SlotI(i);
       ExecBlock(ws, body);
+      if (GovLoopAbort(ws)) break;
     }
   };
   return parallel::RunForRange(*par_, run);
@@ -312,7 +381,9 @@ void Interpreter::SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
       cmp->ws = st;
       cmp->ws.regs = cmp->regs.data();
       cmp->blk = cmp_block;
-      return cmp;
+      // Governed: a tripped query drains the in-flight sort in linear time
+      // (comparators return false once aborted).
+      return std::make_unique<GovernedCmpOwned>(std::move(cmp), st.gov);
     };
     if (parallel::ParallelStableSort(*par_, data, n, make_cmp)) return;
   }
@@ -320,7 +391,8 @@ void Interpreter::SortSlots(parallel::ExecState& st, Slot* data, int64_t n,
   cmp.in = this;
   cmp.st = &st;
   cmp.blk = cmp_block;
-  StableSortSlots(data, n, cmp);
+  GovernedCmp gcmp(cmp, st.gov);
+  StableSortSlots(data, n, gcmp);
 }
 
 void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
@@ -514,11 +586,14 @@ void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
       for (int64_t i = lo; i < hi; ++i) {
         Set(st, ivar, SlotI(i));
         ExecBlock(st, body);
+        if (GovLoopAbort(st)) break;
       }
       break;
     }
     case Op::kWhile:
-      while (BlockCond(st, s->blocks[0])) ExecBlock(st, s->blocks[1]);
+      while (!GovLoopAbort(st) && BlockCond(st, s->blocks[0])) {
+        ExecBlock(st, s->blocks[1]);
+      }
       break;
 
     case Op::kRecNew: {
@@ -589,6 +664,7 @@ void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
       for (size_t i = 0; i < l->items.size(); ++i) {
         Set(st, e, l->items[i]);
         ExecBlock(st, body);
+        if (GovLoopAbort(st)) break;
       }
       break;
     }
@@ -639,6 +715,7 @@ void Interpreter::ExecStmt(parallel::ExecState& st, const Stmt* s) {
         Set(st, body->params[0], n->key);
         Set(st, body->params[1], n->value);
         ExecBlock(st, body);
+        if (GovLoopAbort(st)) break;
       }
       break;
     }

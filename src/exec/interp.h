@@ -59,6 +59,14 @@ struct InterpOptions {
   // identical to num_threads = 1 regardless of N or morsel_rows.
   int num_threads = 1;
   int64_t morsel_rows = 16384;  // rows per morsel in parallel mode
+
+  // Query governance (exec/governor.h): when non-null, every Run() polls
+  // this control at safepoints (loop back edges, morsel boundaries, JIT'd
+  // loop heads) and unwinds within one safepoint interval of a
+  // cancellation, deadline, or memory-budget trip. Owned by the caller;
+  // null = ungoverned (zero safepoint slow paths). Inspect the outcome via
+  // Interpreter::last_status().
+  ExecControl* control = nullptr;
 };
 
 class Interpreter {
@@ -83,6 +91,16 @@ class Interpreter {
 
   const AllocStats& stats() const { return stats_; }
 
+  // Governance status of the most recent Run(): ok unless the attached
+  // ExecControl tripped, in which case the returned table was empty and
+  // this carries the structured reason. The Interpreter itself stays fully
+  // reusable after any non-ok status (pools, heaps, caches intact).
+  const QueryStatus& last_status() const { return last_status_; }
+
+  // Replaces the governance control for subsequent Run() calls (null
+  // detaches; same semantics as InterpOptions::control).
+  void SetControl(ExecControl* ctl) { opts_.control = ctl; }
+
   // QC_JIT_STATS telemetry for the most recent kJit Run: native coverage
   // (templated pcs / total pcs) and the number of deopt events — interpreted
   // runs of the hybrid driver — during that Run. `jitted` is false when the
@@ -92,6 +110,10 @@ class Interpreter {
     int native_pcs = 0;
     int total_pcs = 0;
     uint64_t deopts = 0;
+    // Why the engine degraded to the plain VM (jit::JitFallback as int;
+    // 0 = it didn't). Non-zero implies !jitted; surfaced in the bench
+    // telemetry so fallbacks are never invisible.
+    int fallback_reason = 0;
     double CoveragePct() const {
       return total_pcs > 0 ? 100.0 * native_pcs / total_pcs : 0.0;
     }
@@ -152,10 +174,14 @@ class Interpreter {
     // compiled lazily on the first kJit Run and cached like the bytecode.
     std::unique_ptr<jit::JitProgram> jit;
     bool jit_compiled = false;
+    // Fallback reason recorded at compile time (kNone when jit != null).
+    jit::JitFallback jit_fallback = jit::JitFallback::kNone;
   };
   BytecodeVM vm_;
   std::unordered_map<const ir::Function*, CachedProgram> programs_;
   JitRunStats jit_stats_;
+  QueryStatus last_status_;
+  GovState tw_gov_;  // tree-walk main-context governance state
 
   // Tree-walk engine: emit types and the parallel analysis discovered once
   // per function, not per Run. cmp_safe_ memoizes the comparator purity

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <system_error>
 #include <unordered_map>
 
 #include "common/env.h"
+#include "common/fault.h"
 
 namespace qc::exec::parallel {
 
@@ -304,7 +306,26 @@ WorkerPool::WorkerPool(int threads) {
   if (spawn < 0) spawn = 0;
   workers_.reserve(spawn);
   for (int i = 0; i < spawn; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    // Thread spawn can fail in the real world (rlimits, fragmentation).
+    // Degrade to fewer workers instead of crashing: the calling thread
+    // always participates, so any worker count — including zero — still
+    // executes every task, just with less parallelism.
+    try {
+      if (FaultPoint("worker_spawn")) {
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again));
+      }
+      workers_.emplace_back([this] { WorkerMain(); });
+    } catch (const std::system_error&) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "exec: worker spawn failed; degrading to %d worker(s) "
+                     "(caller thread still participates)\n",
+                     static_cast<int>(workers_.size()));
+      }
+      break;
+    }
   }
 }
 
@@ -477,7 +498,12 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
     done[m].store(0, std::memory_order_relaxed);
   }
   std::function<void(int)> scan = [&](int m) {
-    run.body(ranges[m].first, ranges[m].second, *states[m]);
+    // Tripped queries skip morsels that have not started yet: the empty
+    // MorselState merges as a no-op, so the done/merge/Wait protocol runs
+    // to completion and the pool stays reusable.
+    if (run.ctl == nullptr || !run.ctl->Tripped()) {
+      run.body(ranges[m].first, ranges[m].second, *states[m]);
+    }
     done[m].store(1, std::memory_order_release);
     { std::lock_guard<std::mutex> lock(done_mu); }
     done_cv.notify_one();
@@ -489,7 +515,9 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
     bool any = false;
     while (merged < num_morsels &&
            done[merged].load(std::memory_order_acquire) != 0) {
-      merger.MergeMorsel(*states[merged]);
+      // A morsel skipped after a trip never ran its body (regs stays
+      // empty) and has nothing to merge.
+      if (!states[merged]->regs.empty()) merger.MergeMorsel(*states[merged]);
       states[merged]->ReleaseTransients();
       eng.Keep(std::move(states[merged]));
       ++merged;

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/governor.h"
 #include "exec/runtime.h"
 #include "ir/parallel.h"
 #include "storage/result.h"
@@ -68,6 +69,7 @@ struct ExecState {
   storage::ResultTable* out = nullptr;
   MorselState* morsel = nullptr;       // log sink during a morsel run
   const ir::ParLoop* par = nullptr;    // tree walker: morsel action table
+  GovState* gov = nullptr;             // governance state (may be unattached)
 };
 
 // All worker-local state of one morsel. Records and interned strings
@@ -85,6 +87,9 @@ struct MorselState {
   std::vector<Slot> regs;
   std::vector<std::vector<Slot>> logs;  // one addend log per ParLogChannel
   std::vector<Slot> priv;               // privatized object per reduction
+  // Per-morsel governance state over this morsel's private stats (attached
+  // by the engine's body callback when the run is governed).
+  GovState gov;
 
   ExecState MakeState() {
     ExecState st;
@@ -98,6 +103,7 @@ struct MorselState {
     st.strings = &strings;
     st.out = &out;
     st.morsel = this;
+    st.gov = &gov;
     return st;
   }
 
@@ -195,6 +201,10 @@ struct LoopRun {
   AllocStats* stats = nullptr;
   storage::ResultTable* out = nullptr;
   const std::vector<storage::ColType>* emit_types = nullptr;
+  // Governance control, or nullptr for an ungoverned run. Once it trips,
+  // still-unstarted morsels are skipped entirely (their empty states merge
+  // as no-ops, keeping the orchestration and Wait() protocol intact).
+  ExecControl* ctl = nullptr;
   // Executes the loop body over [mlo, mhi) against `ms` (regs must be set
   // up by the engine: copy of the main file + privatized overrides).
   std::function<void(int64_t mlo, int64_t mhi, MorselState& ms)> body;

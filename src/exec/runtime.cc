@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fault.h"
+#include "exec/governor.h"
+
 namespace qc::exec {
 
 namespace {
@@ -207,6 +210,7 @@ void RecordHeap::Reset() {
 }
 
 Slot* RecordHeap::AllocHeap(size_t fields) {
+  if (FaultPoint("alloc_heap") && gov_ != nullptr) gov_->TripResource();
   Slot* r = static_cast<Slot*>(::malloc(fields * sizeof(Slot)));
   heap_records_.push_back(r);
   stats_->heap_bytes += fields * sizeof(Slot);
@@ -215,6 +219,7 @@ Slot* RecordHeap::AllocHeap(size_t fields) {
 }
 
 Slot* RecordHeap::AllocPool(size_t fields) {
+  if (FaultPoint("alloc_pool") && gov_ != nullptr) gov_->TripResource();
   stats_->pool_bytes += fields * sizeof(Slot);
   return static_cast<Slot*>(pool_.Allocate(fields * sizeof(Slot)));
 }

@@ -195,6 +195,8 @@ class RtMultiMap {
   std::deque<RtList> lists_;
 };
 
+struct GovState;  // exec/governor.h
+
 // Record storage: a record value is a Slot* pointing at `n` slots. Heap
 // records model GC allocations (one heap allocation each); pool records are
 // bump allocations.
@@ -206,12 +208,19 @@ class RecordHeap {
   Slot* AllocHeap(size_t fields);
   Slot* AllocPool(size_t fields);
 
+  // Binds the governor state that injected allocation failures
+  // (QC_FAULT=alloc_heap/alloc_pool) report to. The allocation itself still
+  // succeeds — the query aborts with kResourceFailure at the next
+  // safepoint, modelling an allocator that fails softly against a reserve.
+  void SetGovernor(GovState* gov) { gov_ = gov; }
+
   // Frees every record (heap and pooled). AllocStats are left untouched —
   // they account for lifetime totals (Figure 8).
   void Reset();
 
  private:
   AllocStats* stats_;
+  GovState* gov_ = nullptr;
   std::vector<Slot*> heap_records_;
   Arena pool_{1 << 18};
 };

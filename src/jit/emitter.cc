@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/str.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -270,6 +271,18 @@ void Asm::DecReg(Reg r) {
   Rex(true, 0, 0, r);
   buf_.push_back(0xFF);
   buf_.push_back(static_cast<uint8_t>(0xC8 | (r & 7)));
+}
+
+void Asm::DecMem(Reg base, int32_t disp, bool force_disp32) {
+  Rex(true, 1, 0, base);
+  buf_.push_back(0xFF);  // FF /1: dec r/m64
+  Mem(1, base, disp, force_disp32);
+}
+
+void Asm::LeaRegMem(Reg dst, Reg base, int32_t disp, bool force_disp32) {
+  Rex(true, dst, 0, base);
+  buf_.push_back(0x8D);
+  Mem(dst, base, disp, force_disp32);
 }
 
 void Asm::NegReg(Reg r) {
@@ -543,11 +556,14 @@ bool CodeBuffer::Install(const std::vector<uint8_t>& code) {
   long page = ::sysconf(_SC_PAGESIZE);
   if (page <= 0) page = 4096;
   size_t map_size = (code.size() + page - 1) & ~static_cast<size_t>(page - 1);
-  void* mem = ::mmap(nullptr, map_size, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  void* mem = FaultPoint("jit_mmap")
+                  ? MAP_FAILED
+                  : ::mmap(nullptr, map_size, PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (mem == MAP_FAILED) return false;
   std::memcpy(mem, code.data(), code.size());
-  if (::mprotect(mem, map_size, PROT_READ | PROT_EXEC) != 0) {
+  if (FaultPoint("jit_mprotect") ||
+      ::mprotect(mem, map_size, PROT_READ | PROT_EXEC) != 0) {
     ::munmap(mem, map_size);
     return false;  // W^X denied (e.g. noexec sandbox): degrade
   }
@@ -657,6 +673,7 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
     site.cmp_entry = static_cast<uint32_t>(entry);
     site.ps = prog.extra.data() + static_cast<uint32_t>(insn.d);
     site.num_regs = prog.num_regs;
+    site.gov_reg = prog.gov_reg;
     site_of[pc] = static_cast<uint32_t>(res.sort_sites.size());
     res.sort_sites.push_back(site);
   }
@@ -695,6 +712,26 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
     if (!needs_thunk[t]) continue;
     thunk_of[t] = static_cast<uint32_t>(off);
     off += ExitStubSize();
+  }
+
+  // Governance abort thunk: back-edge safepoint templates branch here when
+  // qc_gov_safepoint reports a trip; the thunk returns the kAbortPc
+  // sentinel. Their slow path reaches the GovState* through
+  // [countdown slot - 8], which is only valid under the reserved-register
+  // adjacency the bytecode compiler guarantees.
+  assert(prog.gov_cnt_reg == prog.gov_reg + 1 &&
+         "governed templates assume gov_cnt_reg == gov_reg + 1");
+  uint32_t abort_thunk = kNoEntry;
+  for (size_t pc = 0; pc < n && abort_thunk == kNoEntry; ++pc) {
+    if (sel[pc] == nullptr) continue;
+    const OpTemplate& t = *sel[pc];
+    for (uint8_t i = 0; i < t.num_patches; ++i) {
+      if (t.patches[i].kind == PatchKind::kJumpAbort) {
+        abort_thunk = static_cast<uint32_t>(off);
+        off += ExitStubSize();
+        break;
+      }
+    }
   }
 
   // Precompile LIKE patterns (kPatternC patches point at these).
@@ -770,6 +807,13 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
           Patch64(out, at,
                   reinterpret_cast<uint64_t>(&res.sort_sites[site_of[pc]]));
           break;
+        case PatchKind::kGovCnt:
+          Patch32(out, at, prog.gov_cnt_reg * 8u);
+          break;
+        case PatchKind::kJumpAbort:
+          assert(abort_thunk != kNoEntry);
+          Patch32(out, at, abort_thunk - static_cast<uint32_t>(at) - 4);
+          break;
         case PatchKind::kJumpD: {
           uint32_t target = static_cast<uint32_t>(pc + 1 + insn.d);
           uint32_t dest = res.entry[target] != kNoEntry ? res.entry[target]
@@ -789,6 +833,10 @@ StitchResult StitchProgram(const BytecodeProgram& prog) {
     if (thunk_of[t] == kNoEntry) continue;
     assert(out.size() == thunk_of[t]);
     EmitExitStub(out, static_cast<uint32_t>(t));
+  }
+  if (abort_thunk != kNoEntry) {
+    assert(out.size() == abort_thunk);
+    EmitExitStub(out, 0xFFFFFFFEu);  // jit::kAbortPc (engine.h)
   }
   assert(out.size() == off);
   return res;

@@ -125,6 +125,10 @@ class Asm {
   void ImulRegReg(Reg dst, Reg src);
   void IncReg(Reg r);
   void DecReg(Reg r);
+  // dec qword [base + disp] (sets flags; the governance countdown check)
+  void DecMem(Reg base, int32_t disp, bool force_disp32 = false);
+  // lea r64, [base + disp]
+  void LeaRegMem(Reg dst, Reg base, int32_t disp, bool force_disp32 = false);
   void NegReg(Reg r);
   void SarImm8(Reg r, uint8_t imm);
   void ShrImm8(Reg r, uint8_t imm);
@@ -241,6 +245,8 @@ struct JitSortSite {
   uint32_t cmp_entry = 0;  // comparator subroutine entry pc
   const uint32_t* ps = nullptr;  // {param0, param1, result} registers
   uint32_t num_regs = 0;         // register-file size (parallel ctx copies)
+  uint32_t gov_reg = 0;    // reserved register holding the GovState* (the
+                           // sort helper wraps comparators in GovernedCmp)
   const JitProgram* jp = nullptr;      // backpatched after Install
   parallel::Engine* par = nullptr;     // null: sorts stay sequential
 };

@@ -49,10 +49,43 @@ bool JitAvailable() {
 #endif
 }
 
-std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog) {
-  if (!JitAvailable() || prog.code.empty()) return nullptr;
+const char* JitFallbackName(JitFallback f) {
+  switch (f) {
+    case JitFallback::kNone: return "none";
+    case JitFallback::kDisabledByEnv: return "disabled_by_env";
+    case JitFallback::kPlatformUnsupported: return "platform_unsupported";
+    case JitFallback::kExecPagesDenied: return "exec_pages_denied";
+    case JitFallback::kNothingTemplated: return "nothing_templated";
+    case JitFallback::kInstallFailed: return "install_failed";
+  }
+  return "unknown";
+}
+
+JitFallback JitUnavailableReason() {
+#if QC_JIT_SUPPORTED
+  if (EnvFlagSet("QC_JIT_DISABLE")) return JitFallback::kDisabledByEnv;
+  return ExecPagesGrantable() ? JitFallback::kNone
+                              : JitFallback::kExecPagesDenied;
+#else
+  return JitFallback::kPlatformUnsupported;
+#endif
+}
+
+std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog,
+                                                JitFallback* why) {
+  JitFallback local = JitFallback::kNone;
+  JitFallback& reason = why != nullptr ? *why : local;
+  reason = JitFallback::kNone;
+  if (!JitAvailable() || prog.code.empty()) {
+    reason = JitAvailable() ? JitFallback::kNothingTemplated
+                            : JitUnavailableReason();
+    return nullptr;
+  }
   StitchResult stitched = StitchProgram(prog);
-  if (stitched.num_native == 0) return nullptr;
+  if (stitched.num_native == 0) {
+    reason = JitFallback::kNothingTemplated;
+    return nullptr;
+  }
   if (EnvLevel("QC_JIT_STATS") >= 2) {
     // Deopt-site histogram: which opcodes lack native code in this program.
     int counts[static_cast<int>(BcOp::kNumOps)] = {};
@@ -69,7 +102,10 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog) {
     std::fprintf(stderr, "\n");
   }
   std::unique_ptr<JitProgram> jp(new JitProgram());
-  if (!jp->buf_.Install(stitched.code)) return nullptr;  // W^X refused
+  if (!jp->buf_.Install(stitched.code)) {  // W^X refused
+    reason = JitFallback::kInstallFailed;
+    return nullptr;
+  }
   jp->enter_ = reinterpret_cast<EnterFn>(
       reinterpret_cast<uintptr_t>(jp->buf_.base()));
   jp->entry_ = std::move(stitched.entry);

@@ -39,10 +39,34 @@ namespace qc::exec::jit {
 // Sentinel "pc" meaning the program/fragment returned (executed kRet).
 constexpr uint32_t kRetPc = 0xFFFFFFFFu;
 
+// Sentinel "pc" meaning a governance safepoint tripped (cancellation,
+// deadline, memory budget — exec/governor.h): the query must unwind. Both
+// the VM's fused back-edge checks and the JIT's abort thunk return it; the
+// hybrid driver treats it like kRetPc and the engine surfaces the
+// structured QueryStatus.
+constexpr uint32_t kAbortPc = 0xFFFFFFFEu;
+
 // True when JIT'd code can run here: x86-64 SysV build, executable pages
 // grantable at runtime, and QC_JIT_DISABLE not set. The platform probe is
 // cached; the environment knob is re-read so tests can flip it.
 bool JitAvailable();
+
+// Why a Compile() returned null — the silent-degradation paths, made
+// visible (telemetry + one-time notice). Keep in sync with
+// JitFallbackName().
+enum class JitFallback : int {
+  kNone = 0,                // it didn't: the program is JIT'd
+  kDisabledByEnv = 1,       // QC_JIT_DISABLE set
+  kPlatformUnsupported = 2, // not an x86-64 SysV build
+  kExecPagesDenied = 3,     // mmap/mprotect refused executable pages
+  kNothingTemplated = 4,    // no instruction of the program has a template
+  kInstallFailed = 5,       // W^X install of the stitched code failed
+};
+
+const char* JitFallbackName(JitFallback f);
+
+// The reason JitAvailable() is currently false (kNone when it is true).
+JitFallback JitUnavailableReason();
 
 class JitProgram {
  public:
@@ -50,8 +74,10 @@ class JitProgram {
   // degrade to the plain bytecode VM — when JIT is unavailable, nothing
   // was templated, or executable memory was refused. The program holds
   // raw pointers resolved from `prog` (columns, constants), so it is
-  // valid exactly as long as `prog` and its database are.
-  static std::unique_ptr<JitProgram> Compile(const BytecodeProgram& prog);
+  // valid exactly as long as `prog` and its database are. `why` (optional)
+  // receives the structured fallback reason on null return.
+  static std::unique_ptr<JitProgram> Compile(const BytecodeProgram& prog,
+                                             JitFallback* why = nullptr);
 
   bool HasEntry(uint32_t pc) const { return entry_[pc] != kNoEntry; }
 

@@ -9,6 +9,7 @@
 
 #include "common/hash.h"
 #include "common/str.h"
+#include "exec/governor.h"
 #include "jit/emitter.h"
 #include "jit/engine.h"
 #include "storage/database.h"
@@ -143,6 +144,10 @@ struct JitNativeCmp : SlotCmp {
 };
 
 void HelpSort(Slot* regs, const JitSortSite* site) {
+  // The context's GovState travels in the reserved gov register, exactly as
+  // it does for the VM's sort path: comparators get the same abort checks,
+  // so a tripped query drains a JIT'd sort in linear time too.
+  GovState* gov = static_cast<GovState*>(regs[site->gov_reg].p);
   Slot* data;
   int64_t n;
   if (site->is_list) {
@@ -165,14 +170,15 @@ void HelpSort(Slot* regs, const JitSortSite* site) {
       cmp->site = site;
       cmp->own.assign(regs, regs + site->num_regs);
       cmp->regs = cmp->own.data();
-      return cmp;
+      return std::make_unique<GovernedCmpOwned>(std::move(cmp), gov);
     };
     if (parallel::ParallelStableSort(*site->par, data, n, make_cmp)) return;
   }
   JitNativeCmp cmp;
   cmp.site = site;
   cmp.regs = regs;
-  StableSortSlots(data, n, cmp);
+  GovernedCmp gcmp(cmp, gov);
+  StableSortSlots(data, n, gcmp);
 }
 
 // kEmit row staging: gather the argument slots, intern strings into the
@@ -344,18 +350,49 @@ Store* BuildTemplates() {
     t.Mark(PatchKind::kSlotB);
     t.Jump(kCondGE);
   });
-  def(BcOp::kForNext, false, [](TB& t) {
+  // Back-edge safepoint tail (governance, exec/governor.h): decrement the
+  // reserved countdown slot; while it stays positive the cost is one dec +
+  // a never-taken branch (ungoverned runs preset it to INT64_MAX). At zero
+  // the slow path calls qc_gov_safepoint — which polls the control and
+  // refills the countdown through the pointer — and branches to the
+  // program's abort thunk (returns kAbortPc) on a trip. The GovState* is
+  // read from the slot below the countdown: the compiler reserves
+  // gov_cnt_reg == gov_reg + 1 (bytecode.h), which saves a patch kind.
+  auto safepoint = [](TB& t) {
+    t.a.DecMem(kSlotBase, 0, true);
+    t.Mark(PatchKind::kGovCnt);
+    size_t fast = t.a.Jcc8(kCondG);
+    t.a.LeaRegMem(RSI, kSlotBase, 0, true);  // rsi = &countdown slot
+    t.Mark(PatchKind::kGovCnt);
+    t.a.MovRegMem(RDI, RSI, -8);             // rdi = GovState* (gov_reg)
+    t.CallHelper(reinterpret_cast<const void*>(&qc_gov_safepoint));
+    t.a.TestRegReg(RAX, RAX);
+    t.a.JccRel32(kCondNE);
+    t.Mark(PatchKind::kJumpAbort);
+    t.a.PatchRel8(fast);
+  };
+  def(BcOp::kForNext, false, [&](TB& t) {
     t.LoadSlot(RAX, PatchKind::kSlotA);
     t.a.IncReg(RAX);
     t.StoreSlot(RAX, PatchKind::kSlotA);
     t.a.CmpRegMem(RAX, kSlotBase, 0, true);
     t.Mark(PatchKind::kSlotB);
-    t.Jump(kCondL);
+    size_t done = t.a.Jcc8(kCondGE);  // loop exhausted: fall through
+    safepoint(t);                     // taken back edges only
+    t.JumpAlways();
+    t.a.PatchRel8(done);
   });
-  def(BcOp::kIncJmp, false, [](TB& t) {
+  def(BcOp::kIncJmp, false, [&](TB& t) {
     t.LoadSlot(RAX, PatchKind::kSlotA);
     t.a.IncReg(RAX);
     t.StoreSlot(RAX, PatchKind::kSlotA);
+    safepoint(t);
+    t.JumpAlways();
+  });
+  // While-loop back edge: an unconditional jump that carries the safepoint
+  // (the compiler lowers while back edges to kJmpSp, bytecode.cc).
+  def(BcOp::kJmpSp, false, [&](TB& t) {
+    safepoint(t);
     t.JumpAlways();
   });
 

@@ -58,6 +58,10 @@ enum class PatchKind : uint8_t {
                //          descriptor (kArrSort/kListSort; emitter.h
                //          JitSortSite — only stitched when the comparator
                //          subroutine is fully native)
+  kGovCnt,     // disp32 <- prog.gov_cnt_reg * 8 (the governance countdown
+               //          slot; the safepoint slow path finds the GovState*
+               //          at [countdown slot - 8] — gov_cnt_reg==gov_reg+1)
+  kJumpAbort,  // rel32 <- the program's abort thunk (returns kAbortPc)
 };
 
 struct PatchPoint {
@@ -71,7 +75,7 @@ struct OpTemplate {
   const uint8_t* code = nullptr;
   uint16_t size = 0;
   uint8_t num_patches = 0;
-  PatchPoint patches[4];
+  PatchPoint patches[8];  // governed kForNext carries 8 patch points
   // Template dereferences std::vector / index-struct internals and is only
   // stitched when RuntimeLayoutUsable() confirmed the layout probe.
   bool needs_layout_probe = false;

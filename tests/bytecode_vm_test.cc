@@ -226,9 +226,10 @@ TEST(BytecodeJumps, WhileLowersToBackwardJump) {
 
   BytecodeProgram prog = BytecodeCompiler(&db).Compile(fn);
   ExpectJumpsInBounds(prog);
+  // While back edges lower to kJmpSp (a governance-safepoint jump).
   bool has_backward = false;
   for (const exec::Insn& insn : prog.code) {
-    if (insn.op == static_cast<uint16_t>(BcOp::kJmp) && insn.d < 0) {
+    if (insn.op == static_cast<uint16_t>(BcOp::kJmpSp) && insn.d < 0) {
       has_backward = true;
     }
   }

@@ -3,10 +3,13 @@
 // sample of TPC-H queries across stack configurations.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <cstdlib>
 #include <string>
 
 #include "cgen/cc_driver.h"
+#include "common/fault.h"
 #include "cgen/emit.h"
 #include "compiler/compiler.h"
 #include "storage/result.h"
@@ -84,6 +87,45 @@ TEST_P(CgenTest, GeneratedCMatchesOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, CgenTest, ::testing::Range(1, 23));
+
+// Binary-cache robustness: an injected failure of the cache-source write
+// (QC_FAULT=cc_cache_write) must surface as a clean Compile error without
+// installing a truncated .c for a later process to pick up — the atomic
+// temp + rename(2) protocol. Disarmed, the identical Compile succeeds.
+TEST(CgenCacheFaultTest, FailedSourceWriteLeavesNoPartialFile) {
+  std::string dir = std::string(getenv("TMPDIR") != nullptr
+                                    ? getenv("TMPDIR")
+                                    : "/tmp") +
+                    "/qcstack_cgen_fault_test";
+  system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  cgen::CcDriver driver(dir);
+  const char* kSrc =
+      "#include <stdio.h>\n"
+      "int main(void) {\n"
+      "  printf(\"ROWS=1 TIME_MS=0.0 MEM_BYTES=0\\n\");\n"
+      "  return 0;\n"
+      "}\n";
+
+  ::setenv("QC_FAULT", "cc_cache_write:1", 1);
+  FaultReArm();
+  std::string error;
+  std::string bin = driver.Compile("fault_probe", kSrc, nullptr, &error);
+  ::unsetenv("QC_FAULT");
+  FaultReArm();
+  EXPECT_TRUE(bin.empty()) << "injected write failure must fail Compile";
+  EXPECT_NE(error.find("cannot write"), std::string::npos) << error;
+  // Neither the final source nor any temp may survive the failed write.
+  struct stat st;
+  EXPECT_NE(::stat((dir + "/fault_probe.c").c_str(), &st), 0)
+      << "partial cache source left behind";
+
+  // Same driver, same source, fault disarmed: the cache fill completes and
+  // the binary runs.
+  bin = driver.Compile("fault_probe", kSrc, nullptr, &error);
+  ASSERT_FALSE(bin.empty()) << error;
+  cgen::RunOutput out = driver.Run(bin);
+  EXPECT_TRUE(out.ok) << out.error;
+}
 
 }  // namespace
 }  // namespace qc
