@@ -1,0 +1,239 @@
+// Serving-daemon latency/robustness benchmark: runs an in-process Server
+// over loopback sockets, drives it with C concurrent client threads issuing
+// R requests each (rotating across a small query mix), and reports
+// throughput plus p50/p95/p99 latency and the robustness counters (sheds,
+// retries, downshifts).
+//
+// Knobs:
+//   QC_BENCH_SF              scale factor (default 0.01 — latency, not scan
+//                            speed, is what this bench measures)
+//   QC_SERVE_BENCH_CLIENTS   concurrent client connections (default 4)
+//   QC_SERVE_BENCH_REQS      requests per client (default 50)
+//   QC_SERVE_BENCH_WORKERS   server worker threads (default 2)
+//   QC_BENCH_JSON            "1" or a path: write BENCH_serve.json
+//
+// The JSON feeds scripts/check_bench_regression.py --serve-current, which
+// gates p95 latency and the shed rate in CI.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "server/server.h"
+#include "tpch/datagen.h"
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in a;
+  std::memset(&a, 0, sizeof(a));
+  a.sin_family = AF_INET;
+  a.sin_port = htons(static_cast<uint16_t>(port));
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&a), sizeof(a)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& s) {
+  const char* p = s.data();
+  size_t left = s.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one line-protocol response; returns the first line ("" on error).
+std::string ReadResponse(int fd) {
+  std::string buf;
+  char tmp[8192];
+  for (;;) {
+    bool done =
+        (buf.compare(0, 3, "ERR") == 0 && buf.find('\n') != std::string::npos) ||
+        buf.find("\n.\n") != std::string::npos;
+    if (done) break;
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 30000) <= 0) return "";
+    ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n <= 0) return "";
+    buf.append(tmp, static_cast<size_t>(n));
+  }
+  return buf.substr(0, buf.find('\n'));
+}
+
+struct ClientResult {
+  std::vector<int64_t> latencies_us;  // successful requests only
+  int64_t ok = 0;
+  int64_t err = 0;
+};
+
+}  // namespace
+
+int main() {
+  double sf = 0.01;
+  if (const char* v = std::getenv("QC_BENCH_SF")) {
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end != v && parsed > 0 && parsed <= 1.0) sf = parsed;
+  }
+  const int clients =
+      static_cast<int>(qc::EnvIntClamped("QC_SERVE_BENCH_CLIENTS", 4, 1, 256));
+  const int reqs = static_cast<int>(
+      qc::EnvIntClamped("QC_SERVE_BENCH_REQS", 50, 1, 1000000));
+  const int workers =
+      static_cast<int>(qc::EnvIntClamped("QC_SERVE_BENCH_WORKERS", 2, 1, 64));
+
+  std::fprintf(stderr, "serve_latency: sf=%g clients=%d reqs=%d workers=%d\n",
+               sf, clients, reqs, workers);
+  qc::storage::Database db = qc::tpch::MakeTpchDatabase(sf);
+
+  qc::server::ServerOptions opts;
+  opts.port = 0;
+  opts.workers = workers;
+  opts.queue_capacity = 256;
+  opts.seed = 42;
+  qc::server::Server server(&db, opts);
+  if (!server.Start()) {
+    std::fprintf(stderr, "serve_latency: server failed to start\n");
+    return 1;
+  }
+  server.WarmPlans();
+
+  // A short query mix: cheap aggregations + a join-heavy one, so the
+  // latency distribution reflects both dispatch overhead and real work.
+  const int kMix[] = {1, 3, 6, 12};
+  const int kMixLen = 4;
+
+  std::vector<ClientResult> results(clients);
+  const int64_t bench_t0 = NowUs();
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientResult& res = results[c];
+        int fd = ConnectTo(server.port());
+        if (fd < 0) return;
+        for (int i = 0; i < reqs; ++i) {
+          int q = kMix[(c + i) % kMixLen];
+          std::string req = "QUERY " + std::to_string(q) + "\n";
+          int64_t t0 = NowUs();
+          if (!SendAll(fd, req)) break;
+          std::string first = ReadResponse(fd);
+          if (first.compare(0, 3, "OK ") == 0) {
+            res.latencies_us.push_back(NowUs() - t0);
+            ++res.ok;
+          } else {
+            ++res.err;
+          }
+        }
+        ::close(fd);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = (NowUs() - bench_t0) / 1e6;
+
+  std::vector<int64_t> lat;
+  int64_t ok = 0, err = 0;
+  for (const ClientResult& r : results) {
+    lat.insert(lat.end(), r.latencies_us.begin(), r.latencies_us.end());
+    ok += r.ok;
+    err += r.err;
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double p) -> double {
+    if (lat.empty()) return 0;
+    size_t idx = static_cast<size_t>(p * (lat.size() - 1));
+    return lat[idx] / 1000.0;  // ms
+  };
+  const double p50 = pct(0.50), p95 = pct(0.95), p99 = pct(0.99);
+  const double qps = wall_s > 0 ? ok / wall_s : 0;
+
+  const qc::server::ServerStats& st = server.stats();
+  const uint64_t shed = st.shed_queue_full.load() +
+                        st.shed_queue_deadline.load() +
+                        st.shed_draining.load();
+  const uint64_t total = ok + err;
+  const double shed_rate = total > 0 ? static_cast<double>(shed) / total : 0;
+
+  std::printf("serve_latency: ok=%lld err=%lld qps=%.1f "
+              "p50=%.2fms p95=%.2fms p99=%.2fms "
+              "shed=%llu retries=%llu downshifts=%llu\n",
+              static_cast<long long>(ok), static_cast<long long>(err), qps,
+              p50, p95, p99, static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(st.retries.load()),
+              static_cast<unsigned long long>(st.downshifts.load()));
+
+  std::string json = qc::bench::BenchJsonPath("BENCH_serve.json");
+  if (!json.empty()) {
+    FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve_latency: cannot write %s\n", json.c_str());
+      server.Stop();
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"serve_latency\",\n"
+        "  \"sf\": %g,\n"
+        "  \"clients\": %d,\n"
+        "  \"requests_per_client\": %d,\n"
+        "  \"workers\": %d,\n"
+        "  \"ok\": %lld,\n"
+        "  \"err\": %lld,\n"
+        "  \"qps\": %.2f,\n"
+        "  \"p50_ms\": %.3f,\n"
+        "  \"p95_ms\": %.3f,\n"
+        "  \"p99_ms\": %.3f,\n"
+        "  \"shed\": %llu,\n"
+        "  \"shed_rate\": %.4f,\n"
+        "  \"retries\": %llu,\n"
+        "  \"downshifts\": %llu,\n"
+        "  \"disconnect_cancels\": %llu,\n"
+        "  \"jit_fallbacks\": %llu\n"
+        "}\n",
+        sf, clients, reqs, workers, static_cast<long long>(ok),
+        static_cast<long long>(err), qps, p50, p95, p99,
+        static_cast<unsigned long long>(shed), shed_rate,
+        static_cast<unsigned long long>(st.retries.load()),
+        static_cast<unsigned long long>(st.downshifts.load()),
+        static_cast<unsigned long long>(st.disconnect_cancels.load()),
+        static_cast<unsigned long long>(st.jit_fallbacks.load()));
+    std::fclose(f);
+    std::fprintf(stderr, "serve_latency: wrote %s\n", json.c_str());
+  }
+  server.Stop();
+  // The bench itself gates nothing; zero ok responses still means the
+  // harness is broken and CI should notice.
+  return ok > 0 ? 0 : 1;
+}

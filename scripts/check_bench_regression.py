@@ -34,10 +34,23 @@ cells are skipped with a printed notice, and the script exits non-zero
 only on real regressions (or a missing/broken *current* artifact, which
 means the benchmark step itself regressed).
 
+When given --serve-current (a BENCH_serve.json from bench/serve_latency.cc),
+the gate additionally checks the serving daemon: the shed rate of the
+unfaulted bench run must stay within --serve-shed-rate (intra-artifact —
+the bench is provisioned so nothing should shed; sheds here mean admission
+or worker scheduling regressed), at least one request must have succeeded,
+and — when --serve-baseline exists — p95 latency must stay within
+--serve-p95-factor of the baseline (plus a small absolute slack so
+microsecond-level jitter on fast configs can't trip it). The same
+missing-baseline tolerance applies: no serve baseline is a notice, a
+missing/corrupt serve *current* artifact fails the gate.
+
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
       [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0] \
-      [--deopt-factor 2.0] [--gov-overhead 0.02]
+      [--deopt-factor 2.0] [--gov-overhead 0.02] \
+      [--serve-baseline SERVE_BASE.json --serve-current SERVE_CUR.json] \
+      [--serve-p95-factor 1.5] [--serve-shed-rate 0.01]
 """
 
 import argparse
@@ -96,6 +109,84 @@ def gov_overhead_regressions(cur, allowed):
     return regressions
 
 
+def serve_gate(args):
+    """Serving-daemon gates (BENCH_serve.json). Returns (fatal, regressions).
+
+    `fatal` means the current serve artifact itself is missing or broken —
+    the benchmark step regressed, independent of any comparison.
+    """
+    if not args.serve_current:
+        return False, []
+    if not os.path.exists(args.serve_current):
+        print(f"error: no current serve benchmark output at "
+              f"{args.serve_current}; the serve benchmark step did not "
+              "produce JSON", file=sys.stderr)
+        return True, []
+    try:
+        with open(args.serve_current) as f:
+            cur = json.load(f)
+        if not isinstance(cur, dict):
+            raise ValueError("top-level JSON is not an object")
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"error: unreadable current serve artifact ({e})",
+              file=sys.stderr)
+        return True, []
+
+    regressions = []
+    ok = cur.get("ok")
+    if not isinstance(ok, (int, float)) or ok <= 0:
+        regressions.append(
+            "serve: zero successful requests in the bench run — the daemon "
+            "or the bench client harness is broken")
+    shed_rate = cur.get("shed_rate")
+    if isinstance(shed_rate, (int, float)):
+        print(f"serve shed rate: {shed_rate:.4f} "
+              f"(allowance {args.serve_shed_rate:.4f})")
+        if shed_rate > args.serve_shed_rate:
+            regressions.append(
+                f"serve: shed rate {shed_rate:.4f} exceeds "
+                f"{args.serve_shed_rate:.4f} on the unfaulted bench config "
+                "— admission or worker scheduling regressed")
+    else:
+        regressions.append("serve: current artifact has no shed_rate cell")
+
+    if not args.serve_baseline or not os.path.exists(args.serve_baseline):
+        print("no serve baseline artifact; skipping serve p95 comparison "
+              "(first run, expired artifact, or fork)")
+        return False, regressions
+    try:
+        with open(args.serve_baseline) as f:
+            base = json.load(f)
+        if not isinstance(base, dict):
+            raise ValueError("top-level JSON is not an object")
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"notice: unreadable serve baseline artifact ({e}); "
+              "skipping serve p95 comparison")
+        return False, regressions
+
+    # Latency is only comparable on an identical bench configuration.
+    for knob in ("sf", "clients", "requests_per_client", "workers"):
+        if base.get(knob) != cur.get(knob):
+            print(f"notice: serve bench configs differ ({knob}: "
+                  f"{base.get(knob)} vs {cur.get(knob)}); skipping serve "
+                  "p95 comparison")
+            return False, regressions
+    b95, c95 = base.get("p95_ms"), cur.get("p95_ms")
+    if not isinstance(b95, (int, float)) or not isinstance(c95, (int, float)):
+        print("notice: p95_ms missing from a serve artifact; skipping "
+              "serve p95 comparison")
+        return False, regressions
+    print(f"serve p95: {b95:.3f}ms -> {c95:.3f}ms "
+          f"(allowance x{args.serve_p95_factor:g} + 1ms)")
+    # The absolute +1ms slack keeps sub-millisecond baselines from turning
+    # scheduler jitter into a gate failure.
+    if c95 > b95 * args.serve_p95_factor + 1.0:
+        regressions.append(
+            f"serve: p95 latency {b95:.2f}ms -> {c95:.2f}ms "
+            f"(allowance x{args.serve_p95_factor:g})")
+    return False, regressions
+
+
 def load_rows(path):
     with open(path) as f:
         data = json.load(f)
@@ -135,7 +226,20 @@ def main():
     ap.add_argument("--gov-overhead", type=float, default=0.02,
                     help="allowed governed/ungoverned geomean slowdown "
                          "(0.02 = 2%%; intra-artifact, needs no baseline)")
+    ap.add_argument("--serve-baseline", default=None,
+                    help="baseline BENCH_serve.json (optional)")
+    ap.add_argument("--serve-current", default=None,
+                    help="current BENCH_serve.json; enables the serving-"
+                         "daemon gates")
+    ap.add_argument("--serve-p95-factor", type=float, default=1.5,
+                    help="allowed serve p95 growth factor vs baseline")
+    ap.add_argument("--serve-shed-rate", type=float, default=0.01,
+                    help="allowed shed rate on the unfaulted serve bench")
     args = ap.parse_args()
+
+    serve_fatal, serve_regressions = serve_gate(args)
+    if serve_fatal:
+        return 1
 
     if not os.path.exists(args.current):
         # Unlike a missing baseline, this means the benchmark step itself
@@ -157,12 +261,13 @@ def main():
     gov_regressions = gov_overhead_regressions(cur, args.gov_overhead)
 
     def finish_without_baseline():
-        if gov_regressions:
-            print("governance-overhead regressions:")
-            for r in gov_regressions:
+        baseline_free = gov_regressions + serve_regressions
+        if baseline_free:
+            print("baseline-free regressions:")
+            for r in baseline_free:
                 print("  " + r)
             return 1
-        print("no governance-overhead regressions")
+        print("no governance-overhead or serve regressions")
         return 0
 
     # First runs and forks have no previous successful main-branch artifact:
@@ -201,7 +306,7 @@ def main():
         print(f"notice: {len(only_cur)} new row(s) have no baseline yet, "
               f"e.g. {only_cur[:3]}")
 
-    regressions = list(gov_regressions)
+    regressions = list(gov_regressions) + list(serve_regressions)
     compared = 0
     for key, brow in sorted(base.items(), key=lambda kv: repr(kv[0])):
         crow = cur.get(key)
@@ -299,11 +404,11 @@ def main():
           f"{deopt_compared} ir-jit deopt cells "
           f"(allowance x{args.deopt_factor:g})")
     if regressions:
-        print("interpreter-row regressions:")
+        print("benchmark regressions:")
         for r in regressions:
             print("  " + r)
         return 1
-    print("no interpreter-row or governance-overhead regressions")
+    print("no interpreter-row, governance-overhead, or serve regressions")
     return 0
 
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Smoke + chaos test of the qc_serve daemon as a real process: starts the
+# binary, drives it with concurrent clients (one clean pass, one pass with
+# network+allocator faults injected via QC_FAULT), then sends SIGTERM and
+# asserts a graceful drain with exit code 0. Run against an ASan build to
+# also catch leaks/UB on the daemon's failure paths (the script fails on
+# any sanitizer report in the daemon's stderr).
+#
+# Usage: serve_smoke.sh <path-to-qc_serve> [workdir]
+set -u
+
+BIN=${1:?usage: serve_smoke.sh <path-to-qc_serve> [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+LOG="$WORK/qc_serve.log"
+FAIL=0
+
+say() { echo "serve_smoke: $*"; }
+fail() { say "FAIL: $*"; FAIL=1; }
+
+start_daemon() {  # $1 = extra env spec for QC_FAULT ("" = none)
+  : > "$LOG"
+  QC_SERVE_PORT=0 QC_SERVE_SF=0.01 QC_SERVE_WORKERS=2 \
+  QC_SERVE_MAX_RETRIES=2 QC_FAULT="${1:-}" \
+    "$BIN" 2> "$LOG" &
+  DAEMON_PID=$!
+  for _ in $(seq 1 240); do
+    if grep -q "listening on port" "$LOG" 2>/dev/null; then break; fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+      fail "daemon died during startup"; cat "$LOG"; return 1
+    fi
+    sleep 0.5
+  done
+  PORT=$(grep -oE "listening on port [0-9]+" "$LOG" | grep -oE "[0-9]+$")
+  if [ -z "$PORT" ]; then fail "no listening port in log"; return 1; fi
+  say "daemon up on port $PORT (pid $DAEMON_PID)"
+}
+
+drive_clients() {  # $1 = tag, $2 = tolerate-errors (0/1)
+  python3 - "$PORT" "$2" <<'PYEOF'
+import socket, sys, threading
+
+port, tolerate = int(sys.argv[1]), sys.argv[2] == "1"
+ok, err, lock = [0], [0], threading.Lock()
+
+def read_response(s):
+    buf = b""
+    s.settimeout(30)
+    while True:
+        if buf.startswith(b"ERR") and b"\n" in buf:
+            return buf
+        if b"\n.\n" in buf:
+            return buf
+        chunk = s.recv(65536)
+        if not chunk:
+            return buf
+        buf += chunk
+
+def client(cid):
+    try:
+        s = socket.create_connection(("127.0.0.1", port), timeout=10)
+        for i in range(25):
+            q = [1, 3, 6, 12][(cid + i) % 4]
+            s.sendall(("QUERY %d\n" % q).encode())
+            resp = read_response(s)
+            with lock:
+                if resp.startswith(b"OK "):
+                    ok[0] += 1
+                else:
+                    err[0] += 1
+            if not resp:
+                return  # connection torn down (injected fault): stop
+        s.close()
+    except OSError:
+        with lock:
+            err[0] += 1
+
+threads = [threading.Thread(target=client, args=(c,)) for c in range(4)]
+for t in threads: t.start()
+for t in threads: t.join()
+print("clients: ok=%d err=%d" % (ok[0], err[0]))
+if ok[0] == 0:
+    sys.exit(2)       # nothing succeeded: broken even under chaos
+if err[0] and not tolerate:
+    sys.exit(3)       # clean pass must be error-free
+sys.exit(0)
+PYEOF
+  rc=$?
+  case $rc in
+    0) say "$1 client pass ok" ;;
+    2) fail "$1: zero successful requests" ;;
+    3) fail "$1: errors on the clean pass" ;;
+    *) fail "$1: client driver crashed (rc=$rc)" ;;
+  esac
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID" 2>/dev/null
+  EXIT_CODE=1
+  if wait "$DAEMON_PID"; then EXIT_CODE=0; else EXIT_CODE=$?; fi
+  if [ "$EXIT_CODE" -ne 0 ]; then
+    fail "daemon exit code $EXIT_CODE after SIGTERM (want 0)"
+  fi
+  if ! grep -q "draining" "$LOG"; then
+    fail "no drain message in daemon log"
+  fi
+  if grep -qE "ERROR: (Address|Leak)Sanitizer|runtime error:" "$LOG"; then
+    fail "sanitizer report in daemon log"
+    grep -E "ERROR: (Address|Leak)Sanitizer|runtime error:" "$LOG" | head -5
+  fi
+}
+
+# --- pass 1: clean ---------------------------------------------------------
+say "pass 1: clean"
+if start_daemon ""; then
+  drive_clients "clean" 0
+  stop_daemon
+fi
+
+# --- pass 2: chaos (network faults + a transient allocation fault) ---------
+say "pass 2: chaos (QC_FAULT=srv_read:3,srv_write:5,alloc_heap:5)"
+if start_daemon "srv_read:3,srv_write:5,alloc_heap:5"; then
+  drive_clients "chaos" 1
+  stop_daemon
+  # The injected faults must actually have fired and been counted.
+  if ! grep -qE '"net_faults":[1-9]' "$LOG"; then
+    fail "chaos pass: net_faults counter is zero (faults never fired)"
+    tail -2 "$LOG"
+  fi
+fi
+
+if [ "$FAIL" -eq 0 ]; then
+  say "PASS"
+else
+  say "log tail:"; tail -20 "$LOG"
+fi
+exit $FAIL

@@ -1,0 +1,45 @@
+// Jittered exponential backoff for transient-failure retries (the serving
+// daemon's kResourceFailure retry policy, src/server/).
+//
+// Full jitter (the AWS architecture-blog shape): attempt n draws uniformly
+// from [1, min(max_ms, base_ms << n)]. Jitter decorrelates the retry storms
+// of many concurrent requests hitting the same transient fault; the seeded
+// deterministic RNG (common/rng.h) keeps tests and chaos runs reproducible —
+// the same seed always yields the same delay sequence.
+#ifndef QC_COMMON_BACKOFF_H_
+#define QC_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace qc {
+
+class Backoff {
+ public:
+  // base_ms/max_ms are clamped to >= 1 so a zero-configured knob can never
+  // produce a busy-spin retry loop.
+  Backoff(uint64_t seed, int64_t base_ms, int64_t max_ms)
+      : rng_(seed),
+        base_ms_(base_ms < 1 ? 1 : base_ms),
+        max_ms_(max_ms < base_ms_ ? base_ms_ : max_ms) {}
+
+  // Delay before retry `attempt` (0-based), in [1, min(max, base << attempt)].
+  int64_t NextDelayMs(int attempt) {
+    if (attempt < 0) attempt = 0;
+    if (attempt > 40) attempt = 40;  // past this the shift saturates anyway
+    int64_t cap = base_ms_;
+    for (int i = 0; i < attempt && cap < max_ms_; ++i) cap <<= 1;
+    if (cap > max_ms_) cap = max_ms_;
+    return 1 + static_cast<int64_t>(rng_.Next() % static_cast<uint64_t>(cap));
+  }
+
+ private:
+  Rng rng_;
+  int64_t base_ms_;
+  int64_t max_ms_;
+};
+
+}  // namespace qc
+
+#endif  // QC_COMMON_BACKOFF_H_

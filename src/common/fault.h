@@ -1,13 +1,16 @@
 // Deterministic fault injection for robustness tests.
 //
 // QC_FAULT=<site>:<nth>[,<site>:<nth>...] arms one or more named injection
-// sites; the site fires exactly on its <nth> occurrence (1-based) within the
-// process (or since the last FaultReArm()).  Production code sprinkles
+// sites; each site keeps its own occurrence counter and fires exactly on its
+// <nth> occurrence (1-based) within the process (or since the last
+// FaultReArm()), so compound specs like "srv_read:3,alloc_heap:5" exercise
+// network + allocator failures in one run.  Production code sprinkles
 // FaultPoint("site") calls at the places that can fail in the real world —
 // mmap/mprotect for JIT code pages, worker-thread spawn, record-heap
-// allocation, the compiler-cache write — and the chaos test sweeps every
-// site across engines and thread counts asserting the failure path is
-// crash-free.
+// allocation, the compiler-cache write, and the serving daemon's network
+// edges (srv_accept/srv_read/srv_write/srv_queue, src/server/) — and the
+// chaos tests sweep every site across engines and thread counts asserting
+// the failure path is crash-free.
 //
 // The fast path is a single relaxed atomic-bool load (qc_fault_armed); when
 // QC_FAULT is unset every FaultPoint() call is one predictable branch.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "common/env.h"
 #include "common/str.h"
@@ -98,6 +99,20 @@ inline bool GovLoopAbort(parallel::ExecState& st) {
 }  // namespace
 
 storage::ResultTable Interpreter::Run(const ir::Function& fn) {
+  // Single-owner contract (see the class comment): Run() is not
+  // re-entrant and must not race with itself from another thread — the
+  // program cache, register file, and runtime heaps are all unsynchronized
+  // by design. Catch violations loudly instead of corrupting state.
+  if (in_run_.exchange(true, std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "exec: Interpreter::Run entered concurrently — each "
+                 "Interpreter must be owned by exactly one thread\n");
+    std::abort();
+  }
+  struct RunGuard {
+    std::atomic<bool>* flag;
+    ~RunGuard() { flag->store(false, std::memory_order_release); }
+  } run_guard{&in_run_};
   ExecControl* ctl = opts_.control;
   last_status_ = QueryStatus();
   if (ctl != nullptr) {
@@ -139,14 +154,17 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
         cached.jit = jit::JitProgram::Compile(cached.prog,
                                               &cached.jit_fallback);
         if (cached.jit == nullptr) {
-          static std::atomic<bool> warned{false};
-          if (!warned.exchange(true)) {
+          // One process-wide notice, race-free: concurrent first fallbacks
+          // on different Interpreters print exactly once, and the printing
+          // thread finishes before any other proceeds.
+          static std::once_flag warned;
+          std::call_once(warned, [&] {
             std::fprintf(stderr,
                          "jit: degraded to bytecode VM (%s); further "
                          "fallbacks are silent — see "
                          "Interpreter::last_jit_stats\n",
                          jit::JitFallbackName(cached.jit_fallback));
-          }
+          });
         }
         if (cached.jit != nullptr && par_ != nullptr) {
           // Native sort sites run big post-aggregation sorts on the pool.

@@ -24,6 +24,7 @@
 #ifndef QC_EXEC_INTERP_H_
 #define QC_EXEC_INTERP_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
@@ -69,6 +70,15 @@ struct InterpOptions {
   ExecControl* control = nullptr;
 };
 
+// Ownership contract: one Interpreter, one owning thread. Run() mutates
+// unsynchronized per-Interpreter state (the program cache, register file,
+// runtime heaps, result buffer), so concurrent Run() calls on the same
+// instance are undefined — multi-threaded callers (e.g. the serving
+// daemon's workers) must give each executing thread its own Interpreter
+// and share only the immutable Database and ir::Functions. Run() enforces
+// this with a non-reentrancy guard that aborts loudly on violation.
+// Parallelism *within* one query is different and fully supported: it runs
+// on the Interpreter's own WorkerPool (num_threads > 1).
 class Interpreter {
  public:
   explicit Interpreter(storage::Database* db,
@@ -151,6 +161,9 @@ class Interpreter {
 
   storage::Database* db_;
   InterpOptions opts_;
+  // Non-reentrancy guard for the single-owner contract above (set for the
+  // duration of Run; entering Run while set aborts).
+  std::atomic<bool> in_run_{false};
   AllocStats stats_;
   RecordHeap records_;
   std::unique_ptr<parallel::Engine> par_;

@@ -1,0 +1,82 @@
+// Bounded admission queue: the server's load-shedding point.
+//
+// Admission control is deliberately *pushback at the edge* rather than
+// unbounded buffering: when the queue is full the event loop answers
+// `503 overloaded` immediately (TryPush fails, nothing blocks), so overload
+// costs each shed request one parse + one small write instead of memory and
+// a growing tail latency. Per-request queue deadlines catch the other
+// overload shape — requests that were admitted but waited too long to be
+// worth running (the worker pops them and sheds with `queue_deadline`).
+#ifndef QC_SERVER_ADMISSION_H_
+#define QC_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "server/session.h"
+
+namespace qc::server {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  // Non-blocking: false when the queue is at capacity or closed — the
+  // caller sheds the request.
+  bool TryPush(RequestPtr r) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks for the next request; nullptr once the queue is closed and
+  // drained (worker shutdown signal).
+  RequestPtr Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return nullptr;
+    RequestPtr r = std::move(q_.front());
+    q_.pop_front();
+    return r;
+  }
+
+  // Removes everything still queued (the drain-deadline straggler flush).
+  std::vector<RequestPtr> TakeAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RequestPtr> out(q_.begin(), q_.end());
+    q_.clear();
+    return out;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<RequestPtr> q_;
+  bool closed_ = false;
+};
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_ADMISSION_H_

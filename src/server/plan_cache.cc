@@ -1,0 +1,49 @@
+#include "server/plan_cache.h"
+
+#include "qplan/plan.h"
+#include "tpch/queries.h"
+
+namespace qc::server {
+
+const ir::Function* PlanCache::Get(int query, int level, std::string* error) {
+  if (query < 1 || query > tpch::kNumQueries || level < 2 || level > 5) {
+    if (error != nullptr) *error = "bad plan key";
+    return nullptr;
+  }
+  std::pair<int, int> key(query, level);
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second->res.fn.get();
+  }
+  // Serialize lowering: the compiler lazily builds dictionaries/indexes
+  // inside the shared Database. Double-check under the compile lock so two
+  // racing misses compile once.
+  std::lock_guard<std::mutex> compile_lock(compile_mu_);
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second->res.fn.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  qplan::PlanPtr plan = tpch::MakeQuery(query);
+  qplan::ResolvePlan(plan.get(), *db_);
+  compiler::QueryCompiler qc(db_, &entry->types);
+  entry->res = qc.Compile(*plan, compiler::StackConfig::Level(level),
+                          "srv_q" + std::to_string(query));
+  if (entry->res.fn == nullptr) {
+    if (error != nullptr) *error = "compilation produced no function";
+    return nullptr;
+  }
+  const ir::Function* fn = entry->res.fn.get();
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  entries_.emplace(key, std::move(entry));
+  return fn;
+}
+
+void PlanCache::Warm(int level) {
+  std::string err;
+  for (int q = 1; q <= tpch::kNumQueries; ++q) Get(q, level, &err);
+}
+
+}  // namespace qc::server

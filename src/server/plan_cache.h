@@ -1,0 +1,60 @@
+// Cross-session compiled-plan cache: each (query, stack level) pair is
+// lowered once per process and every worker's Interpreter then reuses the
+// same ir::Function (the per-worker engines additionally cache bytecode and
+// JIT code keyed by the Function's address, which this cache keeps stable
+// for the server's lifetime).
+//
+// The schema is part of the key implicitly: one PlanCache serves exactly
+// one immutable Database, and the compiler consults that database's
+// statistics, dictionaries and indexes at lowering time. A server over a
+// different schema/scale gets its own cache.
+//
+// Compilation is serialized under one mutex — lowering also lazily builds
+// shared dictionary/index structures inside the Database, which are not
+// safe to build concurrently. Executions never take the lock after the
+// entry exists (shared_mutex read path).
+#ifndef QC_SERVER_PLAN_CACHE_H_
+#define QC_SERVER_PLAN_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "compiler/compiler.h"
+#include "ir/stmt.h"
+#include "storage/database.h"
+
+namespace qc::server {
+
+class PlanCache {
+ public:
+  explicit PlanCache(storage::Database* db) : db_(db) {}
+
+  // Returns the compiled function for TPC-H query `query` at stack level
+  // `level`, compiling on first use. nullptr (with *error set) when
+  // compilation fails — a structured per-request failure, never fatal to
+  // the server.
+  const ir::Function* Get(int query, int level, std::string* error);
+
+  // Pre-compiles every query at `level` (startup warm-up, so the first
+  // client request never pays lowering latency).
+  void Warm(int level);
+
+ private:
+  struct Entry {
+    ir::TypeFactory types;  // must outlive res.fn
+    compiler::CompileResult res;
+  };
+
+  storage::Database* db_;
+  std::shared_mutex map_mu_;   // guards entries_ lookup/insert
+  std::mutex compile_mu_;      // serializes lowering (shared db internals)
+  std::map<std::pair<int, int>, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_PLAN_CACHE_H_

@@ -1,0 +1,325 @@
+#include "server/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace qc::server {
+
+namespace {
+
+// Strict bounded integer parse over [p, end); returns false on any
+// non-digit (no sign: the protocol has no negative parameters).
+bool ParseU64(const char* p, const char* end, int64_t* out) {
+  if (p == end) return false;
+  int64_t v = 0;
+  for (; p != end; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    if (v > (INT64_MAX - 9) / 10) return false;
+    v = v * 10 + (*p - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Applies one key=value parameter (shared by the query string and the line
+// protocol). Unknown keys are ignored — forward compatibility beats
+// strictness for optional tuning parameters; the load-bearing `q` is
+// validated by the caller.
+void ApplyParam(ParsedRequest* r, const char* k, const char* kend,
+                const char* v, const char* vend) {
+  size_t klen = static_cast<size_t>(kend - k);
+  auto is = [&](const char* name) {
+    return klen == std::strlen(name) && std::memcmp(k, name, klen) == 0;
+  };
+  int64_t num = 0;
+  if (is("q") || is("query")) {
+    if (ParseU64(v, vend, &num) && num >= 1 && num <= 22) {
+      r->query = static_cast<int>(num);
+    } else {
+      r->query = -1;  // named but invalid: must reject, not default
+    }
+  } else if (is("deadline_ms")) {
+    if (ParseU64(v, vend, &num)) r->deadline_ms = num;
+  } else if (is("mem_mb")) {
+    if (ParseU64(v, vend, &num)) r->mem_mb = num;
+  } else if (is("ms")) {
+    if (ParseU64(v, vend, &num)) r->block_ms = num;
+  } else if (is("level")) {
+    if (ParseU64(v, vend, &num) && num >= 2 && num <= 5) {
+      r->level = static_cast<int>(num);
+    }
+  } else if (is("engine")) {
+    size_t vlen = static_cast<size_t>(vend - v);
+    if (vlen == 3 && std::memcmp(v, "jit", 3) == 0) r->engine = 1;
+    if (vlen == 2 && std::memcmp(v, "vm", 2) == 0) r->engine = 0;
+  }
+}
+
+void ParseParams(ParsedRequest* r, const char* p, const char* end, char sep) {
+  while (p < end) {
+    const char* item_end = static_cast<const char*>(
+        std::memchr(p, sep, static_cast<size_t>(end - p)));
+    if (item_end == nullptr) item_end = end;
+    const char* eq = static_cast<const char*>(
+        std::memchr(p, '=', static_cast<size_t>(item_end - p)));
+    if (eq != nullptr && eq > p) ApplyParam(r, p, eq, eq + 1, item_end);
+    p = item_end < end ? item_end + 1 : end;
+  }
+}
+
+ParsedRequest Bad(bool http, size_t consumed, int code, const char* token) {
+  ParsedRequest r;
+  r.kind = ParsedRequest::Kind::kBad;
+  r.http = http;
+  r.consumed = consumed;
+  r.http_code = code;
+  r.error = token;
+  return r;
+}
+
+// Routes an HTTP path (already split from the query string) to a request
+// kind; `args` is the raw query string ("" when absent).
+ParsedRequest RouteHttp(const std::string& path, const char* args,
+                        const char* args_end, size_t consumed) {
+  ParsedRequest r;
+  r.http = true;
+  r.consumed = consumed;
+  if (path == "/query") {
+    r.kind = ParsedRequest::Kind::kQuery;
+    ParseParams(&r, args, args_end, '&');
+    if (r.query < 1 || r.query > 22) {
+      return Bad(true, consumed, 400, "bad_request");
+    }
+    return r;
+  }
+  if (path == "/stats") {
+    r.kind = ParsedRequest::Kind::kStats;
+    return r;
+  }
+  if (path == "/healthz") {
+    r.kind = ParsedRequest::Kind::kHealth;
+    return r;
+  }
+  if (path == "/debug/block") {
+    r.kind = ParsedRequest::Kind::kBlock;
+    ParseParams(&r, args, args_end, '&');
+    return r;
+  }
+  return Bad(true, consumed, 404, "not_found");
+}
+
+}  // namespace
+
+ParsedRequest ParseRequest(const std::string& buf, size_t max_buffer) {
+  size_t eol = buf.find('\n');
+  if (eol == std::string::npos) {
+    if (buf.size() > max_buffer) {
+      return Bad(true, buf.size(), 431, "request_too_large");
+    }
+    return ParsedRequest();  // kNeedMore
+  }
+  // First line decides the framing: an HTTP method token means HTTP.
+  bool is_http = buf.compare(0, 4, "GET ") == 0 ||
+                 buf.compare(0, 5, "POST ") == 0 ||
+                 buf.compare(0, 5, "HEAD ") == 0 ||
+                 buf.compare(0, 4, "PUT ") == 0;
+  if (is_http) {
+    // A complete HTTP request is request-line + headers + blank line.
+    size_t hdr_end = buf.find("\r\n\r\n");
+    size_t consumed;
+    if (hdr_end != std::string::npos) {
+      consumed = hdr_end + 4;
+    } else {
+      size_t lf_end = buf.find("\n\n");  // tolerate bare-LF clients
+      if (lf_end == std::string::npos) {
+        if (buf.size() > max_buffer) {
+          return Bad(true, buf.size(), 431, "request_too_large");
+        }
+        return ParsedRequest();
+      }
+      consumed = lf_end + 2;
+    }
+    if (buf.compare(0, 4, "GET ") != 0) {
+      return Bad(true, consumed, 405, "method_not_allowed");
+    }
+    // Target = bytes between "GET " and the next space.
+    size_t tgt_begin = 4;
+    size_t tgt_end = buf.find(' ', tgt_begin);
+    if (tgt_end == std::string::npos || tgt_end > eol) {
+      return Bad(true, consumed, 400, "bad_request");
+    }
+    std::string target = buf.substr(tgt_begin, tgt_end - tgt_begin);
+    size_t qmark = target.find('?');
+    std::string path = target.substr(0, qmark);
+    const char* args = "";
+    const char* args_end = args;
+    std::string argstr;
+    if (qmark != std::string::npos) {
+      argstr = target.substr(qmark + 1);
+      args = argstr.c_str();
+      args_end = args + argstr.size();
+    }
+    return RouteHttp(path, args, args_end, consumed);
+  }
+
+  // Line protocol: exactly one request per line.
+  size_t consumed = eol + 1;
+  size_t len = eol;
+  while (len > 0 && (buf[len - 1] == '\r' || buf[len - 1] == ' ')) --len;
+  const char* line = buf.data();
+  const char* end = line + len;
+  auto starts = [&](const char* word) {
+    size_t n = std::strlen(word);
+    return len >= n && std::memcmp(line, word, n) == 0 &&
+           (len == n || line[n] == ' ');
+  };
+  ParsedRequest r;
+  r.http = false;
+  r.consumed = consumed;
+  if (len == 0) {
+    r.kind = ParsedRequest::Kind::kNeedMore;  // stray blank line: skip it
+    return r;
+  }
+  if (starts("PING")) {
+    r.kind = ParsedRequest::Kind::kPing;
+    return r;
+  }
+  if (starts("STATS")) {
+    r.kind = ParsedRequest::Kind::kStats;
+    return r;
+  }
+  if (starts("HEALTH")) {
+    r.kind = ParsedRequest::Kind::kHealth;
+    return r;
+  }
+  if (starts("BLOCK")) {
+    r.kind = ParsedRequest::Kind::kBlock;
+    const char* p = line + 5;
+    while (p < end && *p == ' ') ++p;
+    const char* sp = static_cast<const char*>(
+        std::memchr(p, ' ', static_cast<size_t>(end - p)));
+    if (sp == nullptr) sp = end;
+    ParseU64(p, sp, &r.block_ms);
+    return r;
+  }
+  if (starts("QUERY")) {
+    r.kind = ParsedRequest::Kind::kQuery;
+    const char* p = line + 5;
+    while (p < end && *p == ' ') ++p;
+    const char* sp = static_cast<const char*>(
+        std::memchr(p, ' ', static_cast<size_t>(end - p)));
+    if (sp == nullptr) sp = end;
+    int64_t q = 0;
+    if (ParseU64(p, sp, &q) && q >= 1 && q <= 22) {
+      r.query = static_cast<int>(q);
+    }
+    if (sp < end) ParseParams(&r, sp + 1, end, ' ');
+    if (r.query < 1 || r.query > 22) {
+      return Bad(false, consumed, 400, "bad_request");
+    }
+    return r;
+  }
+  return Bad(false, consumed, 400, "bad_request");
+}
+
+ResponseMeta MapStatus(exec::QueryStatusCode code) {
+  ResponseMeta m;
+  m.status = exec::QueryStatusName(code);
+  switch (code) {
+    case exec::QueryStatusCode::kOk:
+      m.http_code = 200;
+      break;
+    case exec::QueryStatusCode::kDeadlineExceeded:
+      m.http_code = 504;
+      break;
+    case exec::QueryStatusCode::kMemoryBudget:
+      m.http_code = 507;  // the per-query budget, not the transport
+      break;
+    case exec::QueryStatusCode::kResourceFailure:
+      m.http_code = 503;  // transient by contract: clients may retry
+      break;
+    case exec::QueryStatusCode::kCancelled:
+      m.http_code = 499;  // nginx's client-closed-request convention
+      break;
+  }
+  return m;
+}
+
+std::string RenderRows(const storage::ResultTable& t) {
+  std::string out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    out += t.RowToString(i);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+const char* HttpReason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 507: return "Insufficient Storage";
+    default:  return "Error";
+  }
+}
+
+}  // namespace
+
+std::string RenderResponse(bool http, const ResponseMeta& meta,
+                           const std::string& body) {
+  char hdr[512];
+  if (http) {
+    int n = std::snprintf(
+        hdr, sizeof(hdr),
+        "HTTP/1.1 %d %s\r\n"
+        "Content-Type: text/plain\r\n"
+        "Content-Length: %zu\r\n"
+        "X-QC-Status: %s\r\n"
+        "X-QC-Rows: %lld\r\n"
+        "X-QC-Retries: %d\r\n"
+        "X-QC-Downshift: %d\r\n"
+        "X-QC-Engine: %s\r\n"
+        "%s"
+        "Connection: keep-alive\r\n"
+        "\r\n",
+        meta.http_code, HttpReason(meta.http_code), body.size(), meta.status,
+        static_cast<long long>(meta.rows), meta.retries, meta.downshift,
+        meta.engine, meta.http_code == 503 ? "Retry-After: 1\r\n" : "");
+    return std::string(hdr, static_cast<size_t>(n)) + body;
+  }
+  // Line framing: "OK <rows> retries=<n> downshift=<n> engine=<e>" +
+  // body + ".\n" terminator, or a single ERR line.
+  std::string out;
+  if (meta.http_code == 200) {
+    int n = std::snprintf(hdr, sizeof(hdr),
+                          "OK %lld retries=%d downshift=%d engine=%s\n",
+                          static_cast<long long>(meta.rows), meta.retries,
+                          meta.downshift, meta.engine);
+    out.assign(hdr, static_cast<size_t>(n));
+    out += body;
+    out += ".\n";
+  } else {
+    int n = std::snprintf(hdr, sizeof(hdr), "ERR %s retries=%d\n",
+                          meta.status, meta.retries);
+    out.assign(hdr, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::string RenderError(bool http, int http_code, const char* status) {
+  ResponseMeta m;
+  m.status = status;
+  m.http_code = http_code;
+  m.rows = 0;
+  return RenderResponse(http, m, http ? std::string(status) + "\n" : "");
+}
+
+}  // namespace qc::server

@@ -1,0 +1,90 @@
+// Wire protocol of the serving daemon: a minimal HTTP/1.1 GET front end and
+// a one-line text protocol over the same port, auto-detected per connection
+// from the first request line. Both parse into the same ParsedRequest and
+// render through the same response helpers, so every robustness property
+// (shed statuses, structured failures, drain refusals) is identical on both.
+//
+// HTTP surface:
+//   GET /query?q=<1..22>[&deadline_ms=N][&mem_mb=N][&engine=jit|vm][&level=L]
+//   GET /stats          GET /healthz          GET /debug/block?ms=N (gated)
+// Line surface (one request per line):
+//   QUERY <q> [deadline_ms=N] [mem_mb=N] [engine=jit|vm] [level=L]
+//   PING | STATS | HEALTH | BLOCK <ms>
+//
+// Status→wire mapping (MapStatus): the structured exec::QueryStatusCode of
+// a finished run becomes an HTTP status + canonical token, and the same
+// token travels in the X-QC-Status header / ERR line so line-protocol
+// clients see exactly the structured failure HTTP clients do.
+#ifndef QC_SERVER_PROTOCOL_H_
+#define QC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "exec/governor.h"
+#include "storage/result.h"
+
+namespace qc::server {
+
+struct ParsedRequest {
+  enum class Kind {
+    kNeedMore,  // incomplete request: keep buffering
+    kBad,       // malformed / unknown: answer `error` + close-independent
+    kQuery,
+    kBlock,
+    kStats,
+    kHealth,
+    kPing,
+  };
+  Kind kind = Kind::kNeedMore;
+  bool http = true;
+  size_t consumed = 0;  // bytes to erase from the inbound buffer
+
+  int query = 0;
+  int64_t deadline_ms = -1;  // -1 = not specified (server default applies)
+  int64_t mem_mb = -1;
+  int64_t block_ms = 0;
+  int level = -1;
+  int engine = -1;  // -1 unspecified, 0 vm, 1 jit
+
+  int http_code = 400;       // for kBad
+  std::string error;         // for kBad: canonical token ("bad_request", ...)
+};
+
+// Parses the next request out of `buf` (which may hold pipelined bytes).
+// Never consumes a partial request. `max_buffer` guards slow-loris /
+// garbage floods: once exceeded without a complete request the result is
+// kBad ("request_too_large") and the caller should close the connection.
+ParsedRequest ParseRequest(const std::string& buf, size_t max_buffer);
+
+// ---------------------------------------------------------------------------
+// Responses. Every helper renders the complete wire bytes for one framing.
+// ---------------------------------------------------------------------------
+
+struct ResponseMeta {
+  const char* status = "ok";  // canonical token (X-QC-Status / OK-ERR line)
+  int http_code = 200;
+  int64_t rows = -1;
+  int retries = 0;
+  int downshift = 0;      // downshift level the request ran under
+  const char* engine = "";  // "jit", "vm" ("" = not applicable)
+};
+
+// Maps a finished run's structured status to wire status + token.
+ResponseMeta MapStatus(exec::QueryStatusCode code);
+
+// Canonical text rendering of a result (one RowToString line per row) —
+// the byte-exactness oracle of the server tests compares this directly.
+std::string RenderRows(const storage::ResultTable& t);
+
+// `http` selects the framing. Success carries the rendered rows as body;
+// failures carry the token as body (HTTP) or an ERR line (line protocol).
+std::string RenderResponse(bool http, const ResponseMeta& meta,
+                           const std::string& body);
+
+// Shorthand for control-plane refusals (shed, drain, bad request).
+std::string RenderError(bool http, int http_code, const char* status);
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_PROTOCOL_H_

@@ -1,0 +1,77 @@
+// qc_serve: the serving-daemon binary. Loads (generates) TPC-H storage at
+// QC_SERVE_SF, starts the server with QC_SERVE_* options, and runs until
+// SIGTERM/SIGINT — on which it drains gracefully and exits 0.
+//
+// Signal handling uses the classic self-pipe pattern: the handler only
+// writes one byte to a non-blocking pipe; all real shutdown work happens on
+// the main thread, so no async-signal-unsafe call ever runs in handler
+// context.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "server/server.h"
+#include "tpch/datagen.h"
+
+namespace {
+
+int g_sig_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char b = 's';
+  ssize_t ignored = ::write(g_sig_pipe[1], &b, 1);
+  (void)ignored;
+}
+
+}  // namespace
+
+int main() {
+  if (::pipe(g_sig_pipe) != 0) {
+    std::perror("qc_serve: pipe");
+    return 1;
+  }
+  struct sigaction sa;
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  double sf = 0.01;
+  if (const char* v = std::getenv("QC_SERVE_SF")) {
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end != v && parsed > 0 && parsed <= 1.0) sf = parsed;
+  }
+  std::fprintf(stderr, "qc_serve: generating TPC-H storage, sf=%g\n", sf);
+  qc::storage::Database db = qc::tpch::MakeTpchDatabase(sf);
+
+  qc::server::ServerOptions opts = qc::server::ServerOptions::FromEnv();
+  qc::server::Server server(&db, opts);
+  if (!server.Start()) return 1;
+  // Pre-compile every query so the first client request never pays
+  // lowering latency (requests for other levels still compile lazily).
+  std::fprintf(stderr, "qc_serve: warming plan cache, level=%d\n", opts.level);
+  if (!qc::EnvFlagSet("QC_SERVE_NO_WARM")) server.WarmPlans();
+  std::fprintf(stderr, "qc_serve: listening on port %d\n", server.port());
+  std::fflush(stderr);
+
+  // Block until a termination signal arrives.
+  pollfd pfd{g_sig_pipe[0], POLLIN, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0 && (pfd.revents & POLLIN)) break;
+  }
+  std::fprintf(stderr, "qc_serve: signal received, draining\n");
+  bool clean = server.Drain();
+  server.Stop();
+  std::fprintf(stderr, "qc_serve: drained %s, stats=%s\n",
+               clean ? "clean" : "with stragglers cancelled",
+               server.stats().ToJson().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Retry policy for transient kResourceFailure trips (injected or real
+// allocation/mmap faults). Safe to apply blindly because storage is
+// immutable and a tripped query returns an empty table: re-running is
+// idempotent by construction.
+//
+// Bounded twice: by attempt count and by the request's remaining run
+// deadline — a retry whose backoff delay would not leave any execution
+// time is not attempted (the caller reports the last failure instead).
+#ifndef QC_SERVER_RETRY_H_
+#define QC_SERVER_RETRY_H_
+
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "exec/governor.h"
+
+namespace qc::server {
+
+class RetryPolicy {
+ public:
+  // `seed` should mix a server seed with the request id so concurrent
+  // requests decorrelate while chaos runs stay reproducible.
+  RetryPolicy(uint64_t seed, int max_retries, int64_t base_ms, int64_t max_ms)
+      : backoff_(seed, base_ms, max_ms),
+        max_retries_(max_retries < 0 ? 0 : max_retries) {}
+
+  int attempts() const { return attempts_; }
+
+  // Decides whether the failed attempt should be retried; on true, returns
+  // the jittered delay to sleep (clamped so delay + 1ms of execution still
+  // fits before `deadline_abs_ns`; 0 = retry immediately).
+  bool ShouldRetry(int64_t deadline_abs_ns, int64_t* delay_ms) {
+    if (attempts_ >= max_retries_) return false;
+    int64_t delay = backoff_.NextDelayMs(attempts_);
+    if (deadline_abs_ns != 0) {
+      int64_t remaining_ms =
+          (deadline_abs_ns - exec::GovNowNs()) / 1000000 - 1;
+      if (remaining_ms <= 0) return false;  // no time left to run anything
+      if (delay > remaining_ms) delay = remaining_ms;
+    }
+    ++attempts_;
+    *delay_ms = delay;
+    return true;
+  }
+
+ private:
+  Backoff backoff_;
+  const int max_retries_;
+  int attempts_ = 0;
+};
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_RETRY_H_

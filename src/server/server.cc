@@ -1,0 +1,709 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/env.h"
+#include "common/fault.h"
+#include "server/protocol.h"
+#include "server/retry.h"
+
+namespace qc::server {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+constexpr int kPollMs = 100;
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions o;
+  o.port = static_cast<int>(EnvIntClamped("QC_SERVE_PORT", 7117, 0, 65535));
+  o.workers = static_cast<int>(EnvIntClamped("QC_SERVE_WORKERS", 2, 1, 256));
+  o.query_threads =
+      static_cast<int>(EnvIntClamped("QC_SERVE_THREADS", 1, 1, 256));
+  o.queue_capacity =
+      static_cast<int>(EnvIntClamped("QC_SERVE_QUEUE_CAP", 64, 1, 1 << 20));
+  o.max_deadline_ms =
+      EnvIntClamped("QC_SERVE_MAX_DEADLINE_MS", 10000, 1, 86400000);
+  o.queue_deadline_ms =
+      EnvIntClamped("QC_SERVE_QUEUE_MS", 1000, 1, 86400000);
+  o.max_mem_mb = EnvIntClamped("QC_SERVE_MAX_MEM_MB", 256, 1, 1 << 20);
+  o.max_retries =
+      static_cast<int>(EnvIntClamped("QC_SERVE_MAX_RETRIES", 2, 0, 100));
+  o.retry_base_ms = EnvIntClamped("QC_SERVE_RETRY_BASE_MS", 1, 1, 60000);
+  o.retry_max_ms = EnvIntClamped("QC_SERVE_RETRY_MAX_MS", 100, 1, 600000);
+  o.drain_deadline_ms = EnvIntClamped("QC_SERVE_DRAIN_MS", 2000, 1, 600000);
+  o.recover_ok =
+      static_cast<int>(EnvIntClamped("QC_SERVE_RECOVER_OK", 32, 1, 1 << 20));
+  o.level = static_cast<int>(EnvIntClamped("QC_SERVE_LEVEL", 5, 2, 5));
+  o.default_jit = !EnvFlagSet("QC_SERVE_NO_JIT");
+  o.debug_endpoints = EnvFlagSet("QC_SERVE_DEBUG");
+  o.seed = static_cast<uint64_t>(EnvIntClamped("QC_SERVE_SEED", 42, 0,
+                                               INT64_MAX));
+  return o;
+}
+
+std::string ServerStats::ToJson() const {
+  auto g = [](const std::atomic<uint64_t>& v) {
+    return static_cast<unsigned long long>(v.load(std::memory_order_relaxed));
+  };
+  char buf[1024];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"connections\":%llu,\"requests\":%llu,\"ok\":%llu,"
+      "\"bad_requests\":%llu,\"shed_queue_full\":%llu,"
+      "\"shed_queue_deadline\":%llu,\"shed_draining\":%llu,"
+      "\"failed_deadline\":%llu,\"failed_cancelled\":%llu,"
+      "\"failed_memory\":%llu,\"failed_resource\":%llu,\"retries\":%llu,"
+      "\"downshifts\":%llu,\"downshift_level\":%d,"
+      "\"disconnect_cancels\":%llu,\"drain_kills\":%llu,"
+      "\"jit_fallbacks\":%llu,\"net_faults\":%llu}",
+      g(connections), g(requests), g(ok), g(bad_requests), g(shed_queue_full),
+      g(shed_queue_deadline), g(shed_draining), g(failed_deadline),
+      g(failed_cancelled), g(failed_memory), g(failed_resource), g(retries),
+      g(downshifts), downshift_level.load(std::memory_order_relaxed),
+      g(disconnect_cancels), g(drain_kills), g(jit_fallbacks), g(net_faults));
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+Server::Server(storage::Database* db, ServerOptions opts)
+    : db_(db),
+      opts_(std::move(opts)),
+      plans_(db),
+      queue_(static_cast<size_t>(opts_.queue_capacity)) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start() {
+  if (started_) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    std::perror("qc_serve: socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    std::perror("qc_serve: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  int pipefd[2];
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) < 0) {
+    std::perror("qc_serve: pipe2");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker* w = workers_.back().get();
+    w->thread = std::thread([this, w] { WorkerMain(w); });
+  }
+  loop_ = std::thread([this] { EventLoop(); });
+  started_ = true;
+  return true;
+}
+
+void Server::Wake() {
+  if (wake_wr_ >= 0) {
+    char b = 'w';
+    // Best-effort: a full pipe already guarantees a pending wake.
+    ssize_t ignored = ::write(wake_wr_, &b, 1);
+    (void)ignored;
+  }
+}
+
+void Server::BeginDrain() {
+  if (!draining_.exchange(true, std::memory_order_relaxed)) Wake();
+}
+
+bool Server::Drain() {
+  BeginDrain();
+  const int64_t deadline =
+      exec::GovNowNs() + opts_.drain_deadline_ms * 1000000;
+  auto idle = [&] {
+    return active_.load(std::memory_order_relaxed) == 0 && queue_.size() == 0;
+  };
+  while (exec::GovNowNs() < deadline) {
+    if (idle()) return true;
+    SleepMs(1);
+  }
+  // Drain deadline passed: cancel every outstanding request through its
+  // control (executing queries unwind within one safepoint interval;
+  // queued ones are popped, observed aborted, and answered "cancelled").
+  bool clean = idle();
+  if (!clean) {
+    std::vector<RequestPtr> out;
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      for (auto& kv : outstanding_) out.push_back(kv.second);
+    }
+    stats_.drain_kills.fetch_add(out.size(), std::memory_order_relaxed);
+    for (auto& r : out) r->Kill();
+    // The unwind itself is bounded by the safepoint contract, but give it a
+    // generous hard stop so Drain() can never hang the caller.
+    const int64_t hard = exec::GovNowNs() + 10ll * 1000 * 1000 * 1000;
+    while (!idle() && exec::GovNowNs() < hard) SleepMs(1);
+  }
+  return clean;
+}
+
+void Server::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  Drain();
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  Wake();
+  if (loop_.joinable()) loop_.join();
+  // The loop has exited: session/listen/wake fds are now exclusively ours.
+  for (auto& kv : sessions_) {
+    if (kv.second->fd >= 0) ::close(kv.second->fd);
+  }
+  sessions_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop (single thread).
+// ---------------------------------------------------------------------------
+
+void Server::EventLoop() {
+  std::vector<pollfd> fds;
+  std::vector<SessionPtr> polled;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (draining_.load(std::memory_order_relaxed) && listen_fd_ >= 0) {
+      ::close(listen_fd_);  // stop accepting the moment drain begins
+      listen_fd_ = -1;
+    }
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_rd_, POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& kv : sessions_) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(kv.second->mu);
+        if (!kv.second->out.empty()) events |= POLLOUT;
+      }
+      fds.push_back({kv.first, events, 0});
+      polled.push_back(kv.second);
+    }
+    int rc = ::poll(fds.data(), fds.size(), kPollMs);
+    if (rc < 0 && errno != EINTR) SleepMs(1);
+
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++idx;
+    if (listen_fd_ >= 0) {
+      if (fds[idx].revents & (POLLIN | POLLERR)) AcceptNew();
+      ++idx;
+    }
+    for (size_t i = 0; i < polled.size(); ++i, ++idx) {
+      const SessionPtr& s = polled[i];
+      if (s->fd < 0) continue;  // closed earlier this iteration
+      short re = fds[idx].revents;
+      if (re & (POLLERR | POLLNVAL)) {
+        CloseSession(s, /*cancel_inflight=*/true);
+        continue;
+      }
+      if (re & POLLIN) HandleReadable(s);
+      // POLLHUP with readable data still pending is handled by the read
+      // path (recv returns 0 at EOF); a bare HUP closes here.
+      if (s->fd >= 0 && (re & POLLHUP) && !(re & POLLIN)) {
+        CloseSession(s, /*cancel_inflight=*/true);
+        continue;
+      }
+      if (s->fd >= 0 && (re & POLLOUT)) FlushWrites(s);
+    }
+    // Worker completions appended response bytes and cleared inflight
+    // slots: flush pending writes and resume parsing pipelined requests.
+    polled.clear();
+    for (auto& kv : sessions_) polled.push_back(kv.second);
+    for (const SessionPtr& s : polled) {
+      if (s->fd < 0) continue;
+      FlushWrites(s);
+      if (s->fd >= 0) ParseBuffered(s);
+    }
+  }
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept failure: back to poll
+    }
+    if (FaultPoint("srv_accept")) {
+      // Injected accept-path failure: the connection is dropped cleanly,
+      // the listener survives.
+      stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto s = std::make_shared<Session>();
+    s->fd = fd;
+    sessions_[fd] = std::move(s);
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleReadable(const SessionPtr& s) {
+  if (FaultPoint("srv_read")) {
+    // Injected socket-read failure == the peer vanished: tear the session
+    // down, which cancels any in-flight query (kill-on-disconnect).
+    stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+    CloseSession(s, /*cancel_inflight=*/true);
+    return;
+  }
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(s->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      s->in.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {  // EOF: client went away
+      CloseSession(s, /*cancel_inflight=*/true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseSession(s, /*cancel_inflight=*/true);
+    return;
+  }
+  ParseBuffered(s);
+}
+
+void Server::ParseBuffered(const SessionPtr& s) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->inflight != nullptr) return;  // one request at a time
+    }
+    ParsedRequest p = ParseRequest(s->in, kMaxRequestBytes);
+    if (p.kind == ParsedRequest::Kind::kNeedMore) {
+      if (p.consumed == 0) return;
+      s->in.erase(0, p.consumed);  // stray blank line
+      continue;
+    }
+    s->in.erase(0, p.consumed);
+    switch (p.kind) {
+      case ParsedRequest::Kind::kBad: {
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        RespondInline(s, RenderError(p.http, p.http_code, p.error.c_str()));
+        if (p.http_code == 431) {
+          // The buffer holds an unparseable flood: nothing after it can be
+          // framed, so the connection must go.
+          CloseSession(s, /*cancel_inflight=*/false);
+          return;
+        }
+        break;
+      }
+      case ParsedRequest::Kind::kPing:
+        RespondInline(s, "PONG\n");
+        break;
+      case ParsedRequest::Kind::kHealth: {
+        ResponseMeta m;
+        m.rows = 0;
+        RespondInline(s, RenderResponse(p.http, m, "ok\n"));
+        break;
+      }
+      case ParsedRequest::Kind::kStats: {
+        ResponseMeta m;
+        m.rows = 0;
+        RespondInline(s, RenderResponse(p.http, m, stats_.ToJson() + "\n"));
+        break;
+      }
+      case ParsedRequest::Kind::kBlock:
+        if (!opts_.debug_endpoints) {
+          stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+          RespondInline(s, RenderError(p.http, 404, "not_found"));
+          break;
+        }
+        AdmitQuery(s, p);
+        break;
+      case ParsedRequest::Kind::kQuery:
+        AdmitQuery(s, p);
+        break;
+      case ParsedRequest::Kind::kNeedMore:
+        return;  // unreachable
+    }
+    if (s->fd < 0) return;  // closed while responding
+  }
+}
+
+void Server::AdmitQuery(const SessionPtr& s, const ParsedRequest& p) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  if (draining_.load(std::memory_order_relaxed)) {
+    stats_.shed_draining.fetch_add(1, std::memory_order_relaxed);
+    RespondInline(s, RenderError(p.http, 503, "draining"));
+    return;
+  }
+  if (FaultPoint("srv_queue")) {
+    // Injected admission failure: handled exactly like a full queue.
+    stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    RespondInline(s, RenderError(p.http, 503, "overloaded"));
+    return;
+  }
+
+  auto req = std::make_shared<Request>();
+  req->kind = p.kind == ParsedRequest::Kind::kBlock ? Request::Kind::kBlock
+                                                    : Request::Kind::kQuery;
+  req->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req->query = p.query;
+  req->level = p.level > 0 ? p.level : opts_.level;
+  req->want_jit = p.engine == -1 ? opts_.default_jit : (p.engine == 1);
+  req->block_ms = p.block_ms < 0 ? 0 : p.block_ms;
+  req->http = p.http;
+  req->session = s;
+
+  // Deadlines and budgets by default: an absent or out-of-cap parameter
+  // becomes the server-wide cap, so no admitted request can ever run or
+  // allocate unboundedly.
+  int64_t now = exec::GovNowNs();
+  int64_t dl_ms = p.deadline_ms;
+  if (dl_ms <= 0 || dl_ms > opts_.max_deadline_ms) dl_ms = opts_.max_deadline_ms;
+  req->deadline_abs_ns = now + dl_ms * 1000000;
+  int64_t q_ms = opts_.queue_deadline_ms < dl_ms ? opts_.queue_deadline_ms
+                                                 : dl_ms;
+  req->queue_deadline_ns = now + q_ms * 1000000;
+  req->admitted_ns = now;
+  int64_t mem_mb = p.mem_mb;
+  if (mem_mb <= 0 || mem_mb > opts_.max_mem_mb) mem_mb = opts_.max_mem_mb;
+  req->mem_budget_bytes = mem_mb << 20;
+
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->inflight = req;
+  }
+  if (!queue_.TryPush(req)) {
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->inflight = nullptr;
+    }
+    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    RespondInline(s, RenderError(p.http, 503, "overloaded"));
+    return;
+  }
+  active_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    outstanding_[req->id] = req;
+  }
+}
+
+void Server::RespondInline(const SessionPtr& s, std::string wire) {
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->closed) return;
+    s->out += wire;
+  }
+  FlushWrites(s);
+}
+
+void Server::FlushWrites(const SessionPtr& s) {
+  std::string pending;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->out.empty()) return;
+    pending.swap(s->out);
+  }
+  if (FaultPoint("srv_write")) {
+    stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+    CloseSession(s, /*cancel_inflight=*/true);
+    return;
+  }
+  const char* p = pending.data();
+  size_t left = pending.size();
+  while (left > 0) {
+    ssize_t n = ::send(s->fd, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Slow client: requeue the remainder IN FRONT of anything a worker
+      // appended meanwhile, poll for POLLOUT.
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->out.insert(0, p, left);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseSession(s, /*cancel_inflight=*/true);
+    return;
+  }
+}
+
+void Server::CloseSession(const SessionPtr& s, bool cancel_inflight) {
+  RequestPtr inflight;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->closed) return;
+    s->closed = true;
+    inflight = std::move(s->inflight);
+    s->inflight = nullptr;
+    s->out.clear();
+  }
+  if (inflight != nullptr && cancel_inflight) {
+    // Kill-on-disconnect: the client is gone, stop paying for its query.
+    inflight->Kill();
+    stats_.disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (s->fd >= 0) {
+    sessions_.erase(s->fd);
+    ::close(s->fd);
+    s->fd = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers.
+// ---------------------------------------------------------------------------
+
+void Server::WorkerMain(Worker* w) {
+  while (RequestPtr req = queue_.Pop()) {
+    int64_t now = exec::GovNowNs();
+    if (req->aborted.load(std::memory_order_relaxed)) {
+      // Killed while queued (disconnect or drain): answer cancelled — the
+      // rendered bytes are dropped anyway when the session is closed.
+      stats_.failed_cancelled.fetch_add(1, std::memory_order_relaxed);
+      Respond(req, RenderError(req->http, 499, "cancelled"));
+      continue;
+    }
+    if (now > req->queue_deadline_ns) {
+      // Admitted but waited too long: shedding now is cheaper than running
+      // a query whose client has likely timed out.
+      stats_.shed_queue_deadline.fetch_add(1, std::memory_order_relaxed);
+      Respond(req, RenderError(req->http, 503, "queue_deadline"));
+      continue;
+    }
+    if (req->kind == Request::Kind::kBlock) {
+      ExecuteBlock(req);
+    } else {
+      Execute(w, req);
+    }
+  }
+}
+
+exec::Interpreter* Server::PickInterpreter(Worker* w, const RequestPtr& req,
+                                           int* downshift,
+                                           const char** engine) {
+  int level = stats_.downshift_level.load(std::memory_order_relaxed);
+  bool jit = req->want_jit && level < 1;
+  int idx = jit ? 0 : (level >= 2 ? 2 : 1);
+  int threads = idx == 2 ? 1 : opts_.query_threads;
+  if (w->interp[idx] == nullptr) {
+    exec::InterpOptions o;
+    o.engine = jit ? exec::InterpOptions::Engine::kJit
+                   : exec::InterpOptions::Engine::kBytecode;
+    o.num_threads = threads;
+    w->interp[idx] = std::make_unique<exec::Interpreter>(db_, o);
+  }
+  *downshift = level;
+  *engine = jit ? "jit" : "vm";
+  return w->interp[idx].get();
+}
+
+void Server::Execute(Worker* w, const RequestPtr& req) {
+  std::string err;
+  const ir::Function* fn = plans_.Get(req->query, req->level, &err);
+  if (fn == nullptr) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    Respond(req, RenderError(req->http, 500, "compile_failed"));
+    return;
+  }
+  int downshift = 0;
+  const char* engine = "vm";
+  exec::Interpreter* interp = PickInterpreter(w, req, &downshift, &engine);
+
+  RetryPolicy retry(opts_.seed ^ (req->id * 0x9e3779b97f4a7c15ULL),
+                    opts_.max_retries, opts_.retry_base_ms,
+                    opts_.retry_max_ms);
+  storage::ResultTable result;
+  exec::QueryStatus st;
+  for (;;) {
+    req->control.deadline_ns.store(req->deadline_abs_ns,
+                                   std::memory_order_relaxed);
+    req->control.memory_budget_bytes = req->mem_budget_bytes;
+    interp->SetControl(&req->control);
+    result = interp->Run(*fn);
+    st = interp->last_status();
+    interp->SetControl(nullptr);
+    if (interp->last_jit_stats().fallback_reason != 0 &&
+        std::strcmp(engine, "jit") == 0) {
+      // The JIT degraded under us (denied code pages, fault injection):
+      // results are still exact on the VM, but new admissions stop asking
+      // for native code until the server recovers.
+      stats_.jit_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      int cur = 0;
+      stats_.downshift_level.compare_exchange_strong(
+          cur, 1, std::memory_order_relaxed);
+    }
+    if (st.ok() || st.code != exec::QueryStatusCode::kResourceFailure) break;
+    int64_t delay_ms = 0;
+    if (req->aborted.load(std::memory_order_relaxed) ||
+        !retry.ShouldRetry(req->deadline_abs_ns, &delay_ms)) {
+      break;
+    }
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    // Jittered backoff, interruptible by disconnect/drain kills.
+    int64_t until = exec::GovNowNs() + delay_ms * 1000000;
+    while (exec::GovNowNs() < until &&
+           !req->aborted.load(std::memory_order_relaxed)) {
+      SleepMs(1);
+    }
+  }
+  NoteOutcome(st.code, retry.attempts() > 0);
+
+  ResponseMeta meta = MapStatus(st.code);
+  meta.retries = retry.attempts();
+  meta.downshift = downshift;
+  meta.engine = engine;
+  std::string body;
+  if (st.ok()) {
+    meta.rows = static_cast<int64_t>(result.size());
+    body = RenderRows(result);
+  } else {
+    meta.rows = 0;
+    body = std::string(meta.status) + "\n";
+  }
+  Respond(req, RenderResponse(req->http, meta, body));
+}
+
+void Server::ExecuteBlock(const RequestPtr& req) {
+  // Deterministic worker occupancy for tests: a governed cancellable wait
+  // that honors exactly the contract queries do — deadline and cancel trip
+  // within ~1ms instead of one safepoint interval.
+  exec::ExecControl& ctl = req->control;
+  ctl.BeginRun();
+  const int64_t end = exec::GovNowNs() + req->block_ms * 1000000;
+  for (;;) {
+    if (ctl.cancel.load(std::memory_order_relaxed)) {
+      ctl.Trip(exec::QueryStatusCode::kCancelled);
+      break;
+    }
+    if (req->deadline_abs_ns != 0 && exec::GovNowNs() >= req->deadline_abs_ns) {
+      ctl.Trip(exec::QueryStatusCode::kDeadlineExceeded);
+      break;
+    }
+    if (exec::GovNowNs() >= end) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  exec::QueryStatus st = ctl.status();
+  NoteOutcome(st.code, false);
+  ResponseMeta meta = MapStatus(st.code);
+  meta.rows = 0;
+  std::string body = st.ok() ? "blocked\n" : std::string(meta.status) + "\n";
+  Respond(req, RenderResponse(req->http, meta, body));
+}
+
+void Server::NoteOutcome(exec::QueryStatusCode code, bool retried_out) {
+  (void)retried_out;
+  switch (code) {
+    case exec::QueryStatusCode::kOk: {
+      stats_.ok.fetch_add(1, std::memory_order_relaxed);
+      // Recovery: enough consecutive healthy runs step the downshift
+      // ladder back toward full service.
+      int streak = ok_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (streak >= opts_.recover_ok) {
+        int cur = stats_.downshift_level.load(std::memory_order_relaxed);
+        if (cur > 0 && stats_.downshift_level.compare_exchange_strong(
+                           cur, cur - 1, std::memory_order_relaxed)) {
+          ok_streak_.store(0, std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+    case exec::QueryStatusCode::kDeadlineExceeded:
+      stats_.failed_deadline.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case exec::QueryStatusCode::kCancelled:
+      stats_.failed_cancelled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case exec::QueryStatusCode::kMemoryBudget:
+      stats_.failed_memory.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case exec::QueryStatusCode::kResourceFailure: {
+      stats_.failed_resource.fetch_add(1, std::memory_order_relaxed);
+      // Retries exhausted on a resource fault: downshift new admissions
+      // (graceful degradation) and restart the recovery streak.
+      ok_streak_.store(0, std::memory_order_relaxed);
+      int cur = stats_.downshift_level.load(std::memory_order_relaxed);
+      while (cur < 2 && !stats_.downshift_level.compare_exchange_weak(
+                            cur, cur + 1, std::memory_order_relaxed)) {
+      }
+      if (cur < 2) stats_.downshifts.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void Server::Respond(const RequestPtr& req, std::string wire) {
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    outstanding_.erase(req->id);
+  }
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  SessionPtr s = req->session;
+  if (s != nullptr) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->inflight == req) s->inflight = nullptr;
+    if (!s->closed) s->out += wire;
+  }
+  Wake();
+}
+
+}  // namespace qc::server

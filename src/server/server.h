@@ -1,0 +1,206 @@
+// qc_serve: a long-lived query-serving daemon over shared immutable TPC-H
+// storage — ROADMAP item 2, built robustness-first on the PR 6 governance
+// layer. One poll()-based event-loop thread multiplexes every client
+// connection (HTTP/1.1 GET + line protocol, auto-detected); N worker
+// threads execute admitted queries, each with its own exec::Interpreter
+// (and WorkerPool when per-query threads > 1) against the shared database
+// and the cross-session compiled-plan cache.
+//
+// The robustness envelope, end to end:
+//   * admission control  — bounded queue; full => immediate 503
+//     "overloaded"; a request whose queue deadline expires before a worker
+//     picks it up is shed with "queue_deadline" (server/admission.h);
+//   * deadlines/budgets by default — every request's ExecControl gets a
+//     deadline and memory budget clamped by QC_SERVE_MAX_DEADLINE_MS /
+//     QC_SERVE_MAX_MEM_MB; unspecified means the cap, never unlimited;
+//   * kill-on-disconnect — EOF/error on the client socket cancels the
+//     session's in-flight control; the query unwinds within one safepoint
+//     interval and the worker is free again;
+//   * retry with jittered exponential backoff — transient kResourceFailure
+//     trips re-run (immutable storage makes this idempotent), bounded by
+//     QC_SERVE_MAX_RETRIES and the request's remaining deadline
+//     (server/retry.h);
+//   * graceful degradation — exhausted resource retries and JIT fallbacks
+//     raise a server-wide downshift level (1: new admissions run the VM
+//     engine instead of the JIT; 2: also single-threaded); sustained
+//     successes step it back down. Reported per response (X-QC-Downshift)
+//     and in /stats;
+//   * graceful drain — BeginDrain() (SIGTERM in the binary) stops
+//     admissions, Drain() waits for in-flight work up to
+//     QC_SERVE_DRAIN_MS, then cancels stragglers through their controls;
+//     the process exits 0.
+//
+// Faults: the srv_accept / srv_read / srv_write / srv_queue QC_FAULT sites
+// make every network edge chaos-testable alongside the execution-side sites
+// (common/fault.h).
+#ifndef QC_SERVER_SERVER_H_
+#define QC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/interp.h"
+#include "server/admission.h"
+#include "server/plan_cache.h"
+#include "server/session.h"
+#include "storage/database.h"
+
+namespace qc::server {
+
+struct ServerOptions {
+  int port = 0;                    // 0 = ephemeral (read back via port())
+  int workers = 2;                 // executing worker threads
+  int query_threads = 1;           // morsel threads per query (downshiftable)
+  int queue_capacity = 64;         // admission queue bound
+  int64_t max_deadline_ms = 10000; // cap AND default run deadline
+  int64_t queue_deadline_ms = 1000;  // cap AND default queue-wait deadline
+  int64_t max_mem_mb = 256;        // cap AND default per-query memory budget
+  int max_retries = 2;             // resource-failure retry attempts
+  int64_t retry_base_ms = 1;
+  int64_t retry_max_ms = 100;
+  int64_t drain_deadline_ms = 2000;
+  int recover_ok = 32;             // ok runs per downshift-level step-down
+  int level = 5;                   // default stack level
+  bool default_jit = true;         // engine when the request names none
+  bool debug_endpoints = false;    // /debug/block (tests, chaos CI)
+  uint64_t seed = 42;              // retry-jitter seed
+  static ServerOptions FromEnv();  // QC_SERVE_* knobs, hardened parses
+};
+
+// Monotonic counters, all relaxed: exactness across threads matters less
+// than never synchronizing on the hot path. Snapshot via /stats or the
+// accessors in tests.
+struct ServerStats {
+  std::atomic<uint64_t> connections{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_queue_deadline{0};
+  std::atomic<uint64_t> shed_draining{0};
+  std::atomic<uint64_t> failed_deadline{0};
+  std::atomic<uint64_t> failed_cancelled{0};
+  std::atomic<uint64_t> failed_memory{0};
+  std::atomic<uint64_t> failed_resource{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> downshifts{0};
+  std::atomic<uint64_t> disconnect_cancels{0};
+  std::atomic<uint64_t> drain_kills{0};
+  std::atomic<uint64_t> jit_fallbacks{0};
+  std::atomic<uint64_t> net_faults{0};  // injected srv_* fault firings
+  std::atomic<int> downshift_level{0};  // gauge, 0..2
+
+  std::string ToJson() const;
+};
+
+class Server {
+ public:
+  // `db` must outlive the server and is treated as immutable shared
+  // storage (lazy dictionary/index builds are serialized by the plan
+  // cache's compile lock).
+  Server(storage::Database* db, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds + listens + spawns the event loop and workers. False (with
+  // stderr detail) when the socket setup fails.
+  bool Start();
+
+  // The bound port (valid after Start; useful with port = 0).
+  int port() const { return port_; }
+
+  // Stops admissions: listening socket closes, queued-but-unstarted and
+  // newly parsed requests answer 503 "draining". Idempotent, non-blocking.
+  void BeginDrain();
+
+  // BeginDrain + wait for in-flight work up to drain_deadline_ms, then
+  // cancel stragglers via their ExecControls and wait for the unwind.
+  // Returns true when everything finished before the deadline (no
+  // stragglers had to be killed).
+  bool Drain();
+
+  // Full shutdown: Drain(), then stop and join workers and the event
+  // loop, closing every session. Safe to call twice.
+  void Stop();
+
+  // Pre-compiles every query at the default level (the binary calls this
+  // after Start so the port is health-checkable during warm-up; requests
+  // arriving mid-warm just wait on the compile lock).
+  void WarmPlans() { plans_.Warm(opts_.level); }
+
+  const ServerStats& stats() const { return stats_; }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  int downshift_level() const {
+    return stats_.downshift_level.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    // Interpreters are created on first use (each multi-thread one owns a
+    // WorkerPool): [0] jit @ query_threads, [1] vm @ query_threads,
+    // [2] vm @ 1 — the degradation ladder.
+    std::unique_ptr<exec::Interpreter> interp[3];
+  };
+
+  void EventLoop();
+  void WorkerMain(Worker* w);
+
+  // --- event-loop internals (loop thread only) ---------------------------
+  void AcceptNew();
+  void HandleReadable(const SessionPtr& s);
+  void ParseBuffered(const SessionPtr& s);
+  void FlushWrites(const SessionPtr& s);
+  void CloseSession(const SessionPtr& s, bool cancel_inflight);
+  void RespondInline(const SessionPtr& s, std::string wire);
+  void AdmitQuery(const SessionPtr& s, const struct ParsedRequest& p);
+
+  // --- worker internals ---------------------------------------------------
+  void Execute(Worker* w, const RequestPtr& req);
+  void ExecuteBlock(const RequestPtr& req);
+  void Respond(const RequestPtr& req, std::string wire);
+  exec::Interpreter* PickInterpreter(Worker* w, const RequestPtr& req,
+                                     int* downshift, const char** engine);
+  void NoteOutcome(exec::QueryStatusCode code, bool retried_out);
+
+  void Wake();
+
+  storage::Database* db_;
+  ServerOptions opts_;
+  ServerStats stats_;
+  PlanCache plans_;
+  AdmissionQueue queue_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};        // requests currently on a worker
+  std::atomic<int> ok_streak_{0};     // consecutive ok runs (recovery)
+  std::atomic<uint64_t> next_id_{1};
+
+  std::thread loop_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::map<int, SessionPtr> sessions_;  // loop thread only
+  // Every admitted-but-unfinished request, so the drain straggler kill can
+  // cancel queued AND executing work through one registry.
+  std::mutex reg_mu_;
+  std::map<uint64_t, RequestPtr> outstanding_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_SERVER_H_

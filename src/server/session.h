@@ -1,0 +1,88 @@
+// Per-connection and per-request state of the serving daemon.
+//
+// Ownership is split along the thread boundary:
+//   * Session — one accepted connection. The socket fd and the inbound
+//     parse buffer belong to the event-loop thread exclusively; the
+//     outbound buffer, the closed flag, and the in-flight request pointer
+//     are shared with worker threads under `mu`.
+//   * Request — one admitted query. Reference-counted: the session, the
+//     admission queue, and the executing worker all hold shared_ptrs, so a
+//     disconnect can tear down the Session while the worker still runs the
+//     query against the Request's ExecControl — the PR 6 contract then
+//     unwinds it within one safepoint interval.
+#ifndef QC_SERVER_SESSION_H_
+#define QC_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exec/governor.h"
+
+namespace qc::server {
+
+class Session;
+
+// What an admitted request asks for, with every limit already clamped by
+// the server-wide caps (deadlines/budgets by default: a request that names
+// no limit gets the cap, never "unlimited").
+struct Request {
+  // kQuery runs a compiled TPC-H plan; kBlock is the debug occupancy
+  // endpoint (a governed cancellable wait, only when debug endpoints are
+  // enabled) used by robustness tests to hold a worker deterministically.
+  enum class Kind { kQuery, kBlock };
+  Kind kind = Kind::kQuery;
+
+  uint64_t id = 0;
+  int query = 1;        // TPC-H query number, 1..22
+  int level = 5;        // stack level for the plan cache key
+  bool want_jit = true; // engine request; degradation may override
+  int64_t block_ms = 0; // kBlock: how long to hold the worker
+
+  // Absolute monotonic deadlines (exec::GovNowNs scale). The run deadline
+  // covers queue wait + every retry attempt; the queue deadline sheds the
+  // request if no worker picked it up in time.
+  int64_t deadline_abs_ns = 0;
+  int64_t queue_deadline_ns = 0;
+  int64_t admitted_ns = 0;
+  int64_t mem_budget_bytes = 0;
+
+  bool http = true;  // response framing (HTTP vs line protocol)
+
+  std::shared_ptr<Session> session;
+  exec::ExecControl control;
+
+  // Set by disconnect or the drain straggler kill. Distinct from
+  // control.cancel because each retry attempt re-polls the control from a
+  // clean per-run state; `aborted` is the request-lifetime kill switch the
+  // retry loop must also honor between attempts.
+  std::atomic<bool> aborted{false};
+
+  void Kill() {
+    aborted.store(true, std::memory_order_relaxed);
+    control.RequestCancel();
+  }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+class Session {
+ public:
+  // --- event-loop-thread-only state --------------------------------------
+  int fd = -1;
+  std::string in;  // unparsed inbound bytes
+
+  // --- shared with workers, under mu -------------------------------------
+  std::mutex mu;
+  std::string out;        // rendered response bytes awaiting the socket
+  bool closed = false;    // event loop closed the fd; drop responses
+  RequestPtr inflight;    // the one queued-or-executing request (at most 1)
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_SESSION_H_

@@ -2,13 +2,16 @@
 // arenas, deterministic RNG, hashing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <set>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/backoff.h"
 #include "common/date.h"
 #include "common/env.h"
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/str.h"
@@ -259,6 +262,98 @@ TEST_F(EnvKnobTest, EnvIntRejectsTrailingGarbage) {
   SetKnob("QC_BENCH_THREADS", "1, 2 ,4\n");
   EXPECT_EQ(EnvIntList("QC_BENCH_THREADS", 1, 1, 1024),
             std::vector<long long>({1, 2, 4}));
+}
+
+// Fault-injection spec parsing (common/fault.h): QC_FAULT arms a
+// comma-separated list of <site>:<nth> pairs, each with its own occurrence
+// counter. The fixture re-arms around every mutation so counters never
+// leak across tests (or into other suites in this binary).
+class FaultSpecTest : public ::testing::Test {
+ protected:
+  void Arm(const char* spec) {
+    ::setenv("QC_FAULT", spec, 1);
+    FaultReArm();
+  }
+  void TearDown() override {
+    ::unsetenv("QC_FAULT");
+    FaultReArm();
+  }
+};
+
+TEST_F(FaultSpecTest, SingleSiteFiresExactlyOnNth) {
+  Arm("site_a:3");
+  EXPECT_FALSE(FaultPoint("site_a"));  // occurrence 1
+  EXPECT_FALSE(FaultPoint("site_a"));  // occurrence 2
+  EXPECT_TRUE(FaultPoint("site_a"));   // occurrence 3: fires
+  EXPECT_FALSE(FaultPoint("site_a"));  // fires exactly once
+  EXPECT_FALSE(FaultPoint("site_b"));  // unarmed site never fires
+}
+
+TEST_F(FaultSpecTest, MultiSiteCountersAreIndependent) {
+  Arm("site_a:2,site_b:1");
+  // site_b's counter must not advance on site_a occurrences (and vice
+  // versa): interleave the calls.
+  EXPECT_FALSE(FaultPoint("site_a"));  // a: 1 of 2
+  EXPECT_TRUE(FaultPoint("site_b"));   // b: 1 of 1 — fires
+  EXPECT_TRUE(FaultPoint("site_a"));   // a: 2 of 2 — fires
+  EXPECT_FALSE(FaultPoint("site_a"));
+  EXPECT_FALSE(FaultPoint("site_b"));
+}
+
+TEST_F(FaultSpecTest, ReArmResetsCounters) {
+  Arm("site_a:2");
+  EXPECT_FALSE(FaultPoint("site_a"));
+  Arm("site_a:2");                     // re-arm: counting restarts
+  EXPECT_FALSE(FaultPoint("site_a"));  // 1 of 2 again
+  EXPECT_TRUE(FaultPoint("site_a"));
+}
+
+TEST_F(FaultSpecTest, MalformedEntriesNeverArm) {
+  // Garbage entries must not arm anything — and must not disturb a valid
+  // entry sharing the list.
+  Arm("nonsense");
+  EXPECT_FALSE(FaultPoint("nonsense"));
+  Arm("site_a");  // missing :nth
+  EXPECT_FALSE(FaultPoint("site_a"));
+  Arm("site_a:abc");
+  EXPECT_FALSE(FaultPoint("site_a"));
+  Arm("site_a:0,site_b:1,:(");  // zero nth can never fire (1-based)
+  EXPECT_FALSE(FaultPoint("site_a"));
+  EXPECT_TRUE(FaultPoint("site_b"));  // the valid entry still works
+  Arm("");
+  EXPECT_FALSE(FaultPoint("site_a"));
+}
+
+// Retry backoff (common/backoff.h): full jitter, deterministic per seed,
+// hard-bounded by min(max_ms, base_ms << attempt) and never below 1ms.
+TEST(Backoff, DeterministicPerSeed) {
+  Backoff a(7, 10, 1000), b(7, 10, 1000), c(8, 10, 1000);
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    int64_t da = a.NextDelayMs(i);
+    EXPECT_EQ(da, b.NextDelayMs(i));  // same seed: same sequence
+    any_diff |= da != c.NextDelayMs(i);
+  }
+  EXPECT_TRUE(any_diff);  // different seed: decorrelated
+}
+
+TEST(Backoff, BoundedByExponentialCapAndMax) {
+  Backoff b(42, 4, 100);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      int64_t cap = std::min<int64_t>(100, 4ll << attempt);
+      int64_t d = b.NextDelayMs(attempt);
+      EXPECT_GE(d, 1);
+      EXPECT_LE(d, cap);
+    }
+  }
+  // Huge attempt numbers must saturate at max, not shift into oblivion.
+  EXPECT_LE(b.NextDelayMs(1000), 100);
+}
+
+TEST(Backoff, ZeroConfigNeverBusySpins) {
+  Backoff b(1, 0, 0);  // both knobs misconfigured to zero
+  for (int i = 0; i < 50; ++i) EXPECT_GE(b.NextDelayMs(i), 1);
 }
 
 }  // namespace

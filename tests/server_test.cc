@@ -1,0 +1,455 @@
+// Robustness suite for the serving daemon (src/server/): admission control,
+// queue deadlines, kill-on-disconnect, retry/backoff, graceful degradation,
+// drain, and a chaos sweep over the srv_* network fault sites. Every test
+// runs a real Server on an ephemeral loopback port and talks to it over
+// real sockets — the same bytes a production client would send.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "compiler/compiler.h"
+#include "exec/interp.h"
+#include "qplan/plan.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace qc::server {
+namespace {
+
+storage::Database* Db() {
+  static storage::Database* db =
+      new storage::Database(tpch::MakeTpchDatabase(0.01));
+  return db;
+}
+
+// Canonical expected rows: compile at `level`, run on the ungoverned VM.
+std::string RefRows(int q, int level) {
+  ir::TypeFactory types;
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *Db());
+  compiler::QueryCompiler qc(Db(), &types);
+  compiler::CompileResult res =
+      qc.Compile(*plan, compiler::StackConfig::Level(level), "ref");
+  exec::Interpreter interp(Db());
+  return RenderRows(interp.Run(*res.fn));
+}
+
+struct ScopedFault {
+  explicit ScopedFault(const char* spec) {
+    ::setenv("QC_FAULT", spec, 1);
+    FaultReArm();
+  }
+  ~ScopedFault() {
+    ::unsetenv("QC_FAULT");
+    FaultReArm();
+  }
+};
+
+ServerOptions TestOptions() {
+  ServerOptions o;
+  o.port = 0;
+  o.workers = 1;
+  o.queue_capacity = 8;
+  o.debug_endpoints = true;
+  o.default_jit = false;  // deterministic engine for byte-exact comparisons
+  return o;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  int64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// --- minimal socket client -------------------------------------------------
+
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in a;
+  std::memset(&a, 0, sizeof(a));
+  a.sin_family = AF_INET;
+  a.sin_port = htons(static_cast<uint16_t>(port));
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&a), sizeof(a)), 0);
+  return fd;
+}
+
+// Tolerates resets mid-send (chaos sweep tears connections down under us).
+bool SendAll(int fd, const std::string& s) {
+  const char* p = s.data();
+  size_t left = s.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads until `done(buf)` or timeout/EOF; returns whatever arrived.
+std::string RecvUntil(int fd, const std::function<bool(const std::string&)>& done,
+                      int timeout_ms = 15000) {
+  std::string buf;
+  int64_t deadline = NowMs() + timeout_ms;
+  while (!done(buf)) {
+    int64_t remain = deadline - NowMs();
+    if (remain <= 0) break;
+    pollfd p{fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, static_cast<int>(remain));
+    if (rc <= 0) continue;
+    char tmp[8192];
+    ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n <= 0) break;  // EOF or error: return what we have
+    buf.append(tmp, static_cast<size_t>(n));
+  }
+  return buf;
+}
+
+// One complete line-protocol response: an ERR/PONG line, or an OK header
+// followed by rows and the lone-"." terminator line.
+bool LineRespComplete(const std::string& b) {
+  if (b.compare(0, 3, "ERR") == 0 || b.compare(0, 4, "PONG") == 0) {
+    return b.find('\n') != std::string::npos;
+  }
+  return b.find("\n.\n") != std::string::npos;
+}
+
+std::string LineRequest(int fd, const std::string& line, int timeout_ms = 15000) {
+  if (!SendAll(fd, line)) return "";
+  return RecvUntil(fd, LineRespComplete, timeout_ms);
+}
+
+struct HttpResp {
+  bool complete = false;
+  int code = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+HttpResp HttpGet(int port, const std::string& target, int timeout_ms = 15000) {
+  HttpResp r;
+  int fd = ConnectTo(port);
+  if (!SendAll(fd, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n")) {
+    ::close(fd);
+    return r;
+  }
+  auto done = [](const std::string& b) {
+    size_t he = b.find("\r\n\r\n");
+    if (he == std::string::npos) return false;
+    size_t cl = b.find("Content-Length: ");
+    if (cl == std::string::npos || cl > he) return true;  // malformed: stop
+    size_t clen = std::strtoul(b.c_str() + cl + 16, nullptr, 10);
+    return b.size() >= he + 4 + clen;
+  };
+  std::string raw = RecvUntil(fd, done, timeout_ms);
+  ::close(fd);
+  size_t he = raw.find("\r\n\r\n");
+  if (he == std::string::npos) return r;
+  r.complete = true;
+  r.body = raw.substr(he + 4);
+  std::string head = raw.substr(0, he);
+  size_t sp = head.find(' ');
+  if (sp != std::string::npos) r.code = std::atoi(head.c_str() + sp + 1);
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos) {
+    size_t end = head.find("\r\n", pos + 2);
+    std::string line = head.substr(pos + 2, end == std::string::npos
+                                                ? std::string::npos
+                                                : end - pos - 2);
+    size_t colon = line.find(": ");
+    if (colon != std::string::npos) {
+      r.headers[line.substr(0, colon)] = line.substr(colon + 2);
+    }
+    pos = end;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, ServesQueriesBitExactOnBothProtocols) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 2;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  HttpResp h = HttpGet(server.port(), "/query?q=1");
+  ASSERT_TRUE(h.complete);
+  EXPECT_EQ(h.code, 200);
+  EXPECT_EQ(h.headers["X-QC-Status"], "ok");
+  EXPECT_EQ(h.headers["X-QC-Engine"], "vm");
+  EXPECT_EQ(h.body, RefRows(1, 5));
+
+  // JIT-engine request: may degrade, must stay byte-exact either way.
+  HttpResp j = HttpGet(server.port(), "/query?q=3&engine=jit");
+  ASSERT_TRUE(j.complete);
+  EXPECT_EQ(j.code, 200);
+  EXPECT_EQ(j.body, RefRows(3, 5));
+
+  // Same query over the line protocol: identical rows, OK framing.
+  int fd = ConnectTo(server.port());
+  std::string resp = LineRequest(fd, "QUERY 1\n");
+  ::close(fd);
+  ASSERT_EQ(resp.compare(0, 3, "OK "), 0) << resp;
+  size_t nl = resp.find('\n');
+  EXPECT_EQ(resp.substr(nl + 1, resp.size() - nl - 3), RefRows(1, 5));
+
+  // Health and stats answer inline even while workers are free-running.
+  HttpResp hz = HttpGet(server.port(), "/healthz");
+  EXPECT_EQ(hz.code, 200);
+  EXPECT_EQ(hz.body, "ok\n");
+  HttpResp st = HttpGet(server.port(), "/stats");
+  EXPECT_EQ(st.code, 200);
+  EXPECT_NE(st.body.find("\"requests\""), std::string::npos);
+  server.Stop();
+}
+
+TEST(ServerTest, ShedsWithOverloadedWhenAdmissionQueueIsFull) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  // Occupy the only worker, then fill the 1-slot queue, then overflow it.
+  int c1 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(c1, "BLOCK 3000\n"));
+  ASSERT_TRUE(WaitFor([&] {
+    return server.stats().requests.load() >= 1 && server.stats().ok.load() == 0;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // worker pops
+
+  int c2 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(c2, "BLOCK 100\n"));  // sits in the queue
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 2; }));
+
+  int c3 = ConnectTo(server.port());
+  std::string resp = LineRequest(c3, "QUERY 1\n");
+  EXPECT_EQ(resp.compare(0, 14, "ERR overloaded"), 0) << resp;
+  EXPECT_GE(server.stats().shed_queue_full.load(), 1u);
+
+  // The shed was immediate: the blocked worker is still busy.
+  EXPECT_EQ(server.stats().ok.load(), 0u);
+  ::close(c1);
+  ::close(c2);
+  ::close(c3);
+  server.Stop();
+}
+
+TEST(ServerTest, ShedsRequestsWhoseQueueDeadlineExpired) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 1;
+  opts.queue_deadline_ms = 50;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int c1 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(c1, "BLOCK 800\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Queued behind an 800ms block with a 50ms queue deadline: by the time
+  // the worker frees up, running it would serve a client that gave up.
+  int c2 = ConnectTo(server.port());
+  std::string resp = LineRequest(c2, "QUERY 1 deadline_ms=5000\n");
+  EXPECT_EQ(resp.compare(0, 18, "ERR queue_deadline"), 0) << resp;
+  EXPECT_EQ(server.stats().shed_queue_deadline.load(), 1u);
+  ::close(c1);
+  ::close(c2);
+  server.Stop();
+}
+
+TEST(ServerTest, DisconnectCancelsInflightAndFreesTheWorker) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 1;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int c1 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(c1, "BLOCK 8000\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ::close(c1);  // client walks away mid-query
+
+  ASSERT_TRUE(
+      WaitFor([&] { return server.stats().disconnect_cancels.load() >= 1; }));
+
+  // The kill must free the only worker long before the 8s block finishes.
+  int64_t t0 = NowMs();
+  int c2 = ConnectTo(server.port());
+  std::string resp = LineRequest(c2, "QUERY 1\n", 5000);
+  ::close(c2);
+  EXPECT_EQ(resp.compare(0, 3, "OK "), 0) << resp;
+  EXPECT_LT(NowMs() - t0, 4000);
+  EXPECT_GE(server.stats().failed_cancelled.load(), 1u);
+  server.Stop();
+}
+
+TEST(ServerTest, RetriesTransientResourceFailureWithinDeadline) {
+  ServerOptions opts = TestOptions();
+  opts.max_retries = 2;
+  opts.retry_base_ms = 1;
+  opts.retry_max_ms = 4;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  // Warm the (q=1, level=2) plan so the armed run measures execution only.
+  HttpResp warm = HttpGet(server.port(), "/query?q=1&level=2");
+  ASSERT_EQ(warm.code, 200);
+
+  // One-shot allocation fault: attempt 1 trips kResourceFailure, the
+  // retry runs clean — the client sees success plus a retry count.
+  ScopedFault fault("alloc_heap:1");
+  HttpResp h = HttpGet(server.port(), "/query?q=1&level=2");
+  ASSERT_TRUE(h.complete);
+  EXPECT_EQ(h.code, 200);
+  EXPECT_EQ(h.headers["X-QC-Status"], "ok");
+  EXPECT_EQ(h.headers["X-QC-Retries"], "1");
+  EXPECT_EQ(h.body, RefRows(1, 2));
+  EXPECT_EQ(server.stats().retries.load(), 1u);
+  EXPECT_EQ(server.stats().failed_resource.load(), 0u);
+  server.Stop();
+}
+
+TEST(ServerTest, ExhaustedRetriesDownshiftThenRecover) {
+  ServerOptions opts = TestOptions();
+  opts.max_retries = 0;  // no retry budget: the failure surfaces
+  opts.recover_ok = 2;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  HttpResp warm = HttpGet(server.port(), "/query?q=1&level=2");
+  ASSERT_EQ(warm.code, 200);
+
+  {
+    ScopedFault fault("alloc_heap:1");
+    HttpResp h = HttpGet(server.port(), "/query?q=1&level=2");
+    ASSERT_TRUE(h.complete);
+    EXPECT_EQ(h.code, 503);  // transient by contract: retryable
+    EXPECT_EQ(h.headers["X-QC-Status"],
+              exec::QueryStatusName(exec::QueryStatusCode::kResourceFailure));
+    EXPECT_EQ(h.headers["Retry-After"], "1");
+  }
+  EXPECT_GE(server.stats().failed_resource.load(), 1u);
+  EXPECT_EQ(server.downshift_level(), 1);  // degraded, serving continues
+
+  // Degraded-mode responses advertise the downshift; after recover_ok
+  // consecutive successes the server steps back to full service.
+  HttpResp d1 = HttpGet(server.port(), "/query?q=1&level=2");
+  EXPECT_EQ(d1.code, 200);
+  EXPECT_EQ(d1.headers["X-QC-Downshift"], "1");
+  HttpResp d2 = HttpGet(server.port(), "/query?q=1&level=2");
+  EXPECT_EQ(d2.code, 200);
+  EXPECT_EQ(server.downshift_level(), 0);
+  HttpResp d3 = HttpGet(server.port(), "/query?q=1&level=2");
+  EXPECT_EQ(d3.headers["X-QC-Downshift"], "0");
+  server.Stop();
+}
+
+TEST(ServerTest, DrainShedsNewRequestsAndCancelsStragglers) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 1;
+  opts.drain_deadline_ms = 100;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int c1 = ConnectTo(server.port());
+  int c2 = ConnectTo(server.port());  // connect before the listener closes
+  ASSERT_TRUE(SendAll(c1, "BLOCK 8000\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  server.BeginDrain();
+  EXPECT_TRUE(server.draining());
+  std::string resp = LineRequest(c2, "QUERY 1\n");
+  EXPECT_EQ(resp.compare(0, 12, "ERR draining"), 0) << resp;
+  EXPECT_GE(server.stats().shed_draining.load(), 1u);
+
+  // The 8s block cannot finish inside the 100ms drain deadline: Drain must
+  // cancel it through its control and report the unclean drain.
+  EXPECT_FALSE(server.Drain());
+  EXPECT_GE(server.stats().drain_kills.load(), 1u);
+  std::string straggler = RecvUntil(c1, LineRespComplete, 5000);
+  EXPECT_EQ(straggler.compare(0, 13, "ERR cancelled"), 0) << straggler;
+  ::close(c1);
+  ::close(c2);
+  server.Stop();
+}
+
+TEST(ServerTest, DrainWithNoInflightWorkIsClean) {
+  Server server(Db(), TestOptions());
+  ASSERT_TRUE(server.Start());
+  EXPECT_TRUE(server.Drain());
+  EXPECT_EQ(server.stats().drain_kills.load(), 0u);
+  server.Stop();
+}
+
+// Chaos sweep over the serving daemon's network fault sites (plus one
+// compound network+execution spec): under every injected failure the
+// server must neither crash nor hang, every affected client must observe
+// either a structured error or a clean disconnect, and after disarming the
+// server must serve perfectly again.
+TEST(ServerChaosTest, NetworkFaultSitesFailCleanAndServerSurvives) {
+  const char* kSpecs[] = {
+      "srv_accept:1", "srv_read:1",  "srv_read:3",
+      "srv_write:1",  "srv_write:3", "srv_queue:1",
+      "srv_read:2,alloc_heap:1",
+  };
+  for (const char* spec : kSpecs) {
+    SCOPED_TRACE(spec);
+    ServerOptions opts = TestOptions();
+    opts.workers = 2;
+    Server server(Db(), opts);
+    ASSERT_TRUE(server.Start());
+    // Warm before arming so plan compilation is off the chaos path.
+    ASSERT_EQ(HttpGet(server.port(), "/query?q=1").code, 200);
+    {
+      ScopedFault fault(spec);
+      for (int i = 0; i < 4; ++i) {
+        int fd = ConnectTo(server.port());
+        std::string resp = LineRequest(fd, "QUERY 1\n", 5000);
+        // Structured outcome or torn connection — both acceptable under
+        // injected network failure; crashes and hangs are not.
+        EXPECT_TRUE(resp.empty() || resp.compare(0, 3, "OK ") == 0 ||
+                    resp.compare(0, 3, "ERR") == 0)
+            << resp;
+        ::close(fd);
+      }
+      EXPECT_GE(server.stats().net_faults.load(), 1u);
+    }
+    // Disarmed: full service, correct bytes.
+    HttpResp clean = HttpGet(server.port(), "/query?q=1");
+    EXPECT_EQ(clean.code, 200);
+    EXPECT_EQ(clean.body, RefRows(1, 5));
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace qc::server
