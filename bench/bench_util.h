@@ -16,6 +16,7 @@
 #include "cgen/emit.h"
 #include "compiler/compiler.h"
 #include "exec/interp.h"
+#include "telemetry/trace.h"
 #include "tpch/datagen.h"
 #include "tpch/queries.h"
 
@@ -109,11 +110,16 @@ class Harness {
   // loops morsel-parallel (exec/parallel.h); results are bit-identical.
   // `control` (optional) attaches a governance ExecControl to every run —
   // with no deadline/budget set this measures pure safepoint overhead (the
-  // ir-*-gov cells the regression gate watches).
+  // ir-*-gov cells the regression gate watches). `traced` wraps every
+  // repetition in a live telemetry trace session (spans + morsel slices
+  // recorded, JSON rendering excluded from the timer) — the ir-jit-obs
+  // cells bound the *enabled* tracing overhead, which upper-bounds the
+  // disabled cost.
   InterpRun RunInterp(int query, const compiler::StackConfig& cfg,
                       exec::InterpOptions::Engine engine,
                       int repetitions = 3, int threads = 1,
-                      exec::ExecControl* control = nullptr) {
+                      exec::ExecControl* control = nullptr,
+                      bool traced = false) {
     InterpRun out;
     qplan::PlanPtr plan = tpch::MakeQuery(query);
     qplan::ResolvePlan(plan.get(), db_);
@@ -132,11 +138,18 @@ class Harness {
     exec::Interpreter interp(&db_, opts);
     double best = 1e300;
     for (int r = 0; r < repetitions; ++r) {
+      uint64_t session = traced ? telemetry::TraceBeginSession() : 0;
       Timer t;
-      storage::ResultTable result = interp.Run(*res.fn);
-      double ms = t.ElapsedMs();
+      double ms;
+      {
+        telemetry::TraceScope ts(session);
+        storage::ResultTable result = interp.Run(*res.fn);
+        ms = t.ElapsedMs();
+        out.rows = static_cast<int64_t>(result.size());
+      }
+      // Rendering the JSON is export, not execution: keep it off the timer.
+      if (session != 0) telemetry::TraceEndSession(session);
       if (ms < best) best = ms;
-      out.rows = static_cast<int64_t>(result.size());
     }
     out.query_ms = best;
     if (engine == exec::InterpOptions::Engine::kJit) {
@@ -177,6 +190,13 @@ inline bool BenchJit() { return EnvFlagSet("QC_BENCH_JIT"); }
 // overhead, the ir-bc-gov / ir-jit-gov cells). The regression gate asserts
 // these stay within a small factor of the ungoverned cells.
 inline bool BenchGoverned() { return EnvFlagSet("QC_BENCH_GOVERNED"); }
+
+// True when the table3 rows should also measure ir-jit with a live trace
+// session recording spans and morsel slices (the ir-jit-obs cell). The
+// regression gate bounds it within a small factor of plain ir-jit, which
+// also bounds the always-on disabled-telemetry cost (one relaxed load per
+// span site) from above.
+inline bool BenchObs() { return EnvFlagSet("QC_BENCH_OBS"); }
 
 // True when ir-jit rows should also carry the QC_JIT_STATS telemetry
 // (ir-jit-coverage / ir-jit-deopts cells) — what the CI coverage gate in

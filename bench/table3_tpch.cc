@@ -13,6 +13,9 @@
 //   QC_BENCH_JIT          add the in-process JIT engine rows (ir-jit)
 //   QC_BENCH_GOVERNED     also measure ir-bc/ir-jit with a governance
 //                         control attached (ir-bc-gov / ir-jit-gov cells)
+//   QC_BENCH_OBS          also measure ir-jit with a live telemetry trace
+//                         session recording (ir-jit-obs cells, paired with
+//                         an adjacently-measured ir-jit-obs-base)
 //   QC_BENCH_THREADS      comma list of interpreter thread counts
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
@@ -72,6 +75,7 @@ int main() {
   bool interp_only = bench::BenchInterpOnly();
   bool with_jit = bench::BenchJit();
   bool governed = bench::BenchGoverned();
+  bool observed = bench::BenchObs() && with_jit;
   // An attached control with no deadline/budget: the governed cells measure
   // pure safepoint overhead, which the regression gate bounds.
   exec::ExecControl gov_ctl;
@@ -146,6 +150,22 @@ int main() {
                                       threads, &gov_ctl);
         }
       }
+      bench::InterpRun jit_obs_base, jit_obs;
+      if (observed) {
+        // The overhead gate compares the traced run against a plain run
+        // measured immediately before it: the pair shares machine state
+        // (frequency, cache, allocator), so the ratio isolates tracing
+        // cost instead of minutes of drift between distant cells.
+        // Best-of-5 (vs 3 elsewhere): the gate divides these two cells, so
+        // a single scheduling spike in either run shows up as phantom
+        // overhead; extra reps make the min robust to it.
+        jit_obs_base = harness.RunInterp(q, StackConfig::Level(5),
+                                         exec::InterpOptions::Engine::kJit, 5,
+                                         threads);
+        jit_obs = harness.RunInterp(q, StackConfig::Level(5),
+                                    exec::InterpOptions::Engine::kJit, 5,
+                                    threads, nullptr, /*traced=*/true);
+      }
       if (t == 0) {
         row.threads = threads;
         std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
@@ -171,6 +191,10 @@ int main() {
           row.cells.emplace_back("ir-bc-gov", bc_gov.query_ms);
           if (with_jit) row.cells.emplace_back("ir-jit-gov", jit_gov.query_ms);
         }
+        if (observed) {
+          row.cells.emplace_back("ir-jit-obs-base", jit_obs_base.query_ms);
+          row.cells.emplace_back("ir-jit-obs", jit_obs.query_ms);
+        }
         if (tree.ok && bc.ok && bc.query_ms > 0) {
           speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
           ++speedup_count;
@@ -195,6 +219,10 @@ int main() {
           if (with_jit) {
             trow.cells.emplace_back("ir-jit-gov", jit_gov.query_ms);
           }
+        }
+        if (observed) {
+          trow.cells.emplace_back("ir-jit-obs-base", jit_obs_base.query_ms);
+          trow.cells.emplace_back("ir-jit-obs", jit_obs.query_ms);
         }
         json_rows.push_back(std::move(trow));
         std::printf("  [t=%d: %0.2f %0.2f", threads, tree.query_ms,

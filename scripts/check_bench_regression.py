@@ -27,6 +27,18 @@ queries must stay within --gov-overhead (default 2%). This check is
 intra-artifact — it compares cells of the same run on the same machine, so
 it works on the very first run and is immune to cross-run machine drift.
 
+When the current artifact carries observability cells (QC_BENCH_OBS=1
+during the bench: "ir-jit-obs", the same JIT run with a live telemetry
+trace session recording spans and morsel slices), the gate bounds the
+*telemetry overhead* the same intra-artifact way: the geomean of
+traced/untraced must stay within --obs-overhead (default 2%). The
+untraced side of the pair is "ir-jit-obs-base", a plain JIT run measured
+immediately before the traced one — adjacent cells share machine state
+(frequency, caches), so the ratio isolates tracing cost rather than the
+minutes of drift between the traced run and the distant ir-jit cell.
+Since this measures tracing *enabled*, it also upper-bounds the disabled
+cost (one relaxed atomic load per span site).
+
 Robustness contract: a baseline that predates some cells (older artifact
 without ir-jit-coverage / ir-jit-deopts), a row set that changed between
 runs, or a malformed baseline artifact must never crash the gate — such
@@ -48,7 +60,7 @@ missing/corrupt serve *current* artifact fails the gate.
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
       [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0] \
-      [--deopt-factor 2.0] [--gov-overhead 0.02] \
+      [--deopt-factor 2.0] [--gov-overhead 0.02] [--obs-overhead 0.02] \
       [--serve-baseline SERVE_BASE.json --serve-current SERVE_CUR.json] \
       [--serve-p95-factor 1.5] [--serve-shed-rate 0.01]
 """
@@ -64,6 +76,9 @@ INTERP_COLUMNS = ("ir-tree", "ir-bc", "ir-jit")
 # (ungoverned, governed) cell pairs for the safepoint-overhead gate.
 GOV_COLUMNS = (("ir-bc", "ir-bc-gov"), ("ir-jit", "ir-jit-gov"))
 
+# (untraced, traced) cell pairs for the telemetry-overhead gate.
+OBS_COLUMNS = (("ir-jit-obs-base", "ir-jit-obs"),)
+
 # Cells faster than this in the ungoverned column are excluded from the
 # overhead geomean: at timer resolution the ratio is dominated by noise,
 # not by safepoint cost. Deliberately lower than --min-ms — the geomean
@@ -71,21 +86,24 @@ GOV_COLUMNS = (("ir-bc", "ir-bc-gov"), ("ir-jit", "ir-jit-gov"))
 GOV_FLOOR_MS = 0.1
 
 
-def gov_overhead_regressions(cur, allowed):
-    """Intra-artifact governed/ungoverned geomean check (current run only).
+def paired_overhead_regressions(cur, pairs, allowed, what, hint,
+                                skip_notice):
+    """Intra-artifact paired-cell geomean check (current run only).
 
-    Returns a list of regression strings; empty when within the allowance
-    or when the artifact has no governed cells (bench ran without
-    QC_BENCH_GOVERNED — reported as a notice, not a failure).
+    For each (plain, instrumented) column pair, bounds the geometric mean
+    of instrumented/plain across all rows by `allowed`. Returns a list of
+    regression strings; empty when within the allowance or when the
+    artifact has no instrumented cells (reported via `skip_notice`, not a
+    failure).
     """
     regressions = []
     pairs_seen = 0
-    for base_col, gov_col in GOV_COLUMNS:
+    for base_col, inst_col in pairs:
         logs = []
         for key in sorted(cur, key=repr):
             row = cur[key]
             b = as_number(row, base_col)
-            g = as_number(row, gov_col)
+            g = as_number(row, inst_col)
             if b is None or g is None or b < GOV_FLOOR_MS or g <= 0:
                 continue
             logs.append(math.log(g / b))
@@ -93,20 +111,38 @@ def gov_overhead_regressions(cur, allowed):
             continue
         pairs_seen += 1
         geo = math.exp(sum(logs) / len(logs))
-        print(f"governance overhead {gov_col}/{base_col}: geomean "
+        print(f"{what} overhead {inst_col}/{base_col}: geomean "
               f"{(geo - 1.0) * 100.0:+.2f}% over {len(logs)} cells "
               f"(allowance +{allowed * 100:.0f}%)")
         if geo > 1.0 + allowed:
             regressions.append(
-                f"{gov_col}: governed runs {(geo - 1.0) * 100.0:.1f}% slower "
-                f"than {base_col} geomean over {len(logs)} cells "
-                f"(allowance {allowed * 100:.0f}%) — a safepoint left the "
-                "cold path or the poll interval collapsed")
+                f"{inst_col}: instrumented runs {(geo - 1.0) * 100.0:.1f}% "
+                f"slower than {base_col} geomean over {len(logs)} cells "
+                f"(allowance {allowed * 100:.0f}%) — {hint}")
     if pairs_seen == 0:
-        print("notice: current artifact has no governed cells "
-              "(QC_BENCH_GOVERNED not set during the bench); "
-              "governance-overhead gate skipped")
+        print(skip_notice)
     return regressions
+
+
+def gov_overhead_regressions(cur, allowed):
+    """Intra-artifact governed/ungoverned geomean check (current run only)."""
+    return paired_overhead_regressions(
+        cur, GOV_COLUMNS, allowed, "governance",
+        "a safepoint left the cold path or the poll interval collapsed",
+        "notice: current artifact has no governed cells "
+        "(QC_BENCH_GOVERNED not set during the bench); "
+        "governance-overhead gate skipped")
+
+
+def obs_overhead_regressions(cur, allowed):
+    """Intra-artifact traced/untraced geomean check (current run only)."""
+    return paired_overhead_regressions(
+        cur, OBS_COLUMNS, allowed, "telemetry",
+        "a span site does work off the session fast path or recording "
+        "left the per-thread ring",
+        "notice: current artifact has no observability cells "
+        "(QC_BENCH_OBS not set during the bench); "
+        "telemetry-overhead gate skipped")
 
 
 def serve_gate(args):
@@ -226,6 +262,9 @@ def main():
     ap.add_argument("--gov-overhead", type=float, default=0.02,
                     help="allowed governed/ungoverned geomean slowdown "
                          "(0.02 = 2%%; intra-artifact, needs no baseline)")
+    ap.add_argument("--obs-overhead", type=float, default=0.02,
+                    help="allowed traced/untraced geomean slowdown "
+                         "(0.02 = 2%%; intra-artifact, needs no baseline)")
     ap.add_argument("--serve-baseline", default=None,
                     help="baseline BENCH_serve.json (optional)")
     ap.add_argument("--serve-current", default=None,
@@ -256,9 +295,11 @@ def main():
               file=sys.stderr)
         return 1
 
-    # The governance-overhead gate compares cells within the current
-    # artifact, so it runs before (and independently of) any baseline.
+    # The governance- and telemetry-overhead gates compare cells within the
+    # current artifact, so they run before (and independently of) any
+    # baseline.
     gov_regressions = gov_overhead_regressions(cur, args.gov_overhead)
+    gov_regressions += obs_overhead_regressions(cur, args.obs_overhead)
 
     def finish_without_baseline():
         baseline_free = gov_regressions + serve_regressions

@@ -25,13 +25,13 @@ start_daemon() {  # $1 = extra env spec for QC_FAULT ("" = none)
     "$BIN" 2> "$LOG" &
   DAEMON_PID=$!
   for _ in $(seq 1 240); do
-    if grep -q "listening on port" "$LOG" 2>/dev/null; then break; fi
+    if grep -q "event=listening" "$LOG" 2>/dev/null; then break; fi
     if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
       fail "daemon died during startup"; cat "$LOG"; return 1
     fi
     sleep 0.5
   done
-  PORT=$(grep -oE "listening on port [0-9]+" "$LOG" | grep -oE "[0-9]+$")
+  PORT=$(grep -oE "event=listening port=[0-9]+" "$LOG" | grep -oE "[0-9]+$")
   if [ -z "$PORT" ]; then fail "no listening port in log"; return 1; fi
   say "daemon up on port $PORT (pid $DAEMON_PID)"
 }
@@ -94,6 +94,47 @@ PYEOF
   esac
 }
 
+check_metrics() {  # Prometheus exposition must carry the expected families
+  python3 - "$PORT" <<'PYEOF'
+import socket, sys
+
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+s.settimeout(10)
+buf = b""
+body = b""
+while True:
+    if b"\r\n\r\n" in buf:
+        head, body = buf.split(b"\r\n\r\n", 1)
+        clen = [h for h in head.split(b"\r\n")
+                if h.lower().startswith(b"content-length:")]
+        if clen and len(body) >= int(clen[0].split(b":")[1]):
+            break
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+s.close()
+body = body.decode(errors="replace")
+want = [
+    "# TYPE qc_server_requests_total counter",
+    "qc_server_requests_total",
+    "qc_server_ok_total",
+    "qc_server_connections_total",
+    "qc_server_request_ms_bucket",
+    "qc_plan_cache_hits_total",
+]
+missing = [w for w in want if w not in body]
+if missing:
+    print("missing metric families: %s" % missing)
+    sys.exit(4)
+print("metrics: all expected families present")
+sys.exit(0)
+PYEOF
+  if [ $? -ne 0 ]; then fail "GET /metrics missing expected families"; fi
+}
+
 stop_daemon() {
   kill -TERM "$DAEMON_PID" 2>/dev/null
   EXIT_CODE=1
@@ -101,8 +142,8 @@ stop_daemon() {
   if [ "$EXIT_CODE" -ne 0 ]; then
     fail "daemon exit code $EXIT_CODE after SIGTERM (want 0)"
   fi
-  if ! grep -q "draining" "$LOG"; then
-    fail "no drain message in daemon log"
+  if ! grep -q "event=draining" "$LOG"; then
+    fail "no drain record in daemon log"
   fi
   if grep -qE "ERROR: (Address|Leak)Sanitizer|runtime error:" "$LOG"; then
     fail "sanitizer report in daemon log"
@@ -114,6 +155,7 @@ stop_daemon() {
 say "pass 1: clean"
 if start_daemon ""; then
   drive_clients "clean" 0
+  check_metrics
   stop_daemon
 fi
 
@@ -123,7 +165,7 @@ if start_daemon "srv_read:3,srv_write:5,alloc_heap:5"; then
   drive_clients "chaos" 1
   stop_daemon
   # The injected faults must actually have fired and been counted.
-  if ! grep -qE '"net_faults":[1-9]' "$LOG"; then
+  if ! grep -qE 'net_faults=[1-9]' "$LOG"; then
     fail "chaos pass: net_faults counter is zero (faults never fired)"
     tail -2 "$LOG"
   fi

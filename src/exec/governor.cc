@@ -4,6 +4,7 @@
 
 #include "common/env.h"
 #include "common/fault.h"
+#include "telemetry/metrics.h"
 
 namespace qc::exec {
 
@@ -74,7 +75,12 @@ int64_t CheckControl(GovState* g, bool publish_mem) {
     if (FaultPoint("gov_trip")) ctl->Trip(QueryStatusCode::kCancelled);
     trip = ctl->tripped.load(std::memory_order_acquire);
   }
-  if (trip != 0) g->abort_flag.store(true, std::memory_order_relaxed);
+  // Count one safepoint trip per GovState on the false→true transition —
+  // cold path only: once tripped the exchange is re-run but never counts.
+  if (trip != 0 &&
+      !g->abort_flag.exchange(true, std::memory_order_relaxed)) {
+    telemetry::GovSafepointTrips().Inc();
+  }
   return trip;
 }
 
@@ -93,7 +99,9 @@ int64_t GovState::PollNoMem() {
 void GovState::TripResource() {
   if (ctl == nullptr) return;
   ctl->Trip(QueryStatusCode::kResourceFailure);
-  abort_flag.store(true, std::memory_order_relaxed);
+  if (!abort_flag.exchange(true, std::memory_order_relaxed)) {
+    telemetry::GovSafepointTrips().Inc();
+  }
 }
 
 extern "C" int64_t qc_gov_safepoint(GovState* g, int64_t* countdown) {

@@ -9,6 +9,9 @@
 
 #include "common/env.h"
 #include "common/str.h"
+#include "telemetry/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qc::exec {
 
@@ -139,6 +142,7 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
       CachedProgram cached;
       cached.fn_name = fn.name();
       cached.num_stmts = fn.num_stmts();
+      telemetry::ScopedSpan span("bytecode_compile", "compile");
       if (par_ != nullptr) cached.par = ir::AnalyzeParallelism(fn);
       cached.prog = BytecodeCompiler(db_).Compile(
           fn, par_ != nullptr ? &cached.par : nullptr);
@@ -151,20 +155,27 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
         // QC_JIT_DISABLE: the engine degrades to the plain VM — with the
         // structured reason recorded and a one-time stderr notice (no more
         // invisible fallbacks).
-        cached.jit = jit::JitProgram::Compile(cached.prog,
-                                              &cached.jit_fallback);
+        {
+          telemetry::ScopedSpan span("jit_stitch", "compile");
+          cached.jit = jit::JitProgram::Compile(cached.prog,
+                                                &cached.jit_fallback);
+        }
         if (cached.jit == nullptr) {
+          telemetry::JitFallbacks().Inc();
           // One process-wide notice, race-free: concurrent first fallbacks
-          // on different Interpreters print exactly once, and the printing
+          // on different Interpreters log exactly once, and the logging
           // thread finishes before any other proceeds.
           static std::once_flag warned;
           std::call_once(warned, [&] {
-            std::fprintf(stderr,
-                         "jit: degraded to bytecode VM (%s); further "
-                         "fallbacks are silent — see "
-                         "Interpreter::last_jit_stats\n",
-                         jit::JitFallbackName(cached.jit_fallback));
+            telemetry::Log(
+                telemetry::LogLevel::kWarn, "jit_fallback",
+                {{"reason", jit::JitFallbackName(cached.jit_fallback)},
+                 {"note",
+                  "degraded to bytecode VM; further fallbacks are silent — "
+                  "see Interpreter::last_jit_stats"}});
           });
+        } else {
+          telemetry::JitCompiles().Inc();
         }
         if (cached.jit != nullptr && par_ != nullptr) {
           // Native sort sites run big post-aggregation sorts on the pool.
@@ -180,7 +191,13 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
             ? jp->deopts()
             : 0;
     vm_.SetControl(ctl);
-    storage::ResultTable result = vm_.Run(cached.prog);
+    storage::ResultTable result;
+    {
+      telemetry::ScopedSpan span(
+          "exec", "exec", "threads",
+          par_ != nullptr ? opts_.num_threads : 1);
+      result = vm_.Run(cached.prog);
+    }
     vm_.SetJit(nullptr);
     vm_.SetControl(nullptr);
     if (ctl != nullptr && ctl->Tripped()) {
@@ -198,15 +215,19 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
         jit_stats_.native_pcs = jp->num_native();
         jit_stats_.total_pcs = jp->total_pcs();
         jit_stats_.deopts = jp->deopts() - deopts_before;
+        if (jit_stats_.deopts > 0) {
+          telemetry::JitDeoptEvents().Add(jit_stats_.deopts);
+        }
       }
       if (EnvLevel("QC_JIT_STATS") != 0) {
-        std::fprintf(stderr,
-                     "jit-stats fn=%s coverage=%.1f%% (%d/%d pcs) "
-                     "deopts=%llu%s\n",
-                     fn.name().c_str(), jit_stats_.CoveragePct(),
-                     jit_stats_.native_pcs, jit_stats_.total_pcs,
-                     static_cast<unsigned long long>(jit_stats_.deopts),
-                     jit_stats_.jitted ? "" : " (degraded to VM)");
+        telemetry::Log(
+            telemetry::LogLevel::kInfo, "jit_stats",
+            {{"fn", fn.name()},
+             {"coverage_pct", jit_stats_.CoveragePct()},
+             {"native_pcs", jit_stats_.native_pcs},
+             {"total_pcs", jit_stats_.total_pcs},
+             {"deopts", static_cast<unsigned long long>(jit_stats_.deopts)},
+             {"engine", jit_stats_.jitted ? "jit" : "vm_degraded"}});
       }
     }
     return result;
@@ -256,7 +277,11 @@ storage::ResultTable Interpreter::RunTreeWalk(const ir::Function& fn) {
   } else {
     records_.SetGovernor(nullptr);
   }
-  ExecBlock(st, fn.body());
+  {
+    telemetry::ScopedSpan span(
+        "exec", "exec", "threads", par_ != nullptr ? opts_.num_threads : 1);
+    ExecBlock(st, fn.body());
+  }
   if (opts_.control != nullptr && opts_.control->Tripped()) {
     last_status_ = opts_.control->status();
     return storage::ResultTable();

@@ -9,6 +9,8 @@
 
 #include "common/env.h"
 #include "common/fault.h"
+#include "telemetry/log.h"
+#include "telemetry/trace.h"
 
 namespace qc::exec::parallel {
 
@@ -319,10 +321,10 @@ WorkerPool::WorkerPool(int threads) {
     } catch (const std::system_error&) {
       static std::atomic<bool> warned{false};
       if (!warned.exchange(true)) {
-        std::fprintf(stderr,
-                     "exec: worker spawn failed; degrading to %d worker(s) "
-                     "(caller thread still participates)\n",
-                     static_cast<int>(workers_.size()));
+        telemetry::Log(
+            telemetry::LogLevel::kWarn, "worker_spawn_failed",
+            {{"workers", static_cast<int>(workers_.size())},
+             {"note", "degraded; caller thread still participates"}});
       }
       break;
     }
@@ -485,6 +487,14 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
   static const bool trace = EnvFlagSet("QC_PAR_TRACE");
   auto t0 = std::chrono::steady_clock::now();
 
+  // Tracing: the session is captured once on the submitting thread and
+  // passed into the scan lambda — worker threads record their morsel
+  // slices into their own rings under the same session. Recording happens
+  // strictly after a morsel's body ran (and after each merge), so traced
+  // and untraced runs execute identical work in identical order.
+  uint64_t trace_session = telemetry::CurrentTraceSession();
+  telemetry::ScopedSpan loop_span("par_loop", "par", "rows", rows);
+
   // The workers scan morsels; the caller thread runs the ordered merge
   // concurrently, folding each morsel in as soon as it (and all earlier
   // ones) completed, and steals scan work only when no merge is ready. On
@@ -502,7 +512,15 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
     // MorselState merges as a no-op, so the done/merge/Wait protocol runs
     // to completion and the pool stays reusable.
     if (run.ctl == nullptr || !run.ctl->Tripped()) {
-      run.body(ranges[m].first, ranges[m].second, *states[m]);
+      if (trace_session != 0) {
+        int64_t ts = telemetry::TraceNowNs();
+        run.body(ranges[m].first, ranges[m].second, *states[m]);
+        telemetry::TraceRecord(trace_session, "morsel", "par", ts,
+                               telemetry::TraceNowNs() - ts, "morsel", m,
+                               "rows", ranges[m].second - ranges[m].first);
+      } else {
+        run.body(ranges[m].first, ranges[m].second, *states[m]);
+      }
     }
     done[m].store(1, std::memory_order_release);
     { std::lock_guard<std::mutex> lock(done_mu); }
@@ -517,7 +535,17 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
            done[merged].load(std::memory_order_acquire) != 0) {
       // A morsel skipped after a trip never ran its body (regs stays
       // empty) and has nothing to merge.
-      if (!states[merged]->regs.empty()) merger.MergeMorsel(*states[merged]);
+      if (!states[merged]->regs.empty()) {
+        if (trace_session != 0) {
+          int64_t ts = telemetry::TraceNowNs();
+          merger.MergeMorsel(*states[merged]);
+          telemetry::TraceRecord(trace_session, "merge", "par", ts,
+                                 telemetry::TraceNowNs() - ts, "morsel",
+                                 merged);
+        } else {
+          merger.MergeMorsel(*states[merged]);
+        }
+      }
       states[merged]->ReleaseTransients();
       eng.Keep(std::move(states[merged]));
       ++merged;
@@ -543,13 +571,15 @@ bool RunForRange(Engine& eng, const LoopRun& run) {
 
   if (trace) {
     auto t1 = std::chrono::steady_clock::now();
-    std::fprintf(stderr,
-                 "parallel: rows=%lld morsels=%lld threads=%d reds=%zu "
-                 "logs=%zu total=%.2fms\n",
-                 static_cast<long long>(rows),
-                 static_cast<long long>(num_morsels), eng.pool().threads(),
-                 plan.reductions.size(), plan.logs.size(),
-                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+    telemetry::Log(
+        telemetry::LogLevel::kInfo, "par_loop",
+        {{"rows", static_cast<long long>(rows)},
+         {"morsels", static_cast<long long>(num_morsels)},
+         {"threads", eng.pool().threads()},
+         {"reds", plan.reductions.size()},
+         {"logs", plan.logs.size()},
+         {"total_ms",
+          std::chrono::duration<double, std::milli>(t1 - t0).count()}});
   }
   return true;
 }
@@ -599,6 +629,11 @@ bool ParallelStableSort(Engine& eng, Slot* data, int64_t n,
   static const bool trace = EnvFlagSet("QC_PAR_TRACE");
   auto t0 = std::chrono::steady_clock::now();
 
+  // Session captured on the submitting thread (workers record chunk/merge
+  // slices into their own rings); see RunForRange.
+  uint64_t trace_session = telemetry::CurrentTraceSession();
+  telemetry::ScopedSpan sort_span("par_sort", "par", "n", n);
+
   // One full-size scratch buffer for both phases: each chunk sort merges
   // through its own disjoint slice, so phase 1 costs no per-task
   // allocation on the workers.
@@ -607,9 +642,15 @@ bool ParallelStableSort(Engine& eng, Slot* data, int64_t n,
   // Phase 1: one stable sorted run per chunk, each task on its own
   // comparator (private register file).
   std::function<void(int)> sort_chunk = [&](int c) {
+    int64_t ts = trace_session != 0 ? telemetry::TraceNowNs() : 0;
     std::unique_ptr<SlotCmp> cmp = make_cmp();
     StableSortSlots(data + bounds[c], bounds[c + 1] - bounds[c], *cmp,
                     scratch.data() + bounds[c]);
+    if (trace_session != 0) {
+      telemetry::TraceRecord(trace_session, "sort_chunk", "par", ts,
+                             telemetry::TraceNowNs() - ts, "chunk", c, "n",
+                             bounds[c + 1] - bounds[c]);
+    }
   };
   RunTasks(eng, static_cast<int>(chunks), sort_chunk);
 
@@ -623,9 +664,14 @@ bool ParallelStableSort(Engine& eng, Slot* data, int64_t n,
     size_t pairs = (bounds.size() - 1) / 2;
     bool odd = (bounds.size() - 1) % 2 != 0;
     std::function<void(int)> merge_pair = [&](int p) {
+      int64_t ts = trace_session != 0 ? telemetry::TraceNowNs() : 0;
       std::unique_ptr<SlotCmp> cmp = make_cmp();
       MergeSortedRuns(src, bounds[2 * p], bounds[2 * p + 1],
                       bounds[2 * p + 2], dst, *cmp);
+      if (trace_session != 0) {
+        telemetry::TraceRecord(trace_session, "sort_merge", "par", ts,
+                               telemetry::TraceNowNs() - ts, "pair", p);
+      }
     };
     RunTasks(eng, static_cast<int>(pairs), merge_pair);
     if (odd) {
@@ -646,11 +692,13 @@ bool ParallelStableSort(Engine& eng, Slot* data, int64_t n,
 
   if (trace) {
     auto t1 = std::chrono::steady_clock::now();
-    std::fprintf(stderr, "parallel-sort: n=%lld chunks=%lld threads=%d "
-                 "total=%.2fms\n",
-                 static_cast<long long>(n), static_cast<long long>(chunks),
-                 threads,
-                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+    telemetry::Log(
+        telemetry::LogLevel::kInfo, "par_sort",
+        {{"n", static_cast<long long>(n)},
+         {"chunks", static_cast<long long>(chunks)},
+         {"threads", threads},
+         {"total_ms",
+          std::chrono::duration<double, std::milli>(t1 - t0).count()}});
   }
   return true;
 }

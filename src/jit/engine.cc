@@ -1,6 +1,7 @@
 #include "jit/engine.h"
 
 #include <cstdio>
+#include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
@@ -8,6 +9,7 @@
 
 #include "common/env.h"
 #include "jit/templates.h"
+#include "telemetry/log.h"
 
 // The backend emits x86-64 SysV machine code and enters it through a
 // plain function-pointer call; both are gated here. Everything else in
@@ -92,14 +94,17 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog,
     for (size_t pc = 0; pc < prog.code.size(); ++pc) {
       if (stitched.entry[pc] == kNoEntry) ++counts[prog.code[pc].op];
     }
-    std::fprintf(stderr, "jit-deopt-pcs:");
+    std::string pcs;
     for (int op = 0; op < static_cast<int>(BcOp::kNumOps); ++op) {
       if (counts[op] > 0) {
-        std::fprintf(stderr, " %s=%d", BcOpName(static_cast<BcOp>(op)),
-                     counts[op]);
+        if (!pcs.empty()) pcs += ' ';
+        pcs += BcOpName(static_cast<BcOp>(op));
+        pcs += '=';
+        pcs += std::to_string(counts[op]);
       }
     }
-    std::fprintf(stderr, "\n");
+    telemetry::Log(telemetry::LogLevel::kInfo, "jit_deopt_pcs",
+                   {{"pcs", std::move(pcs)}});
   }
   std::unique_ptr<JitProgram> jp(new JitProgram());
   if (!jp->buf_.Install(stitched.code)) {  // W^X refused

@@ -1,6 +1,8 @@
 #include "server/plan_cache.h"
 
 #include "qplan/plan.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "tpch/queries.h"
 
 namespace qc::server {
@@ -14,7 +16,10 @@ const ir::Function* PlanCache::Get(int query, int level, std::string* error) {
   {
     std::shared_lock<std::shared_mutex> lock(map_mu_);
     auto it = entries_.find(key);
-    if (it != entries_.end()) return it->second->res.fn.get();
+    if (it != entries_.end()) {
+      telemetry::PlanCacheHits().Inc();
+      return it->second->res.fn.get();
+    }
   }
   // Serialize lowering: the compiler lazily builds dictionaries/indexes
   // inside the shared Database. Double-check under the compile lock so two
@@ -23,14 +28,25 @@ const ir::Function* PlanCache::Get(int query, int level, std::string* error) {
   {
     std::shared_lock<std::shared_mutex> lock(map_mu_);
     auto it = entries_.find(key);
-    if (it != entries_.end()) return it->second->res.fn.get();
+    if (it != entries_.end()) {
+      telemetry::PlanCacheHits().Inc();
+      return it->second->res.fn.get();
+    }
   }
+  telemetry::PlanCacheMisses().Inc();
   auto entry = std::make_unique<Entry>();
-  qplan::PlanPtr plan = tpch::MakeQuery(query);
-  qplan::ResolvePlan(plan.get(), *db_);
+  qplan::PlanPtr plan;
+  {
+    telemetry::ScopedSpan span("parse", "compile", "query", query);
+    plan = tpch::MakeQuery(query);
+    qplan::ResolvePlan(plan.get(), *db_);
+  }
   compiler::QueryCompiler qc(db_, &entry->types);
-  entry->res = qc.Compile(*plan, compiler::StackConfig::Level(level),
-                          "srv_q" + std::to_string(query));
+  {
+    telemetry::ScopedSpan span("lower", "compile", "query", query);
+    entry->res = qc.Compile(*plan, compiler::StackConfig::Level(level),
+                            "srv_q" + std::to_string(query));
+  }
   if (entry->res.fn == nullptr) {
     if (error != nullptr) *error = "compilation produced no function";
     return nullptr;

@@ -52,6 +52,8 @@ void ApplyParam(ParsedRequest* r, const char* k, const char* kend,
     size_t vlen = static_cast<size_t>(vend - v);
     if (vlen == 3 && std::memcmp(v, "jit", 3) == 0) r->engine = 1;
     if (vlen == 2 && std::memcmp(v, "vm", 2) == 0) r->engine = 0;
+  } else if (is("trace")) {
+    if (ParseU64(v, vend, &num)) r->trace = num != 0;
   }
 }
 
@@ -96,8 +98,22 @@ ParsedRequest RouteHttp(const std::string& path, const char* args,
     r.kind = ParsedRequest::Kind::kStats;
     return r;
   }
+  if (path == "/metrics") {
+    r.kind = ParsedRequest::Kind::kMetrics;
+    return r;
+  }
   if (path == "/healthz") {
     r.kind = ParsedRequest::Kind::kHealth;
+    return r;
+  }
+  if (path.compare(0, 13, "/debug/trace/") == 0) {
+    const char* id = path.c_str() + 13;
+    int64_t num = 0;
+    if (!ParseU64(id, id + (path.size() - 13), &num) || num <= 0) {
+      return Bad(true, consumed, 404, "not_found");
+    }
+    r.kind = ParsedRequest::Kind::kTrace;
+    r.trace_id = static_cast<uint64_t>(num);
     return r;
   }
   if (path == "/debug/block") {
@@ -188,6 +204,24 @@ ParsedRequest ParseRequest(const std::string& buf, size_t max_buffer) {
     r.kind = ParsedRequest::Kind::kStats;
     return r;
   }
+  if (starts("METRICS")) {
+    r.kind = ParsedRequest::Kind::kMetrics;
+    return r;
+  }
+  if (starts("TRACE")) {
+    const char* p = line + 5;
+    while (p < end && *p == ' ') ++p;
+    const char* sp = static_cast<const char*>(
+        std::memchr(p, ' ', static_cast<size_t>(end - p)));
+    if (sp == nullptr) sp = end;
+    int64_t id = 0;
+    if (!ParseU64(p, sp, &id) || id <= 0) {
+      return Bad(false, consumed, 404, "not_found");
+    }
+    r.kind = ParsedRequest::Kind::kTrace;
+    r.trace_id = static_cast<uint64_t>(id);
+    return r;
+  }
   if (starts("HEALTH")) {
     r.kind = ParsedRequest::Kind::kHealth;
     return r;
@@ -275,34 +309,47 @@ const char* HttpReason(int code) {
 
 std::string RenderResponse(bool http, const ResponseMeta& meta,
                            const std::string& body) {
-  char hdr[512];
+  char hdr[640];
+  // Trace ids are opt-in, so the extra header/token appears only on traced
+  // requests and existing clients see byte-identical responses.
+  char trace[64];
+  trace[0] = '\0';
   if (http) {
+    if (meta.trace_id != 0) {
+      std::snprintf(trace, sizeof(trace), "X-QC-Trace: %llu\r\n",
+                    static_cast<unsigned long long>(meta.trace_id));
+    }
     int n = std::snprintf(
         hdr, sizeof(hdr),
         "HTTP/1.1 %d %s\r\n"
-        "Content-Type: text/plain\r\n"
+        "Content-Type: %s\r\n"
         "Content-Length: %zu\r\n"
         "X-QC-Status: %s\r\n"
         "X-QC-Rows: %lld\r\n"
         "X-QC-Retries: %d\r\n"
         "X-QC-Downshift: %d\r\n"
         "X-QC-Engine: %s\r\n"
-        "%s"
+        "%s%s"
         "Connection: keep-alive\r\n"
         "\r\n",
-        meta.http_code, HttpReason(meta.http_code), body.size(), meta.status,
-        static_cast<long long>(meta.rows), meta.retries, meta.downshift,
-        meta.engine, meta.http_code == 503 ? "Retry-After: 1\r\n" : "");
+        meta.http_code, HttpReason(meta.http_code), meta.content_type,
+        body.size(), meta.status, static_cast<long long>(meta.rows),
+        meta.retries, meta.downshift, meta.engine, trace,
+        meta.http_code == 503 ? "Retry-After: 1\r\n" : "");
     return std::string(hdr, static_cast<size_t>(n)) + body;
   }
   // Line framing: "OK <rows> retries=<n> downshift=<n> engine=<e>" +
   // body + ".\n" terminator, or a single ERR line.
   std::string out;
   if (meta.http_code == 200) {
+    if (meta.trace_id != 0) {
+      std::snprintf(trace, sizeof(trace), " trace=%llu",
+                    static_cast<unsigned long long>(meta.trace_id));
+    }
     int n = std::snprintf(hdr, sizeof(hdr),
-                          "OK %lld retries=%d downshift=%d engine=%s\n",
+                          "OK %lld retries=%d downshift=%d engine=%s%s\n",
                           static_cast<long long>(meta.rows), meta.retries,
-                          meta.downshift, meta.engine);
+                          meta.downshift, meta.engine, trace);
     out.assign(hdr, static_cast<size_t>(n));
     out += body;
     out += ".\n";

@@ -6,10 +6,12 @@
 //
 // HTTP surface:
 //   GET /query?q=<1..22>[&deadline_ms=N][&mem_mb=N][&engine=jit|vm][&level=L]
-//   GET /stats          GET /healthz          GET /debug/block?ms=N (gated)
+//             [&trace=1]
+//   GET /stats          GET /healthz          GET /metrics (Prometheus text)
+//   GET /debug/block?ms=N (gated)   GET /debug/trace/<id> (Chrome trace JSON)
 // Line surface (one request per line):
-//   QUERY <q> [deadline_ms=N] [mem_mb=N] [engine=jit|vm] [level=L]
-//   PING | STATS | HEALTH | BLOCK <ms>
+//   QUERY <q> [deadline_ms=N] [mem_mb=N] [engine=jit|vm] [level=L] [trace=1]
+//   PING | STATS | METRICS | HEALTH | BLOCK <ms> | TRACE <id>
 //
 // Status→wire mapping (MapStatus): the structured exec::QueryStatusCode of
 // a finished run becomes an HTTP status + canonical token, and the same
@@ -33,6 +35,8 @@ struct ParsedRequest {
     kQuery,
     kBlock,
     kStats,
+    kMetrics,  // Prometheus text exposition of the same snapshot as kStats
+    kTrace,    // fetch a stored per-request trace by id
     kHealth,
     kPing,
   };
@@ -46,6 +50,8 @@ struct ParsedRequest {
   int64_t block_ms = 0;
   int level = -1;
   int engine = -1;  // -1 unspecified, 0 vm, 1 jit
+  bool trace = false;     // trace=1: record this request, return a trace id
+  uint64_t trace_id = 0;  // kTrace: which stored trace to fetch
 
   int http_code = 400;       // for kBad
   std::string error;         // for kBad: canonical token ("bad_request", ...)
@@ -68,6 +74,8 @@ struct ResponseMeta {
   int retries = 0;
   int downshift = 0;      // downshift level the request ran under
   const char* engine = "";  // "jit", "vm" ("" = not applicable)
+  uint64_t trace_id = 0;  // nonzero: emit X-QC-Trace / " trace=<id>" token
+  const char* content_type = "text/plain";  // HTTP framing only
 };
 
 // Maps a finished run's structured status to wire status + token.

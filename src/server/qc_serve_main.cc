@@ -12,9 +12,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+#include <vector>
 
 #include "common/env.h"
 #include "server/server.h"
+#include "telemetry/log.h"
+#include "telemetry/metrics.h"
 #include "tpch/datagen.h"
 
 namespace {
@@ -48,7 +52,11 @@ int main() {
     double parsed = std::strtod(v, &end);
     if (end != v && parsed > 0 && parsed <= 1.0) sf = parsed;
   }
-  std::fprintf(stderr, "qc_serve: generating TPC-H storage, sf=%g\n", sf);
+  using qc::telemetry::Log;
+  using qc::telemetry::LogKv;
+  using qc::telemetry::LogLevel;
+
+  Log(LogLevel::kInfo, "boot", {{"sf", sf}});
   qc::storage::Database db = qc::tpch::MakeTpchDatabase(sf);
 
   qc::server::ServerOptions opts = qc::server::ServerOptions::FromEnv();
@@ -56,9 +64,9 @@ int main() {
   if (!server.Start()) return 1;
   // Pre-compile every query so the first client request never pays
   // lowering latency (requests for other levels still compile lazily).
-  std::fprintf(stderr, "qc_serve: warming plan cache, level=%d\n", opts.level);
+  Log(LogLevel::kInfo, "warm", {{"level", opts.level}});
   if (!qc::EnvFlagSet("QC_SERVE_NO_WARM")) server.WarmPlans();
-  std::fprintf(stderr, "qc_serve: listening on port %d\n", server.port());
+  Log(LogLevel::kInfo, "listening", {{"port", server.port()}});
   std::fflush(stderr);
 
   // Block until a termination signal arrives.
@@ -67,11 +75,23 @@ int main() {
     int rc = ::poll(&pfd, 1, -1);
     if (rc > 0 && (pfd.revents & POLLIN)) break;
   }
-  std::fprintf(stderr, "qc_serve: signal received, draining\n");
+  Log(LogLevel::kInfo, "draining", {});
   bool clean = server.Drain();
   server.Stop();
-  std::fprintf(stderr, "qc_serve: drained %s, stats=%s\n",
-               clean ? "clean" : "with stragglers cancelled",
-               server.stats().ToJson().c_str());
+  // Shutdown summary straight from the registry snapshot: the same data
+  // /stats and /metrics served, as one key=value log record.
+  qc::telemetry::MetricsSnapshot snap = server.stats().Snapshot();
+  std::vector<LogKv> kvs;
+  kvs.emplace_back("status", clean ? "clean" : "stragglers_cancelled");
+  for (const qc::telemetry::MetricSample& s : snap.samples) {
+    if (s.json_key.empty()) continue;
+    if (s.kind == qc::telemetry::MetricKind::kCounter) {
+      kvs.emplace_back(s.json_key.c_str(),
+                       static_cast<unsigned long long>(s.counter));
+    } else if (s.kind == qc::telemetry::MetricKind::kGauge) {
+      kvs.emplace_back(s.json_key.c_str(), static_cast<long long>(s.gauge));
+    }
+  }
+  Log(LogLevel::kInfo, "shutdown", std::move(kvs));
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "common/fault.h"
 #include "server/protocol.h"
 #include "server/retry.h"
+#include "telemetry/log.h"
+#include "telemetry/trace.h"
 
 namespace qc::server {
 
@@ -60,27 +62,85 @@ ServerOptions ServerOptions::FromEnv() {
   return o;
 }
 
-std::string ServerStats::ToJson() const {
-  auto g = [](const std::atomic<uint64_t>& v) {
-    return static_cast<unsigned long long>(v.load(std::memory_order_relaxed));
-  };
-  char buf[1024];
-  int n = std::snprintf(
-      buf, sizeof(buf),
-      "{\"connections\":%llu,\"requests\":%llu,\"ok\":%llu,"
-      "\"bad_requests\":%llu,\"shed_queue_full\":%llu,"
-      "\"shed_queue_deadline\":%llu,\"shed_draining\":%llu,"
-      "\"failed_deadline\":%llu,\"failed_cancelled\":%llu,"
-      "\"failed_memory\":%llu,\"failed_resource\":%llu,\"retries\":%llu,"
-      "\"downshifts\":%llu,\"downshift_level\":%d,"
-      "\"disconnect_cancels\":%llu,\"drain_kills\":%llu,"
-      "\"jit_fallbacks\":%llu,\"net_faults\":%llu}",
-      g(connections), g(requests), g(ok), g(bad_requests), g(shed_queue_full),
-      g(shed_queue_deadline), g(shed_draining), g(failed_deadline),
-      g(failed_cancelled), g(failed_memory), g(failed_resource), g(retries),
-      g(downshifts), downshift_level.load(std::memory_order_relaxed),
-      g(disconnect_cancels), g(drain_kills), g(jit_fallbacks), g(net_faults));
-  return std::string(buf, static_cast<size_t>(n));
+// Registration order IS the legacy /stats key order: both exports render
+// from one registration-ordered snapshot, so the JSON stays byte-compatible
+// with the hand-rendered version it replaces.
+ServerStats::ServerStats()
+    : connections(*registry.AddCounter(
+          "qc_server_connections_total", "Accepted client connections.",
+          "connections")),
+      requests(*registry.AddCounter(
+          "qc_server_requests_total", "Admission attempts (query + block).",
+          "requests")),
+      ok(*registry.AddCounter("qc_server_ok_total",
+                              "Requests that finished with status ok.",
+                              "ok")),
+      bad_requests(*registry.AddCounter(
+          "qc_server_bad_requests_total",
+          "Malformed, unroutable, or uncompilable requests.", "bad_requests")),
+      shed_queue_full(*registry.AddCounter(
+          "qc_server_shed_queue_full_total",
+          "Requests shed because the admission queue was full.",
+          "shed_queue_full")),
+      shed_queue_deadline(*registry.AddCounter(
+          "qc_server_shed_queue_deadline_total",
+          "Requests shed after waiting out their queue deadline.",
+          "shed_queue_deadline")),
+      shed_draining(*registry.AddCounter(
+          "qc_server_shed_draining_total",
+          "Requests refused because the server was draining.",
+          "shed_draining")),
+      failed_deadline(*registry.AddCounter(
+          "qc_server_failed_deadline_total",
+          "Runs tripped by their execution deadline.", "failed_deadline")),
+      failed_cancelled(*registry.AddCounter(
+          "qc_server_failed_cancelled_total",
+          "Runs cancelled (disconnect, drain kill).", "failed_cancelled")),
+      failed_memory(*registry.AddCounter(
+          "qc_server_failed_memory_total",
+          "Runs tripped by their memory budget.", "failed_memory")),
+      failed_resource(*registry.AddCounter(
+          "qc_server_failed_resource_total",
+          "Runs that exhausted retries on resource failures.",
+          "failed_resource")),
+      retries(*registry.AddCounter("qc_server_retries_total",
+                                   "Resource-failure retry attempts.",
+                                   "retries")),
+      downshifts(*registry.AddCounter(
+          "qc_server_downshifts_total",
+          "Degradation-ladder step-ups (jit->vm->single-thread).",
+          "downshifts")),
+      downshift_level(*registry.AddGauge(
+          "qc_server_downshift_level",
+          "Current degradation level (0 full service .. 2 single-thread VM).",
+          "downshift_level")),
+      disconnect_cancels(*registry.AddCounter(
+          "qc_server_disconnect_cancels_total",
+          "In-flight queries killed by client disconnect.",
+          "disconnect_cancels")),
+      drain_kills(*registry.AddCounter(
+          "qc_server_drain_kills_total",
+          "Stragglers cancelled at the drain deadline.", "drain_kills")),
+      jit_fallbacks(*registry.AddCounter(
+          "qc_server_jit_fallbacks_total",
+          "Requests whose JIT degraded to the VM mid-serve.",
+          "jit_fallbacks")),
+      net_faults(*registry.AddCounter("qc_server_net_faults_total",
+                                      "Injected srv_* fault firings.",
+                                      "net_faults")),
+      request_ms(*registry.AddHistogram(
+          "qc_server_request_ms",
+          "End-to-end worker latency per executed request (milliseconds).",
+          {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+           5000, 10000})) {}
+
+std::string ServerStats::ToJson() const { return Snapshot().ToJson(); }
+
+std::string ServerStats::ToPrometheus() const {
+  // One page serves the server families and the process-global engine
+  // families (JIT, governor, plan cache) — one scrape sees everything.
+  return Snapshot().ToPrometheus() +
+         telemetry::MetricsRegistry::Global().Snapshot().ToPrometheus();
 }
 
 Server::Server(storage::Database* db, ServerOptions opts)
@@ -172,7 +232,10 @@ bool Server::Drain() {
       std::lock_guard<std::mutex> lock(reg_mu_);
       for (auto& kv : outstanding_) out.push_back(kv.second);
     }
-    stats_.drain_kills.fetch_add(out.size(), std::memory_order_relaxed);
+    stats_.drain_kills.Add(out.size());
+    telemetry::Log(telemetry::LogLevel::kWarn, "drain_kill",
+                   {{"stragglers", static_cast<unsigned long long>(
+                                       out.size())}});
     for (auto& r : out) r->Kill();
     // The unwind itself is bounded by the safepoint contract, but give it a
     // generous hard stop so Drain() can never hang the caller.
@@ -284,7 +347,7 @@ void Server::AcceptNew() {
     if (FaultPoint("srv_accept")) {
       // Injected accept-path failure: the connection is dropped cleanly,
       // the listener survives.
-      stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+      stats_.net_faults.Inc();
       ::close(fd);
       continue;
     }
@@ -293,7 +356,7 @@ void Server::AcceptNew() {
     auto s = std::make_shared<Session>();
     s->fd = fd;
     sessions_[fd] = std::move(s);
-    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections.Inc();
   }
 }
 
@@ -301,7 +364,7 @@ void Server::HandleReadable(const SessionPtr& s) {
   if (FaultPoint("srv_read")) {
     // Injected socket-read failure == the peer vanished: tear the session
     // down, which cancels any in-flight query (kill-on-disconnect).
-    stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+    stats_.net_faults.Inc();
     CloseSession(s, /*cancel_inflight=*/true);
     return;
   }
@@ -340,7 +403,7 @@ void Server::ParseBuffered(const SessionPtr& s) {
     s->in.erase(0, p.consumed);
     switch (p.kind) {
       case ParsedRequest::Kind::kBad: {
-        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        stats_.bad_requests.Inc();
         RespondInline(s, RenderError(p.http, p.http_code, p.error.c_str()));
         if (p.http_code == 431) {
           // The buffer holds an unparseable flood: nothing after it can be
@@ -365,9 +428,28 @@ void Server::ParseBuffered(const SessionPtr& s) {
         RespondInline(s, RenderResponse(p.http, m, stats_.ToJson() + "\n"));
         break;
       }
+      case ParsedRequest::Kind::kMetrics: {
+        ResponseMeta m;
+        m.rows = 0;
+        m.content_type = "text/plain; version=0.0.4";
+        RespondInline(s, RenderResponse(p.http, m, stats_.ToPrometheus()));
+        break;
+      }
+      case ParsedRequest::Kind::kTrace: {
+        std::string json;
+        if (!GetTrace(p.trace_id, &json)) {
+          RespondInline(s, RenderError(p.http, 404, "not_found"));
+          break;
+        }
+        ResponseMeta m;
+        m.rows = 0;
+        m.content_type = "application/json";
+        RespondInline(s, RenderResponse(p.http, m, json + "\n"));
+        break;
+      }
       case ParsedRequest::Kind::kBlock:
         if (!opts_.debug_endpoints) {
-          stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+          stats_.bad_requests.Inc();
           RespondInline(s, RenderError(p.http, 404, "not_found"));
           break;
         }
@@ -384,16 +466,16 @@ void Server::ParseBuffered(const SessionPtr& s) {
 }
 
 void Server::AdmitQuery(const SessionPtr& s, const ParsedRequest& p) {
-  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.requests.Inc();
   if (draining_.load(std::memory_order_relaxed)) {
-    stats_.shed_draining.fetch_add(1, std::memory_order_relaxed);
+    stats_.shed_draining.Inc();
     RespondInline(s, RenderError(p.http, 503, "draining"));
     return;
   }
   if (FaultPoint("srv_queue")) {
     // Injected admission failure: handled exactly like a full queue.
-    stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
-    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    stats_.net_faults.Inc();
+    stats_.shed_queue_full.Inc();
     RespondInline(s, RenderError(p.http, 503, "overloaded"));
     return;
   }
@@ -407,6 +489,7 @@ void Server::AdmitQuery(const SessionPtr& s, const ParsedRequest& p) {
   req->want_jit = p.engine == -1 ? opts_.default_jit : (p.engine == 1);
   req->block_ms = p.block_ms < 0 ? 0 : p.block_ms;
   req->http = p.http;
+  req->trace = p.trace;
   req->session = s;
 
   // Deadlines and budgets by default: an absent or out-of-cap parameter
@@ -433,7 +516,7 @@ void Server::AdmitQuery(const SessionPtr& s, const ParsedRequest& p) {
       std::lock_guard<std::mutex> lock(s->mu);
       s->inflight = nullptr;
     }
-    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    stats_.shed_queue_full.Inc();
     RespondInline(s, RenderError(p.http, 503, "overloaded"));
     return;
   }
@@ -461,7 +544,7 @@ void Server::FlushWrites(const SessionPtr& s) {
     pending.swap(s->out);
   }
   if (FaultPoint("srv_write")) {
-    stats_.net_faults.fetch_add(1, std::memory_order_relaxed);
+    stats_.net_faults.Inc();
     CloseSession(s, /*cancel_inflight=*/true);
     return;
   }
@@ -500,7 +583,7 @@ void Server::CloseSession(const SessionPtr& s, bool cancel_inflight) {
   if (inflight != nullptr && cancel_inflight) {
     // Kill-on-disconnect: the client is gone, stop paying for its query.
     inflight->Kill();
-    stats_.disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
+    stats_.disconnect_cancels.Inc();
   }
   if (s->fd >= 0) {
     sessions_.erase(s->fd);
@@ -519,14 +602,14 @@ void Server::WorkerMain(Worker* w) {
     if (req->aborted.load(std::memory_order_relaxed)) {
       // Killed while queued (disconnect or drain): answer cancelled — the
       // rendered bytes are dropped anyway when the session is closed.
-      stats_.failed_cancelled.fetch_add(1, std::memory_order_relaxed);
+      stats_.failed_cancelled.Inc();
       Respond(req, RenderError(req->http, 499, "cancelled"));
       continue;
     }
     if (now > req->queue_deadline_ns) {
       // Admitted but waited too long: shedding now is cheaper than running
       // a query whose client has likely timed out.
-      stats_.shed_queue_deadline.fetch_add(1, std::memory_order_relaxed);
+      stats_.shed_queue_deadline.Inc();
       Respond(req, RenderError(req->http, 503, "queue_deadline"));
       continue;
     }
@@ -541,7 +624,8 @@ void Server::WorkerMain(Worker* w) {
 exec::Interpreter* Server::PickInterpreter(Worker* w, const RequestPtr& req,
                                            int* downshift,
                                            const char** engine) {
-  int level = stats_.downshift_level.load(std::memory_order_relaxed);
+  int level = static_cast<int>(
+      stats_.downshift_level.load(std::memory_order_relaxed));
   bool jit = req->want_jit && level < 1;
   int idx = jit ? 0 : (level >= 2 ? 2 : 1);
   int threads = idx == 2 ? 1 : opts_.query_threads;
@@ -558,10 +642,22 @@ exec::Interpreter* Server::PickInterpreter(Worker* w, const RequestPtr& req,
 }
 
 void Server::Execute(Worker* w, const RequestPtr& req) {
+  const int64_t t0 = exec::GovNowNs();
+  // ?trace=1: a per-request capture session wraps the plan lookup (so a
+  // cold plan records parse/lower spans) and every execution attempt; the
+  // rendered Chrome trace is stored under the request id for
+  // /debug/trace/<id>.
+  uint64_t trace_session = req->trace ? telemetry::TraceBeginSession() : 0;
+
   std::string err;
-  const ir::Function* fn = plans_.Get(req->query, req->level, &err);
+  const ir::Function* fn;
+  {
+    telemetry::TraceScope ts(trace_session);
+    fn = plans_.Get(req->query, req->level, &err);
+  }
   if (fn == nullptr) {
-    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    if (trace_session != 0) telemetry::TraceEndSession(trace_session);
+    stats_.bad_requests.Inc();
     Respond(req, RenderError(req->http, 500, "compile_failed"));
     return;
   }
@@ -579,7 +675,10 @@ void Server::Execute(Worker* w, const RequestPtr& req) {
                                    std::memory_order_relaxed);
     req->control.memory_budget_bytes = req->mem_budget_bytes;
     interp->SetControl(&req->control);
-    result = interp->Run(*fn);
+    {
+      telemetry::TraceScope ts(trace_session);
+      result = interp->Run(*fn);
+    }
     st = interp->last_status();
     interp->SetControl(nullptr);
     if (interp->last_jit_stats().fallback_reason != 0 &&
@@ -587,10 +686,15 @@ void Server::Execute(Worker* w, const RequestPtr& req) {
       // The JIT degraded under us (denied code pages, fault injection):
       // results are still exact on the VM, but new admissions stop asking
       // for native code until the server recovers.
-      stats_.jit_fallbacks.fetch_add(1, std::memory_order_relaxed);
-      int cur = 0;
-      stats_.downshift_level.compare_exchange_strong(
-          cur, 1, std::memory_order_relaxed);
+      stats_.jit_fallbacks.Inc();
+      int64_t cur = 0;
+      if (stats_.downshift_level.compare_exchange_strong(
+              cur, 1, std::memory_order_relaxed)) {
+        telemetry::Log(telemetry::LogLevel::kWarn, "downshift",
+                       {{"level", 1}, {"reason", "jit_fallback"},
+                        {"request", static_cast<unsigned long long>(
+                                        req->id)}});
+      }
     }
     if (st.ok() || st.code != exec::QueryStatusCode::kResourceFailure) break;
     int64_t delay_ms = 0;
@@ -598,7 +702,11 @@ void Server::Execute(Worker* w, const RequestPtr& req) {
         !retry.ShouldRetry(req->deadline_abs_ns, &delay_ms)) {
       break;
     }
-    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    stats_.retries.Inc();
+    telemetry::Log(telemetry::LogLevel::kInfo, "retry",
+                   {{"request", static_cast<unsigned long long>(req->id)},
+                    {"attempt", retry.attempts()},
+                    {"delay_ms", static_cast<long long>(delay_ms)}});
     // Jittered backoff, interruptible by disconnect/drain kills.
     int64_t until = exec::GovNowNs() + delay_ms * 1000000;
     while (exec::GovNowNs() < until &&
@@ -607,11 +715,17 @@ void Server::Execute(Worker* w, const RequestPtr& req) {
     }
   }
   NoteOutcome(st.code, retry.attempts() > 0);
+  stats_.request_ms.Observe(
+      static_cast<double>(exec::GovNowNs() - t0) / 1e6);
 
   ResponseMeta meta = MapStatus(st.code);
   meta.retries = retry.attempts();
   meta.downshift = downshift;
   meta.engine = engine;
+  if (trace_session != 0) {
+    StoreTrace(req->id, telemetry::TraceEndSession(trace_session));
+    meta.trace_id = req->id;
+  }
   std::string body;
   if (st.ok()) {
     meta.rows = static_cast<int64_t>(result.size());
@@ -654,41 +768,67 @@ void Server::NoteOutcome(exec::QueryStatusCode code, bool retried_out) {
   (void)retried_out;
   switch (code) {
     case exec::QueryStatusCode::kOk: {
-      stats_.ok.fetch_add(1, std::memory_order_relaxed);
+      stats_.ok.Inc();
       // Recovery: enough consecutive healthy runs step the downshift
       // ladder back toward full service.
       int streak = ok_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (streak >= opts_.recover_ok) {
-        int cur = stats_.downshift_level.load(std::memory_order_relaxed);
+        int64_t cur = stats_.downshift_level.load(std::memory_order_relaxed);
         if (cur > 0 && stats_.downshift_level.compare_exchange_strong(
                            cur, cur - 1, std::memory_order_relaxed)) {
           ok_streak_.store(0, std::memory_order_relaxed);
+          telemetry::Log(telemetry::LogLevel::kInfo, "recover",
+                         {{"level", static_cast<long long>(cur - 1)},
+                          {"ok_streak", streak}});
         }
       }
       return;
     }
     case exec::QueryStatusCode::kDeadlineExceeded:
-      stats_.failed_deadline.fetch_add(1, std::memory_order_relaxed);
+      stats_.failed_deadline.Inc();
       return;
     case exec::QueryStatusCode::kCancelled:
-      stats_.failed_cancelled.fetch_add(1, std::memory_order_relaxed);
+      stats_.failed_cancelled.Inc();
       return;
     case exec::QueryStatusCode::kMemoryBudget:
-      stats_.failed_memory.fetch_add(1, std::memory_order_relaxed);
+      stats_.failed_memory.Inc();
       return;
     case exec::QueryStatusCode::kResourceFailure: {
-      stats_.failed_resource.fetch_add(1, std::memory_order_relaxed);
+      stats_.failed_resource.Inc();
       // Retries exhausted on a resource fault: downshift new admissions
       // (graceful degradation) and restart the recovery streak.
       ok_streak_.store(0, std::memory_order_relaxed);
-      int cur = stats_.downshift_level.load(std::memory_order_relaxed);
+      int64_t cur = stats_.downshift_level.load(std::memory_order_relaxed);
       while (cur < 2 && !stats_.downshift_level.compare_exchange_weak(
                             cur, cur + 1, std::memory_order_relaxed)) {
       }
-      if (cur < 2) stats_.downshifts.fetch_add(1, std::memory_order_relaxed);
+      if (cur < 2) {
+        stats_.downshifts.Inc();
+        telemetry::Log(telemetry::LogLevel::kWarn, "downshift",
+                       {{"level", static_cast<long long>(cur + 1)},
+                        {"reason", "resource_failure"}});
+      }
       return;
     }
   }
+}
+
+void Server::StoreTrace(uint64_t id, std::string json) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (traces_.count(id) == 0) trace_order_.push_back(id);
+  traces_[id] = std::move(json);
+  while (trace_order_.size() > kMaxStoredTraces) {
+    traces_.erase(trace_order_.front());
+    trace_order_.pop_front();
+  }
+}
+
+bool Server::GetTrace(uint64_t id, std::string* out) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return false;
+  *out = it->second;
+  return true;
 }
 
 void Server::Respond(const RequestPtr& req, std::string wire) {

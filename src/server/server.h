@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,7 @@
 #include "server/plan_cache.h"
 #include "server/session.h"
 #include "storage/database.h"
+#include "telemetry/metrics.h"
 
 namespace qc::server {
 
@@ -74,29 +76,39 @@ struct ServerOptions {
 };
 
 // Monotonic counters, all relaxed: exactness across threads matters less
-// than never synchronizing on the hot path. Snapshot via /stats or the
-// accessors in tests.
+// than never synchronizing on the hot path. Every counter lives in the
+// server's own telemetry registry; /stats (JSON) and /metrics (Prometheus)
+// are both rendered from one registry snapshot, so they can never diverge.
+// The reference members keep `stats().ok.load()`-style call sites working.
 struct ServerStats {
-  std::atomic<uint64_t> connections{0};
-  std::atomic<uint64_t> requests{0};
-  std::atomic<uint64_t> ok{0};
-  std::atomic<uint64_t> bad_requests{0};
-  std::atomic<uint64_t> shed_queue_full{0};
-  std::atomic<uint64_t> shed_queue_deadline{0};
-  std::atomic<uint64_t> shed_draining{0};
-  std::atomic<uint64_t> failed_deadline{0};
-  std::atomic<uint64_t> failed_cancelled{0};
-  std::atomic<uint64_t> failed_memory{0};
-  std::atomic<uint64_t> failed_resource{0};
-  std::atomic<uint64_t> retries{0};
-  std::atomic<uint64_t> downshifts{0};
-  std::atomic<uint64_t> disconnect_cancels{0};
-  std::atomic<uint64_t> drain_kills{0};
-  std::atomic<uint64_t> jit_fallbacks{0};
-  std::atomic<uint64_t> net_faults{0};  // injected srv_* fault firings
-  std::atomic<int> downshift_level{0};  // gauge, 0..2
+  telemetry::MetricsRegistry registry;  // must precede the references
 
-  std::string ToJson() const;
+  telemetry::Counter& connections;
+  telemetry::Counter& requests;
+  telemetry::Counter& ok;
+  telemetry::Counter& bad_requests;
+  telemetry::Counter& shed_queue_full;
+  telemetry::Counter& shed_queue_deadline;
+  telemetry::Counter& shed_draining;
+  telemetry::Counter& failed_deadline;
+  telemetry::Counter& failed_cancelled;
+  telemetry::Counter& failed_memory;
+  telemetry::Counter& failed_resource;
+  telemetry::Counter& retries;
+  telemetry::Counter& downshifts;
+  telemetry::Gauge& downshift_level;  // 0..2 degradation ladder
+  telemetry::Counter& disconnect_cancels;
+  telemetry::Counter& drain_kills;
+  telemetry::Counter& jit_fallbacks;
+  telemetry::Counter& net_faults;  // injected srv_* fault firings
+  telemetry::Histogram& request_ms;  // end-to-end worker latency (no json)
+
+  ServerStats();
+
+  // One snapshot feeds both renderings (and the shutdown summary).
+  telemetry::MetricsSnapshot Snapshot() const { return registry.Snapshot(); }
+  std::string ToJson() const;        // byte-compatible with the old /stats
+  std::string ToPrometheus() const;  // server + process-global families
 };
 
 class Server {
@@ -139,7 +151,8 @@ class Server {
   const ServerStats& stats() const { return stats_; }
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
   int downshift_level() const {
-    return stats_.downshift_level.load(std::memory_order_relaxed);
+    return static_cast<int>(
+        stats_.downshift_level.load(std::memory_order_relaxed));
   }
 
  private:
@@ -171,6 +184,11 @@ class Server {
                                      int* downshift, const char** engine);
   void NoteOutcome(exec::QueryStatusCode code, bool retried_out);
 
+  // Bounded store of per-request trace JSON (?trace=1): the newest
+  // kMaxStoredTraces live at /debug/trace/<id>, older ones are evicted.
+  void StoreTrace(uint64_t id, std::string json);
+  bool GetTrace(uint64_t id, std::string* out);
+
   void Wake();
 
   storage::Database* db_;
@@ -197,6 +215,10 @@ class Server {
   // cancel queued AND executing work through one registry.
   std::mutex reg_mu_;
   std::map<uint64_t, RequestPtr> outstanding_;
+  static constexpr size_t kMaxStoredTraces = 16;
+  std::mutex trace_mu_;
+  std::map<uint64_t, std::string> traces_;
+  std::deque<uint64_t> trace_order_;  // eviction order (FIFO)
   bool started_ = false;
   bool stopped_ = false;
 };

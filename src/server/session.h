@@ -49,7 +49,8 @@ struct Request {
   int64_t admitted_ns = 0;
   int64_t mem_budget_bytes = 0;
 
-  bool http = true;  // response framing (HTTP vs line protocol)
+  bool http = true;   // response framing (HTTP vs line protocol)
+  bool trace = false;  // record a per-request trace, report its id
 
   std::shared_ptr<Session> session;
   exec::ExecControl control;

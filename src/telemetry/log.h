@@ -1,0 +1,65 @@
+// Structured logging: one-line `key=value` records on stderr, replacing
+// the engines' and daemon's ad-hoc fprintf notices. Every record carries
+// `ts=` (epoch milliseconds), `level=`, and `event=`; values that contain
+// spaces, quotes, '=' or control characters are double-quoted with
+// backslash escapes, so the lines stay machine-parseable.
+//
+//   qc ts=1754650000123 level=warn event=jit_fallback reason=mmap_denied
+//
+// The QC_LOG knob sets the threshold: error|warn|info|debug or 0..3
+// (default info). It is re-read per record — log records are rare by
+// design (state transitions, not per-row events), so there is no cached
+// level to stale out.
+#ifndef QC_TELEMETRY_LOG_H_
+#define QC_TELEMETRY_LOG_H_
+
+#include <string>
+#include <vector>
+
+namespace qc {
+namespace telemetry {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// One key=value pair. Keys must outlive the Log/LogFormat call (string
+// literals at every call site).
+struct LogKv {
+  enum class Kind { kStr, kInt, kUint, kFloat };
+  const char* key;
+  Kind kind;
+  std::string str;
+  long long i = 0;
+  unsigned long long u = 0;
+  double f = 0;
+
+  LogKv(const char* k, const char* v)
+      : key(k), kind(Kind::kStr), str(v != nullptr ? v : "") {}
+  LogKv(const char* k, std::string v)
+      : key(k), kind(Kind::kStr), str(std::move(v)) {}
+  LogKv(const char* k, int v) : key(k), kind(Kind::kInt), i(v) {}
+  LogKv(const char* k, long v) : key(k), kind(Kind::kInt), i(v) {}
+  LogKv(const char* k, long long v) : key(k), kind(Kind::kInt), i(v) {}
+  LogKv(const char* k, unsigned v) : key(k), kind(Kind::kUint), u(v) {}
+  LogKv(const char* k, unsigned long v) : key(k), kind(Kind::kUint), u(v) {}
+  LogKv(const char* k, unsigned long long v)
+      : key(k), kind(Kind::kUint), u(v) {}
+  LogKv(const char* k, double v) : key(k), kind(Kind::kFloat), f(v) {}
+};
+
+// Current threshold from QC_LOG (0..3); records at a level <= threshold
+// are emitted.
+int LogThreshold();
+bool LogEnabled(LogLevel level);
+
+// Renders "level=<l> event=<e> k=v ..." without timestamp or newline —
+// the pure, testable part of the pipeline.
+std::string LogFormat(LogLevel level, const char* event,
+                      const std::vector<LogKv>& kvs);
+
+// Emits one record to stderr (single write) when `level` passes QC_LOG.
+void Log(LogLevel level, const char* event, std::vector<LogKv> kvs = {});
+
+}  // namespace telemetry
+}  // namespace qc
+
+#endif  // QC_TELEMETRY_LOG_H_

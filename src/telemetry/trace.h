@@ -1,0 +1,99 @@
+// Per-query tracing: span and slice events recorded into per-thread ring
+// buffers, collected per session, and emitted as Chrome trace-event JSON
+// (the `traceEvents` array format) loadable in Perfetto / chrome://tracing.
+//
+// Model: a *session* is one trace capture (one request, one bench rep, or
+// the whole process under QC_TRACE=<path>). Threads record complete
+// ("ph":"X") events tagged with the session id; ending the session drains
+// every thread's ring, sorts, and renders JSON. Recording is opt-in at
+// runtime: when no session is active the instrumentation cost is a single
+// relaxed atomic load per span site, and no ring memory is allocated.
+//
+// Determinism: recording reads clocks and buffers events — it never
+// changes morsel decomposition, merge order, or allocation accounting, so
+// bit-exact results and AllocStats are identical traced or untraced.
+//
+// Knobs: QC_TRACE=<path> opens a process-wide session whose JSON is
+// written to <path> at exit; QC_TRACE_BUF=<n> sets the per-thread ring
+// capacity in events (default 8192, wrap drops oldest).
+#ifndef QC_TELEMETRY_TRACE_H_
+#define QC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qc {
+namespace telemetry {
+
+// Monotonic nanoseconds (same clock as exec::GovNowNs).
+int64_t TraceNowNs();
+
+// Opens a new session and returns its non-zero id.
+uint64_t TraceBeginSession();
+
+// Closes `session`, drains its events from every thread ring, and renders
+// Chrome trace JSON. Safe to call once per id; unknown ids yield an empty
+// trace.
+std::string TraceEndSession(uint64_t session);
+
+// The session this thread should record into: the thread-bound session if
+// a TraceScope is live, else the process-wide QC_TRACE session, else 0.
+// Fast path (no session anywhere): one relaxed load.
+uint64_t CurrentTraceSession();
+
+// Records one complete event. No-op when session == 0. `name`, `cat`, and
+// arg keys must be string literals (stored by pointer).
+void TraceRecord(uint64_t session, const char* name, const char* cat,
+                 int64_t ts_ns, int64_t dur_ns, const char* arg0_key = nullptr,
+                 int64_t arg0 = 0, const char* arg1_key = nullptr,
+                 int64_t arg1 = 0);
+
+// Binds `session` to the current thread for the scope (restores the
+// previous binding on destruction). Worker threads do not inherit the
+// binding — parallel code paths capture CurrentTraceSession() on the
+// submitting thread and pass it into their task bodies.
+class TraceScope {
+ public:
+  explicit TraceScope(uint64_t session);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+// RAII complete-event span around a code region; records on destruction
+// when a session was active at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat,
+             const char* arg0_key = nullptr, int64_t arg0 = 0)
+      : session_(CurrentTraceSession()),
+        name_(name),
+        cat_(cat),
+        arg0_key_(arg0_key),
+        arg0_(arg0),
+        t0_(session_ != 0 ? TraceNowNs() : 0) {}
+  ~ScopedSpan() {
+    if (session_ != 0) {
+      TraceRecord(session_, name_, cat_, t0_, TraceNowNs() - t0_, arg0_key_,
+                  arg0_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  uint64_t session_;
+  const char* name_;
+  const char* cat_;
+  const char* arg0_key_;
+  int64_t arg0_;
+  int64_t t0_;
+};
+
+}  // namespace telemetry
+}  // namespace qc
+
+#endif  // QC_TELEMETRY_TRACE_H_

@@ -410,6 +410,166 @@ TEST(ServerTest, DrainWithNoInflightWorkIsClean) {
   server.Stop();
 }
 
+// --- telemetry endpoints ---------------------------------------------------
+
+// Strips line framing: "OK ...\n<body>.\n" -> body.
+std::string LineBody(const std::string& resp) {
+  size_t nl = resp.find('\n');
+  if (nl == std::string::npos || resp.size() < nl + 3) return "";
+  return resp.substr(nl + 1, resp.size() - nl - 3);
+}
+
+// First sample value of `family` in Prometheus text ("family 123\n").
+bool PromValue(const std::string& text, const std::string& family,
+               long long* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    if (text.compare(pos, family.size(), family) == 0 &&
+        pos + family.size() < end && text[pos + family.size()] == ' ') {
+      *out = std::strtoll(text.c_str() + pos + family.size() + 1, nullptr, 10);
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
+bool JsonValue(const std::string& json, const std::string& key,
+               long long* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoll(json.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+// /metrics and /stats must be two renderings of the same registry snapshot:
+// after a scripted mix of outcomes (successes, a retry, a bad request),
+// every /stats counter must equal its qc_server_* Prometheus family. Both
+// are fetched over ONE line-protocol connection so no counter moves between
+// the two reads (metadata requests are not admitted queries).
+TEST(ServerTest, MetricsEndpointAgreesWithStats) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 2;
+  opts.max_retries = 2;
+  opts.retry_base_ms = 1;
+  opts.retry_max_ms = 4;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  // Traffic mix: two successes, one retried transient failure, one
+  // unroutable request.
+  ASSERT_EQ(HttpGet(server.port(), "/query?q=1").code, 200);
+  ASSERT_EQ(HttpGet(server.port(), "/query?q=3&level=2").code, 200);
+  {
+    ScopedFault fault("alloc_heap:1");
+    EXPECT_EQ(HttpGet(server.port(), "/query?q=3&level=2").code, 200);
+  }
+  EXPECT_EQ(server.stats().retries.load(), 1u);
+  EXPECT_EQ(HttpGet(server.port(), "/no_such_endpoint").code, 404);
+
+  // The HTTP rendering carries the exposition-format content type and the
+  // histogram family the JSON view cannot express.
+  HttpResp prom = HttpGet(server.port(), "/metrics");
+  ASSERT_EQ(prom.code, 200);
+  EXPECT_EQ(prom.headers["Content-Type"], "text/plain; version=0.0.4");
+  EXPECT_NE(prom.body.find("# TYPE qc_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("qc_server_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("qc_server_request_ms_count"), std::string::npos);
+  // Engine-level globals ride along in the same exposition.
+  EXPECT_NE(prom.body.find("qc_plan_cache_misses_total"), std::string::npos);
+
+  int fd = ConnectTo(server.port());
+  std::string metrics = LineBody(LineRequest(fd, "METRICS\n"));
+  std::string stats = LineBody(LineRequest(fd, "STATS\n"));
+  ::close(fd);
+  ASSERT_FALSE(metrics.empty());
+  ASSERT_FALSE(stats.empty());
+
+  const char* kCounters[] = {
+      "connections",      "requests",        "ok",
+      "bad_requests",     "shed_queue_full", "shed_queue_deadline",
+      "shed_draining",    "failed_deadline", "failed_cancelled",
+      "failed_memory",    "failed_resource", "retries",
+      "downshifts",       "disconnect_cancels",
+      "drain_kills",      "jit_fallbacks",   "net_faults"};
+  for (const char* key : kCounters) {
+    SCOPED_TRACE(key);
+    long long from_json = -1, from_prom = -1;
+    ASSERT_TRUE(JsonValue(stats, key, &from_json));
+    ASSERT_TRUE(
+        PromValue(metrics, std::string("qc_server_") + key + "_total",
+                  &from_prom));
+    EXPECT_EQ(from_json, from_prom);
+  }
+  long long level_json = -1, level_prom = -1;
+  ASSERT_TRUE(JsonValue(stats, "downshift_level", &level_json));
+  ASSERT_TRUE(PromValue(metrics, "qc_server_downshift_level", &level_prom));
+  EXPECT_EQ(level_json, level_prom);
+
+  // Spot-check the mix actually landed in both views.
+  long long oks = 0, retries = 0, bad = 0;
+  ASSERT_TRUE(JsonValue(stats, "ok", &oks));
+  ASSERT_TRUE(JsonValue(stats, "retries", &retries));
+  ASSERT_TRUE(JsonValue(stats, "bad_requests", &bad));
+  EXPECT_GE(oks, 3);
+  EXPECT_EQ(retries, 1);
+  EXPECT_GE(bad, 1);
+  server.Stop();
+}
+
+// ?trace=1 records the request's execution as a Chrome trace, returns its
+// id in-band (X-QC-Trace / trace= token), and serves the JSON at
+// /debug/trace/<id>; untraced requests stay byte-identical and unknown ids
+// 404.
+TEST(ServerTest, PerRequestTraceRoundTrip) {
+  ServerOptions opts = TestOptions();
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  // Untraced request: no trace header at all.
+  HttpResp plain = HttpGet(server.port(), "/query?q=1");
+  ASSERT_EQ(plain.code, 200);
+  EXPECT_EQ(plain.headers.count("X-QC-Trace"), 0u);
+
+  HttpResp traced = HttpGet(server.port(), "/query?q=1&trace=1");
+  ASSERT_EQ(traced.code, 200);
+  EXPECT_EQ(traced.body, RefRows(1, 5));  // tracing never changes the rows
+  ASSERT_EQ(traced.headers.count("X-QC-Trace"), 1u);
+  std::string id = traced.headers["X-QC-Trace"];
+  ASSERT_FALSE(id.empty());
+
+  HttpResp trace = HttpGet(server.port(), "/debug/trace/" + id);
+  ASSERT_EQ(trace.code, 200);
+  EXPECT_EQ(trace.headers["Content-Type"], "application/json");
+  EXPECT_NE(trace.body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.body.find("\"name\":\"exec\""), std::string::npos);
+  EXPECT_NE(trace.body.find("\"ph\":\"X\""), std::string::npos);
+
+  EXPECT_EQ(HttpGet(server.port(), "/debug/trace/999999999").code, 404);
+  EXPECT_EQ(HttpGet(server.port(), "/debug/trace/bogus").code, 404);
+
+  // Same round trip over the line protocol: OK header advertises the id,
+  // TRACE <id> fetches the JSON.
+  int fd = ConnectTo(server.port());
+  std::string resp = LineRequest(fd, "QUERY 1 trace=1\n");
+  ASSERT_EQ(resp.compare(0, 3, "OK "), 0) << resp;
+  std::string header = resp.substr(0, resp.find('\n'));
+  size_t tpos = header.find(" trace=");
+  ASSERT_NE(tpos, std::string::npos) << header;
+  std::string line_id = header.substr(tpos + 7);
+  std::string trace_resp = LineRequest(fd, "TRACE " + line_id + "\n");
+  ::close(fd);
+  ASSERT_EQ(trace_resp.compare(0, 3, "OK "), 0) << trace_resp;
+  EXPECT_NE(LineBody(trace_resp).find("\"traceEvents\":["),
+            std::string::npos);
+  server.Stop();
+}
+
 // Chaos sweep over the serving daemon's network fault sites (plus one
 // compound network+execution spec): under every injected failure the
 // server must neither crash nor hang, every affected client must observe
