@@ -10,10 +10,19 @@
 //   QC_SERVE_BENCH_CLIENTS   concurrent client connections (default 4)
 //   QC_SERVE_BENCH_REQS      requests per client (default 50)
 //   QC_SERVE_BENCH_WORKERS   server worker threads (default 2)
+//   QC_SERVE_BENCH_FAIR_HEAVY  heavy-tenant connections in the fairness
+//                              phase (default 6, 0 disables the phase)
+//   QC_SERVE_BENCH_FAIR_PROBES light-tenant probes (default 40)
 //   QC_BENCH_JSON            "1" or a path: write BENCH_serve.json
 //
+// After the main mix, a fairness phase runs a 1-heavy/1-light tenant mix
+// (heavy floods the join-heavy query over several connections, light paces
+// short probes) and reports per-tenant p95 — the fair_light_p95_ms /
+// fair_heavy_p95_ms cells that check_bench_regression.py gates against
+// each other (a light p95 near the heavy p95 means FIFO-like starvation).
+//
 // The JSON feeds scripts/check_bench_regression.py --serve-current, which
-// gates p95 latency and the shed rate in CI.
+// gates p95 latency, the shed rate, and tenant fairness in CI.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -178,6 +187,79 @@ int main() {
   const double p50 = pct(0.50), p95 = pct(0.95), p99 = pct(0.99);
   const double qps = wall_s > 0 ? ok / wall_s : 0;
 
+  // --- fairness phase: one heavy tenant vs one light tenant ---------------
+  // The heavy tenant keeps `fair_heavy` connections saturated with the
+  // join-heavy query; the light tenant paces short probes through the same
+  // queue. Weighted-fair admission must bound the light tenant's p95 near
+  // ONE heavy service time; under FIFO it would sit behind the whole heavy
+  // backlog and converge on the heavy p95.
+  const int fair_heavy = static_cast<int>(
+      qc::EnvIntClamped("QC_SERVE_BENCH_FAIR_HEAVY", 6, 0, 64));
+  const int fair_probes = static_cast<int>(
+      qc::EnvIntClamped("QC_SERVE_BENCH_FAIR_PROBES", 40, 1, 100000));
+  std::vector<int64_t> heavy_lat, light_lat;
+  int64_t heavy_ok = 0, light_ok = 0;
+  if (fair_heavy > 0) {
+    std::atomic<bool> fair_stop{false};
+    std::vector<ClientResult> heavy_res(fair_heavy);
+    std::vector<std::thread> heavy_threads;
+    for (int c = 0; c < fair_heavy; ++c) {
+      heavy_threads.emplace_back([&, c] {
+        ClientResult& res = heavy_res[c];
+        int fd = ConnectTo(server.port());
+        if (fd < 0) return;
+        while (!fair_stop.load(std::memory_order_relaxed)) {
+          int64_t t0 = NowUs();
+          if (!SendAll(fd, "QUERY 12 client=heavy\n")) break;
+          std::string first = ReadResponse(fd);
+          if (first.compare(0, 3, "OK ") == 0) {
+            res.latencies_us.push_back(NowUs() - t0);
+            ++res.ok;
+          } else if (first.empty()) {
+            break;
+          } else {
+            ++res.err;
+          }
+        }
+        ::close(fd);
+      });
+    }
+    int fd = ConnectTo(server.port());
+    for (int i = 0; fd >= 0 && i < fair_probes; ++i) {
+      int64_t t0 = NowUs();
+      if (!SendAll(fd, "QUERY 1 client=light\n")) break;
+      std::string first = ReadResponse(fd);
+      if (first.compare(0, 3, "OK ") == 0) {
+        light_lat.push_back(NowUs() - t0);
+        ++light_ok;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (fd >= 0) ::close(fd);
+    fair_stop.store(true);
+    for (auto& t : heavy_threads) t.join();
+    for (const ClientResult& r : heavy_res) {
+      heavy_lat.insert(heavy_lat.end(), r.latencies_us.begin(),
+                       r.latencies_us.end());
+      heavy_ok += r.ok;
+    }
+    std::sort(heavy_lat.begin(), heavy_lat.end());
+    std::sort(light_lat.begin(), light_lat.end());
+  }
+  auto pct_of = [](const std::vector<int64_t>& v, double p) -> double {
+    if (v.empty()) return 0;
+    size_t idx = static_cast<size_t>(p * (v.size() - 1));
+    return v[idx] / 1000.0;  // ms
+  };
+  const double fair_light_p95 = pct_of(light_lat, 0.95);
+  const double fair_heavy_p95 = pct_of(heavy_lat, 0.95);
+  if (fair_heavy > 0) {
+    std::printf("serve_fairness: heavy_conns=%d heavy_ok=%lld "
+                "heavy_p95=%.2fms light_ok=%lld light_p95=%.2fms\n",
+                fair_heavy, static_cast<long long>(heavy_ok), fair_heavy_p95,
+                static_cast<long long>(light_ok), fair_light_p95);
+  }
+
   const qc::server::ServerStats& st = server.stats();
   const uint64_t shed = st.shed_queue_full.load() +
                         st.shed_queue_deadline.load() +
@@ -192,6 +274,24 @@ int main() {
               p50, p95, p99, static_cast<unsigned long long>(shed),
               static_cast<unsigned long long>(st.retries.load()),
               static_cast<unsigned long long>(st.downshifts.load()));
+
+  // Fairness cells ride along only when the phase ran, so a run with
+  // QC_SERVE_BENCH_FAIR_HEAVY=0 yields the legacy artifact and the gate
+  // skips the fairness check with a notice instead of failing.
+  std::string fair_json;
+  if (fair_heavy > 0) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"fair_heavy_conns\": %d,\n"
+                  "  \"fair_heavy_ok\": %lld,\n"
+                  "  \"fair_light_ok\": %lld,\n"
+                  "  \"fair_heavy_p95_ms\": %.3f,\n"
+                  "  \"fair_light_p95_ms\": %.3f",
+                  fair_heavy, static_cast<long long>(heavy_ok),
+                  static_cast<long long>(light_ok), fair_heavy_p95,
+                  fair_light_p95);
+    fair_json = buf;
+  }
 
   std::string json = qc::bench::BenchJsonPath("BENCH_serve.json");
   if (!json.empty()) {
@@ -220,7 +320,7 @@ int main() {
         "  \"retries\": %llu,\n"
         "  \"downshifts\": %llu,\n"
         "  \"disconnect_cancels\": %llu,\n"
-        "  \"jit_fallbacks\": %llu\n"
+        "  \"jit_fallbacks\": %llu%s\n"
         "}\n",
         sf, clients, reqs, workers, static_cast<long long>(ok),
         static_cast<long long>(err), qps, p50, p95, p99,
@@ -228,7 +328,8 @@ int main() {
         static_cast<unsigned long long>(st.retries.load()),
         static_cast<unsigned long long>(st.downshifts.load()),
         static_cast<unsigned long long>(st.disconnect_cancels.load()),
-        static_cast<unsigned long long>(st.jit_fallbacks.load()));
+        static_cast<unsigned long long>(st.jit_fallbacks.load()),
+        fair_json.c_str());
     std::fclose(f);
     std::fprintf(stderr, "serve_latency: wrote %s\n", json.c_str());
   }

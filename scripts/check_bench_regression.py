@@ -51,6 +51,10 @@ the gate additionally checks the serving daemon: the shed rate of the
 unfaulted bench run must stay within --serve-shed-rate (intra-artifact —
 the bench is provisioned so nothing should shed; sheds here mean admission
 or worker scheduling regressed), at least one request must have succeeded,
+the fairness cells (fair_light_p95_ms vs fair_heavy_p95_ms, from the
+bench's 1-heavy/1-light tenant phase) must show the light tenant bounded
+by --fair-light-factor of the heavy p95 plus --fair-slack-ms (also
+intra-artifact — light converging on heavy means FIFO-style starvation),
 and — when --serve-baseline exists — p95 latency must stay within
 --serve-p95-factor of the baseline (plus a small absolute slack so
 microsecond-level jitter on fast configs can't trip it). The same
@@ -62,7 +66,8 @@ Usage:
       [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0] \
       [--deopt-factor 2.0] [--gov-overhead 0.02] [--obs-overhead 0.02] \
       [--serve-baseline SERVE_BASE.json --serve-current SERVE_CUR.json] \
-      [--serve-p95-factor 1.5] [--serve-shed-rate 0.01]
+      [--serve-p95-factor 1.5] [--serve-shed-rate 0.01] \
+      [--fair-light-factor 0.75] [--fair-slack-ms 5.0]
 """
 
 import argparse
@@ -186,6 +191,32 @@ def serve_gate(args):
     else:
         regressions.append("serve: current artifact has no shed_rate cell")
 
+    # Fairness gate (intra-artifact): under the 1-heavy/1-light tenant mix
+    # the light tenant's p95 must stay near ONE heavy service time. A light
+    # p95 approaching the heavy p95 means the admission queue serves the
+    # heavy backlog FIFO-style and starves light tenants.
+    l95 = cur.get("fair_light_p95_ms")
+    h95 = cur.get("fair_heavy_p95_ms")
+    if isinstance(l95, (int, float)) and isinstance(h95, (int, float)):
+        lok = cur.get("fair_light_ok")
+        print(f"serve fairness: light p95 {l95:.3f}ms vs heavy p95 "
+              f"{h95:.3f}ms (bound {args.fair_light_factor:g}x heavy "
+              f"+ {args.fair_slack_ms:g}ms)")
+        if not isinstance(lok, (int, float)) or lok <= 0:
+            regressions.append(
+                "serve: fairness phase produced zero successful light-tenant"
+                " probes — the fair queue starved or dropped them")
+        elif l95 > h95 * args.fair_light_factor + args.fair_slack_ms:
+            regressions.append(
+                f"serve: light-tenant p95 {l95:.2f}ms exceeds "
+                f"{args.fair_light_factor:g}x heavy p95 ({h95:.2f}ms) "
+                f"+ {args.fair_slack_ms:g}ms — per-client round-robin "
+                "admission is not isolating tenants")
+    else:
+        print("notice: current serve artifact has no fairness cells "
+              "(QC_SERVE_BENCH_FAIR_HEAVY=0 during the bench?); "
+              "fairness gate skipped")
+
     if not args.serve_baseline or not os.path.exists(args.serve_baseline):
         print("no serve baseline artifact; skipping serve p95 comparison "
               "(first run, expired artifact, or fork)")
@@ -274,6 +305,12 @@ def main():
                     help="allowed serve p95 growth factor vs baseline")
     ap.add_argument("--serve-shed-rate", type=float, default=0.01,
                     help="allowed shed rate on the unfaulted serve bench")
+    ap.add_argument("--fair-light-factor", type=float, default=0.75,
+                    help="light-tenant p95 bound as a factor of the heavy "
+                         "p95 (intra-artifact fairness gate)")
+    ap.add_argument("--fair-slack-ms", type=float, default=5.0,
+                    help="absolute slack added to the fairness bound so "
+                         "sub-millisecond configs cannot trip on jitter")
     args = ap.parse_args()
 
     serve_fatal, serve_regressions = serve_gate(args)

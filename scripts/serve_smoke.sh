@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke + chaos test of the qc_serve daemon as a real process: starts the
 # binary, drives it with concurrent clients (one clean pass, one pass with
-# network+allocator faults injected via QC_FAULT), then sends SIGTERM and
-# asserts a graceful drain with exit code 0. Run against an ASan build to
-# also catch leaks/UB on the daemon's failure paths (the script fails on
+# network+allocator faults injected via QC_FAULT — including the sweep and
+# cancel-path sites srv_timeout/srv_cancel — and one control-plane pass
+# exercising cancel-by-id and per-client quota sheds), then sends SIGTERM
+# and asserts a graceful drain with exit code 0. Run against an ASan build
+# to also catch leaks/UB on the daemon's failure paths (the script fails on
 # any sanitizer report in the daemon's stderr).
 #
 # Usage: serve_smoke.sh <path-to-qc_serve> [workdir]
@@ -18,11 +20,13 @@ FAIL=0
 say() { echo "serve_smoke: $*"; }
 fail() { say "FAIL: $*"; FAIL=1; }
 
-start_daemon() {  # $1 = extra env spec for QC_FAULT ("" = none)
+start_daemon() {  # $1 = QC_FAULT spec ("" = none), $2.. = extra VAR=val env
+  local faults="${1:-}"
+  shift || true
   : > "$LOG"
-  QC_SERVE_PORT=0 QC_SERVE_SF=0.01 QC_SERVE_WORKERS=2 \
-  QC_SERVE_MAX_RETRIES=2 QC_FAULT="${1:-}" \
-    "$BIN" 2> "$LOG" &
+  env QC_SERVE_PORT=0 QC_SERVE_SF=0.01 QC_SERVE_WORKERS=2 \
+      QC_SERVE_MAX_RETRIES=2 QC_FAULT="$faults" "$@" \
+      "$BIN" 2> "$LOG" &
   DAEMON_PID=$!
   for _ in $(seq 1 240); do
     if grep -q "event=listening" "$LOG" 2>/dev/null; then break; fi
@@ -160,8 +164,27 @@ if start_daemon ""; then
 fi
 
 # --- pass 2: chaos (network faults + a transient allocation fault) ---------
-say "pass 2: chaos (QC_FAULT=srv_read:3,srv_write:5,alloc_heap:5)"
-if start_daemon "srv_read:3,srv_write:5,alloc_heap:5"; then
+# srv_timeout fires from the sweep once connections exist; srv_cancel needs
+# a CANCEL on the wire, which the driver below sends before the query mix.
+CHAOS="srv_read:3,srv_write:5,alloc_heap:5,srv_timeout:4,srv_cancel:1"
+say "pass 2: chaos (QC_FAULT=$CHAOS)"
+if start_daemon "$CHAOS"; then
+  python3 - "$PORT" <<'PYEOF'
+import socket, sys
+# Exercise the cancel control plane under chaos: any structured answer
+# (cancel_failed from the injected fault, not_found otherwise) or a torn
+# connection is acceptable; a hang is not.
+try:
+    s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+    s.settimeout(10)
+    s.sendall(b"CANCEL 999999\n")
+    resp = s.recv(4096)
+    print("chaos cancel probe: %r" % resp[:40])
+    s.close()
+except OSError as e:
+    print("chaos cancel probe: torn (%s)" % e)
+sys.exit(0)
+PYEOF
   drive_clients "chaos" 1
   stop_daemon
   # The injected faults must actually have fired and been counted.
@@ -169,6 +192,117 @@ if start_daemon "srv_read:3,srv_write:5,alloc_heap:5"; then
     fail "chaos pass: net_faults counter is zero (faults never fired)"
     tail -2 "$LOG"
   fi
+fi
+
+# --- pass 3: client control plane (cancel-by-id, per-client quota) ----------
+say "pass 3: control plane (QC_SERVE_DEBUG=1 QC_SERVE_CLIENT_QPS=2)"
+if start_daemon "" QC_SERVE_DEBUG=1 QC_SERVE_CLIENT_QPS=2; then
+  python3 - "$PORT" <<'PYEOF'
+import socket, sys, time
+
+port = int(sys.argv[1])
+rc = 0
+
+def fail(msg):
+    global rc
+    print("control plane: FAIL: %s" % msg)
+    rc = 5
+
+# Cancel-by-id: ack=1 returns the server-assigned id up front; cancelling
+# from another connection must unwind the 8s block in safepoint time.
+a = socket.create_connection(("127.0.0.1", port), timeout=10)
+a.settimeout(15)
+a.sendall(b"BLOCK 8000 ack=1\n")
+ack = b""
+while b"\n" not in ack:
+    chunk = a.recv(4096)
+    if not chunk:
+        break
+    ack += chunk
+if not ack.startswith(b"ID "):
+    fail("no ID ack for BLOCK ack=1: %r" % ack[:40])
+else:
+    rid = ack.split(b"\n", 1)[0][3:].decode()
+    time.sleep(0.3)  # let a worker pop the block
+    c = socket.create_connection(("127.0.0.1", port), timeout=10)
+    c.settimeout(10)
+    c.sendall(("CANCEL %s\n" % rid).encode())
+    cresp = b""
+    while b"\n.\n" not in cresp and not (cresp.startswith(b"ERR")
+                                         and b"\n" in cresp):
+        chunk = c.recv(4096)
+        if not chunk:
+            break
+        cresp += chunk
+    c.close()
+    if b"cancelled" not in cresp:
+        fail("CANCEL %s answered %r" % (rid, cresp[:60]))
+    t0 = time.time()
+    victim = b""
+    try:
+        while b"\n" not in victim:
+            chunk = a.recv(4096)
+            if not chunk:
+                break
+            victim += chunk
+    except OSError:
+        pass
+    if not victim.startswith(b"ERR cancelled"):
+        fail("victim saw %r, want ERR cancelled" % victim[:60])
+    if time.time() - t0 > 4.0:
+        fail("cancel took %.1fs to unwind an 8s block" % (time.time() - t0))
+a.close()
+
+# Per-client quota: a greedy tenant bursting past 2 qps must see
+# structured quota sheds while the daemon keeps serving.
+g = socket.create_connection(("127.0.0.1", port), timeout=10)
+g.settimeout(10)
+quota, okc = 0, 0
+for _ in range(6):
+    g.sendall(b"QUERY 1 client=greedy\n")
+    buf = b""
+    while b"\n.\n" not in buf and not (buf.startswith(b"ERR")
+                                       and b"\n" in buf):
+        chunk = g.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+    if buf.startswith(b"OK "):
+        okc += 1
+    elif buf.startswith(b"ERR quota"):
+        quota += 1
+g.close()
+if okc < 1:
+    fail("no greedy request admitted (burst broken)")
+if quota < 1:
+    fail("no quota shed after %d rapid requests (ok=%d)" % (6, okc))
+
+# The per-client counters must surface in /stats.
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.settimeout(10)
+s.sendall(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+buf, body = b"", b""
+while True:
+    if b"\r\n\r\n" in buf:
+        head, body = buf.split(b"\r\n\r\n", 1)
+        clen = [h for h in head.split(b"\r\n")
+                if h.lower().startswith(b"content-length:")]
+        if clen and len(body) >= int(clen[0].split(b":")[1]):
+            break
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+s.close()
+if b'"clients"' not in body or b'"greedy"' not in body:
+    fail("/stats has no per-client cells: %r" % body[:120])
+
+if rc == 0:
+    print("control plane: cancel-by-id + quota + per-client stats ok")
+sys.exit(rc)
+PYEOF
+  if [ $? -ne 0 ]; then fail "control-plane pass failed"; fi
+  stop_daemon
 fi
 
 if [ "$FAIL" -eq 0 ]; then

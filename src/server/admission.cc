@@ -1,0 +1,175 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "exec/governor.h"
+
+namespace qc::server {
+
+FairAdmissionQueue::FairAdmissionQueue(Limits limits) : limits_(limits) {}
+
+FairAdmissionQueue::ClientState& FairAdmissionQueue::StateFor(RequestPtr& r) {
+  auto it = clients_.find(r->client);
+  if (it != clients_.end()) return it->second;
+  if (clients_.size() >= kMaxClients) {
+    // Distinct-client overflow: fold into the anonymous bucket rather than
+    // letting a client-id flood grow the map without bound.
+    r->client.clear();
+    return clients_[""];
+  }
+  ClientState& st = clients_[r->client];
+  st.last_refill_ns = exec::GovNowNs();
+  st.tokens = std::max(1.0, limits_.client_qps);  // full burst on first use
+  return st;
+}
+
+FairAdmissionQueue::Admit FairAdmissionQueue::TryPush(RequestPtr r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Admit::kQueueFull;
+    ClientState& st = StateFor(r);
+    if (total_ >= limits_.capacity) {
+      ++st.shed_queue;
+      return Admit::kQueueFull;
+    }
+    if (limits_.client_qps > 0) {
+      // Token bucket, refilled lazily at push time; burst = one second of
+      // rate (min 1 so qps < 1 still ever admits).
+      int64_t now = exec::GovNowNs();
+      double burst = std::max(1.0, limits_.client_qps);
+      st.tokens = std::min(
+          burst, st.tokens + static_cast<double>(now - st.last_refill_ns) /
+                                 1e9 * limits_.client_qps);
+      st.last_refill_ns = now;
+      if (st.tokens < 1.0) {
+        ++st.shed_quota;
+        return Admit::kQuotaShed;
+      }
+      st.tokens -= 1.0;
+    }
+    if (limits_.client_queue > 0 && st.q.size() >= limits_.client_queue) {
+      ++st.shed_quota;
+      return Admit::kClientQueueFull;
+    }
+    ++st.admitted;
+    ++total_;
+    st.q.push_back(std::move(r));
+  }
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+bool FairAdmissionQueue::PoppableLocked() const {
+  for (const auto& kv : clients_) {
+    if (kv.second.q.empty()) continue;
+    if (closed_ || limits_.client_inflight <= 0 ||
+        kv.second.inflight < limits_.client_inflight) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RequestPtr FairAdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ ? true : PoppableLocked(); });
+  // Round-robin over clients with runnable work, starting after the client
+  // served last — a heavy tenant's deep queue advances one request per
+  // turn, so a light tenant waits behind at most one request per tenant.
+  // Once closed the inflight cap is ignored: shutdown must drain everything
+  // (workers shed aborted/expired work instead of running it).
+  auto runnable = [&](const ClientState& st) {
+    return !st.q.empty() && (closed_ || limits_.client_inflight <= 0 ||
+                             st.inflight < limits_.client_inflight);
+  };
+  auto take = [&](decltype(clients_)::iterator it) {
+    ClientState& st = it->second;
+    RequestPtr r = std::move(st.q.front());
+    st.q.pop_front();
+    --total_;
+    r->popped = true;
+    ++st.inflight;
+    rr_last_ = it->first;
+    return r;
+  };
+  for (auto it = clients_.upper_bound(rr_last_); it != clients_.end(); ++it) {
+    if (runnable(it->second)) return take(it);
+  }
+  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+    if (runnable(it->second)) return take(it);
+  }
+  return nullptr;  // closed and drained
+}
+
+RequestPtr FairAdmissionQueue::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : clients_) {
+    auto& q = kv.second.q;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if ((*it)->id == id) {
+        RequestPtr r = std::move(*it);
+        q.erase(it);
+        --total_;
+        return r;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void FairAdmissionQueue::OnFinished(const RequestPtr& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(r->client);
+    if (it == clients_.end()) return;  // never admitted here
+    ++it->second.done;
+    if (r->popped && it->second.inflight > 0) --it->second.inflight;
+  }
+  // A freed inflight slot may unblock a capped client's queued work.
+  cv_.notify_all();
+}
+
+std::vector<RequestPtr> FairAdmissionQueue::TakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestPtr> out;
+  for (auto& kv : clients_) {
+    for (auto& r : kv.second.q) out.push_back(std::move(r));
+    kv.second.q.clear();
+  }
+  total_ = 0;
+  return out;
+}
+
+void FairAdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t FairAdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<FairAdmissionQueue::ClientSample>
+FairAdmissionQueue::SnapshotClients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClientSample> out;
+  out.reserve(clients_.size());
+  for (const auto& kv : clients_) {
+    ClientSample s;
+    s.name = kv.first;
+    s.admitted = kv.second.admitted;
+    s.done = kv.second.done;
+    s.shed_quota = kv.second.shed_quota;
+    s.shed_queue = kv.second.shed_queue;
+    s.inflight = kv.second.inflight;
+    s.queued = kv.second.q.size();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace qc::server

@@ -25,8 +25,13 @@ namespace qc::server {
 
 namespace {
 
+// Hard per-connection inbound bound: while a request is in flight the
+// parser is not consulted, so this is what stops a client from streaming
+// unbounded bytes into the buffer (the parser's own ProtoLimits bounds,
+// all smaller, govern the parse path).
 constexpr size_t kMaxRequestBytes = 64 * 1024;
 constexpr int kPollMs = 100;
+constexpr ProtoLimits kProtoLimits{};
 
 void SleepMs(int64_t ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -59,6 +64,18 @@ ServerOptions ServerOptions::FromEnv() {
   o.debug_endpoints = EnvFlagSet("QC_SERVE_DEBUG");
   o.seed = static_cast<uint64_t>(EnvIntClamped("QC_SERVE_SEED", 42, 0,
                                                INT64_MAX));
+  o.client_qps = static_cast<double>(
+      EnvIntClamped("QC_SERVE_CLIENT_QPS", 0, 0, 1000000));
+  o.client_inflight = static_cast<int>(
+      EnvIntClamped("QC_SERVE_CLIENT_INFLIGHT", 0, 0, 1 << 20));
+  o.client_queue = static_cast<int>(
+      EnvIntClamped("QC_SERVE_CLIENT_QUEUE", 0, 0, 1 << 20));
+  o.idle_ms = EnvIntClamped("QC_SERVE_IDLE_MS", 60000, 0, 86400000);
+  o.io_idle_ms = EnvIntClamped("QC_SERVE_IO_MS", 10000, 0, 86400000);
+  o.pipeline_cap =
+      static_cast<int>(EnvIntClamped("QC_SERVE_PIPELINE", 16, 1, 1 << 20));
+  o.max_conns =
+      static_cast<int>(EnvIntClamped("QC_SERVE_MAX_CONNS", 1024, 1, 1 << 20));
   return o;
 }
 
@@ -132,7 +149,37 @@ ServerStats::ServerStats()
           "qc_server_request_ms",
           "End-to-end worker latency per executed request (milliseconds).",
           {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
-           5000, 10000})) {}
+           5000, 10000})),
+      shed_quota(*registry.AddCounter(
+          "qc_server_shed_quota_total",
+          "Requests shed by a per-client token-bucket quota.", "shed_quota")),
+      shed_client_queue(*registry.AddCounter(
+          "qc_server_shed_client_queue_total",
+          "Requests shed by a per-client queue bound.", "shed_client_queue")),
+      cancels_by_id(*registry.AddCounter(
+          "qc_server_cancels_by_id_total",
+          "Accepted cancel-by-id requests (POST /cancel, CANCEL).",
+          "cancels_by_id")),
+      evicted_idle(*registry.AddCounter(
+          "qc_server_evicted_idle_total",
+          "Idle keep-alive connections evicted by the timeout sweep.",
+          "evicted_idle")),
+      evicted_stalled(*registry.AddCounter(
+          "qc_server_evicted_stalled_total",
+          "Connections evicted for a stalled read (slow loris) or write.",
+          "evicted_stalled")),
+      pipeline_limited(*registry.AddCounter(
+          "qc_server_pipeline_limited_total",
+          "Connections closed for exceeding the pipelining cap.",
+          "pipeline_limited")),
+      conn_evicted(*registry.AddCounter(
+          "qc_server_conn_evicted_total",
+          "Idle connections LIFO-evicted at the connection ceiling.",
+          "conn_evicted")),
+      conn_refused(*registry.AddCounter(
+          "qc_server_conn_refused_total",
+          "Connections refused at the ceiling with no evictable socket.",
+          "conn_refused")) {}
 
 std::string ServerStats::ToJson() const { return Snapshot().ToJson(); }
 
@@ -143,11 +190,26 @@ std::string ServerStats::ToPrometheus() const {
          telemetry::MetricsRegistry::Global().Snapshot().ToPrometheus();
 }
 
+namespace {
+
+FairAdmissionQueue::Limits QueueLimits(const ServerOptions& o) {
+  FairAdmissionQueue::Limits l;
+  l.capacity = static_cast<size_t>(o.queue_capacity < 1 ? 1
+                                                        : o.queue_capacity);
+  l.client_queue =
+      o.client_queue > 0 ? static_cast<size_t>(o.client_queue) : 0;
+  l.client_qps = o.client_qps > 0 ? o.client_qps : 0;
+  l.client_inflight = o.client_inflight > 0 ? o.client_inflight : 0;
+  return l;
+}
+
+}  // namespace
+
 Server::Server(storage::Database* db, ServerOptions opts)
     : db_(db),
       opts_(std::move(opts)),
       plans_(db),
-      queue_(static_cast<size_t>(opts_.queue_capacity)) {}
+      queue_(QueueLimits(opts_)) {}
 
 Server::~Server() { Stop(); }
 
@@ -333,7 +395,87 @@ void Server::EventLoop() {
       FlushWrites(s);
       if (s->fd >= 0) ParseBuffered(s);
     }
+    SweepTimeouts();
   }
+}
+
+void Server::SweepTimeouts() {
+  if (sessions_.empty()) return;
+  if (FaultPoint("srv_timeout")) {
+    // Injected timeout: the sweep evicts one live connection as if it had
+    // stalled — clients must treat it like any mid-flight disconnect.
+    stats_.net_faults.Inc();
+    stats_.evicted_stalled.Inc();
+    CloseSession(sessions_.begin()->second, /*cancel_inflight=*/true);
+    if (sessions_.empty()) return;
+  }
+  const int64_t now = exec::GovNowNs();
+  const int64_t io_ns = opts_.io_idle_ms * 1000000;
+  const int64_t idle_ns = opts_.idle_ms * 1000000;
+  std::vector<SessionPtr> all;
+  all.reserve(sessions_.size());
+  for (auto& kv : sessions_) all.push_back(kv.second);
+  for (const SessionPtr& s : all) {
+    if (s->fd < 0) continue;
+    bool has_out;
+    bool has_inflight;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      has_out = !s->out.empty();
+      has_inflight = s->inflight != nullptr;
+    }
+    if (opts_.io_idle_ms > 0 && has_out && s->last_out_ns > 0 &&
+        now - s->last_out_ns > io_ns) {
+      // Rendered bytes the client will not read: a stalled writer holds
+      // buffer memory for as long as we let it.
+      stats_.evicted_stalled.Inc();
+      CloseSession(s, /*cancel_inflight=*/true);
+      continue;
+    }
+    if (opts_.io_idle_ms > 0 && !has_inflight && s->in_start_ns > 0 &&
+        now - s->in_start_ns > io_ns) {
+      // Slow loris: the *oldest unparsed byte* has aged out. A client
+      // dribbling one byte per interval keeps last_in_ns fresh forever but
+      // can never move in_start_ns without completing a request.
+      stats_.evicted_stalled.Inc();
+      CloseSession(s, /*cancel_inflight=*/true);
+      continue;
+    }
+    if (opts_.idle_ms > 0 && !has_inflight && !has_out &&
+        s->in_start_ns == 0) {
+      int64_t last = s->accepted_ns;
+      if (s->last_in_ns > last) last = s->last_in_ns;
+      if (s->last_out_ns > last) last = s->last_out_ns;
+      if (last > 0 && now - last > idle_ns) {
+        stats_.evicted_idle.Inc();
+        CloseSession(s, /*cancel_inflight=*/false);
+      }
+    }
+  }
+}
+
+bool Server::MakeRoomForConnection() {
+  if (sessions_.size() < static_cast<size_t>(opts_.max_conns)) return true;
+  // At the ceiling: evict an idle keep-alive socket, LIFO by accept time —
+  // the newest idle connection goes first, so long-established clients
+  // keep their sockets while churny reconnectors recycle their own slots.
+  SessionPtr victim;
+  for (auto& kv : sessions_) {
+    const SessionPtr& s = kv.second;
+    bool busy;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      busy = s->inflight != nullptr || !s->out.empty();
+    }
+    if (busy || !s->in.empty()) continue;
+    if (victim == nullptr || s->accepted_ns > victim->accepted_ns) {
+      victim = s;
+    }
+  }
+  if (victim == nullptr) return false;
+  stats_.conn_evicted.Inc();
+  CloseSession(victim, /*cancel_inflight=*/false);
+  return true;
 }
 
 void Server::AcceptNew() {
@@ -351,10 +493,21 @@ void Server::AcceptNew() {
       ::close(fd);
       continue;
     }
+    if (!MakeRoomForConnection()) {
+      // Ceiling reached and every socket is mid-request: refusing the new
+      // connection sheds load at the cheapest possible point.
+      stats_.conn_refused.Inc();
+      ::close(fd);
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto s = std::make_shared<Session>();
     s->fd = fd;
+    s->accepted_ns = exec::GovNowNs();
+    // Arm the stalled-writer clock from accept: a client whose very first
+    // response write makes zero progress still ages out.
+    s->last_out_ns = s->accepted_ns;
     sessions_[fd] = std::move(s);
     stats_.connections.Inc();
   }
@@ -372,7 +525,15 @@ void Server::HandleReadable(const SessionPtr& s) {
   for (;;) {
     ssize_t n = ::recv(s->fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      int64_t now = exec::GovNowNs();
+      if (s->in.empty()) s->in_start_ns = now;
+      s->last_in_ns = now;
       s->in.append(buf, static_cast<size_t>(n));
+      // Hard inbound bound: past this point nothing in the buffer can be a
+      // single legitimate request (every parser bound is smaller), so stop
+      // reading — the flood check below closes the connection instead of
+      // letting the buffer chase the sender.
+      if (s->in.size() > kMaxRequestBytes) break;
       if (static_cast<size_t>(n) < sizeof(buf)) break;
       continue;
     }
@@ -385,29 +546,64 @@ void Server::HandleReadable(const SessionPtr& s) {
     CloseSession(s, /*cancel_inflight=*/true);
     return;
   }
+  if (s->in.size() > kMaxRequestBytes) {
+    stats_.bad_requests.Inc();
+    RespondInline(s, RenderError(s->was_http, 431, "request_too_large"));
+    CloseSession(s, /*cancel_inflight=*/true);
+    return;
+  }
   ParseBuffered(s);
 }
 
 void Server::ParseBuffered(const SessionPtr& s) {
   for (;;) {
+    bool over_cap = false;
     {
       std::lock_guard<std::mutex> lock(s->mu);
-      if (s->inflight != nullptr) return;  // one request at a time
+      if (s->inflight != nullptr) {
+        // One request executes at a time; pipelined bytes wait — but only
+        // up to the cap. Counting newlines bounds the number of buffered
+        // requests from below on both framings (every request contains at
+        // least one), so a client can't park an unbounded backlog.
+        size_t lines = 0;
+        for (char c : s->in) lines += c == '\n';
+        if (lines > static_cast<size_t>(opts_.pipeline_cap)) {
+          stats_.pipeline_limited.Inc();
+          s->out += RenderError(s->was_http, 429, "pipeline_limit");
+          over_cap = true;
+        } else {
+          return;
+        }
+      }
     }
-    ParsedRequest p = ParseRequest(s->in, kMaxRequestBytes);
+    if (over_cap) {
+      FlushWrites(s);
+      CloseSession(s, /*cancel_inflight=*/true);
+      return;
+    }
+    ParsedRequest p = ParseRequest(s->in, kProtoLimits);
     if (p.kind == ParsedRequest::Kind::kNeedMore) {
       if (p.consumed == 0) return;
       s->in.erase(0, p.consumed);  // stray blank line
+      if (s->in.empty()) s->in_start_ns = 0;
       continue;
     }
     s->in.erase(0, p.consumed);
+    if (s->in.empty()) {
+      s->in_start_ns = 0;
+    } else {
+      // Remaining pipelined bytes restart the slow-loris age clock.
+      s->in_start_ns = exec::GovNowNs();
+    }
+    s->was_http = p.http;
     switch (p.kind) {
       case ParsedRequest::Kind::kBad: {
         stats_.bad_requests.Inc();
         RespondInline(s, RenderError(p.http, p.http_code, p.error.c_str()));
-        if (p.http_code == 431) {
-          // The buffer holds an unparseable flood: nothing after it can be
-          // framed, so the connection must go.
+        if (p.must_close) {
+          // The buffer holds an unframeable prefix (over-limit line,
+          // header block, or body): nothing after it can be trusted, so
+          // the connection must go.
           CloseSession(s, /*cancel_inflight=*/false);
           return;
         }
@@ -425,16 +621,19 @@ void Server::ParseBuffered(const SessionPtr& s) {
       case ParsedRequest::Kind::kStats: {
         ResponseMeta m;
         m.rows = 0;
-        RespondInline(s, RenderResponse(p.http, m, stats_.ToJson() + "\n"));
+        RespondInline(s, RenderResponse(p.http, m, RenderStatsJson() + "\n"));
         break;
       }
       case ParsedRequest::Kind::kMetrics: {
         ResponseMeta m;
         m.rows = 0;
         m.content_type = "text/plain; version=0.0.4";
-        RespondInline(s, RenderResponse(p.http, m, stats_.ToPrometheus()));
+        RespondInline(s, RenderResponse(p.http, m, RenderMetricsText()));
         break;
       }
+      case ParsedRequest::Kind::kCancel:
+        HandleCancel(s, p);
+        break;
       case ParsedRequest::Kind::kTrace: {
         std::string json;
         if (!GetTrace(p.trace_id, &json)) {
@@ -490,6 +689,7 @@ void Server::AdmitQuery(const SessionPtr& s, const ParsedRequest& p) {
   req->block_ms = p.block_ms < 0 ? 0 : p.block_ms;
   req->http = p.http;
   req->trace = p.trace;
+  req->client = p.client;
   req->session = s;
 
   // Deadlines and budgets by default: an absent or out-of-cap parameter
@@ -511,20 +711,163 @@ void Server::AdmitQuery(const SessionPtr& s, const ParsedRequest& p) {
     std::lock_guard<std::mutex> lock(s->mu);
     s->inflight = req;
   }
-  if (!queue_.TryPush(req)) {
-    {
-      std::lock_guard<std::mutex> lock(s->mu);
-      s->inflight = nullptr;
-    }
-    stats_.shed_queue_full.Inc();
-    RespondInline(s, RenderError(p.http, 503, "overloaded"));
-    return;
-  }
+  // Register BEFORE pushing: the moment TryPush succeeds a worker may pop,
+  // finish, and TryFinalize — which must find the registry entry or the
+  // exactly-once accounting (and the client's inflight slot) leaks.
   active_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
     outstanding_[req->id] = req;
   }
+  if (!p.http && p.ack) {
+    // Line-protocol early acknowledgement: the id goes into the outbound
+    // buffer BEFORE the queue push so it always precedes the response a
+    // fast worker might render — the client can CANCEL a request it is
+    // still waiting on. (A shed lands right after the ID line.)
+    char line[32];
+    int n = std::snprintf(line, sizeof(line), "ID %llu\n",
+                          static_cast<unsigned long long>(req->id));
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!s->closed) s->out.append(line, static_cast<size_t>(n));
+  }
+  FairAdmissionQueue::Admit verdict = queue_.TryPush(req);
+  if (verdict != FairAdmissionQueue::Admit::kAdmitted) {
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      outstanding_.erase(req->id);
+    }
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->inflight = nullptr;
+    }
+    // Quota sheds are the client's own doing and answer 429 "quota";
+    // global overload keeps the historical 503 "overloaded".
+    switch (verdict) {
+      case FairAdmissionQueue::Admit::kQuotaShed:
+        stats_.shed_quota.Inc();
+        RespondInline(s, RenderError(p.http, 429, "quota"));
+        break;
+      case FairAdmissionQueue::Admit::kClientQueueFull:
+        stats_.shed_client_queue.Inc();
+        RespondInline(s, RenderError(p.http, 429, "quota"));
+        break;
+      default:
+        stats_.shed_queue_full.Inc();
+        RespondInline(s, RenderError(p.http, 503, "overloaded"));
+        break;
+    }
+    return;
+  }
+  if (!p.http && p.ack) FlushWrites(s);
+}
+
+void Server::HandleCancel(const SessionPtr& s, const ParsedRequest& p) {
+  if (FaultPoint("srv_cancel")) {
+    // Injected cancel-path failure: the control plane refuses, the target
+    // request keeps running — cancel must be safe to retry.
+    stats_.net_faults.Inc();
+    RespondInline(s, RenderError(p.http, 503, "cancel_failed"));
+    return;
+  }
+  RequestPtr target;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = outstanding_.find(p.cancel_id);
+    if (it != outstanding_.end()) target = it->second;
+  }
+  if (target == nullptr) {
+    // Unknown, already finished, or never admitted: idempotent 404.
+    RespondInline(s, RenderError(p.http, 404, "not_found"));
+    return;
+  }
+  stats_.cancels_by_id.Inc();
+  target->Kill();
+  if (RequestPtr queued = queue_.Remove(p.cancel_id)) {
+    // Still queued: shed immediately instead of waiting for a worker to
+    // pop it. Respond() routes through TryFinalize, so a worker that
+    // raced us into popping wins and this path becomes a no-op.
+    stats_.failed_cancelled.Inc();
+    Respond(queued, RenderError(queued->http, 499, "cancelled", queued->id));
+  }
+  ResponseMeta m;
+  m.rows = 0;
+  m.request_id = p.cancel_id;
+  RespondInline(s, RenderResponse(p.http, m, "cancelled\n"));
+}
+
+std::string Server::RenderStatsJson() {
+  std::string json = stats_.ToJson();
+  auto clients = queue_.SnapshotClients();
+  if (clients.empty() || json.empty() || json.back() != '}') return json;
+  // The per-client object nests inside the flat legacy JSON; with no
+  // client traffic yet the output stays byte-identical to the old /stats.
+  std::string extra = ",\"clients\":{";
+  bool first = true;
+  char buf[256];
+  for (const auto& c : clients) {
+    if (!first) extra += ',';
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"admitted\":%llu,\"done\":%llu,\"shed_quota\":%llu,"
+        "\"shed_queue\":%llu,\"inflight\":%d,\"queued\":%zu}",
+        c.name.empty() ? "anon" : c.name.c_str(),
+        static_cast<unsigned long long>(c.admitted),
+        static_cast<unsigned long long>(c.done),
+        static_cast<unsigned long long>(c.shed_quota),
+        static_cast<unsigned long long>(c.shed_queue), c.inflight, c.queued);
+    extra += buf;
+  }
+  extra += '}';
+  json.insert(json.size() - 1, extra);
+  return json;
+}
+
+std::string Server::RenderMetricsText() {
+  std::string out = stats_.ToPrometheus();
+  auto clients = queue_.SnapshotClients();
+  if (clients.empty()) return out;
+  // The registry is label-free by design; the per-client families are the
+  // one labeled surface and are rendered here from the same queue snapshot
+  // that feeds /stats, so the two endpoints cannot diverge.
+  auto emit = [&](const char* name, const char* help, const char* type,
+                  auto field) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+    char line[256];
+    for (const auto& c : clients) {
+      std::snprintf(line, sizeof(line), "%s{client=\"%s\"} %lld\n", name,
+                    c.name.empty() ? "anon" : c.name.c_str(),
+                    static_cast<long long>(field(c)));
+      out += line;
+    }
+  };
+  using CS = FairAdmissionQueue::ClientSample;
+  emit("qc_server_client_admitted_total", "Admitted requests per client.",
+       "counter", [](const CS& c) { return static_cast<int64_t>(c.admitted); });
+  emit("qc_server_client_done_total",
+       "Finalized requests per client (any outcome).", "counter",
+       [](const CS& c) { return static_cast<int64_t>(c.done); });
+  emit("qc_server_client_shed_quota_total",
+       "Quota sheds (token bucket + per-client queue bound) per client.",
+       "counter",
+       [](const CS& c) { return static_cast<int64_t>(c.shed_quota); });
+  emit("qc_server_client_shed_queue_total",
+       "Global-capacity sheds charged per client.", "counter",
+       [](const CS& c) { return static_cast<int64_t>(c.shed_queue); });
+  emit("qc_server_client_inflight", "Requests currently popped per client.",
+       "gauge", [](const CS& c) { return static_cast<int64_t>(c.inflight); });
+  emit("qc_server_client_queued", "Requests currently queued per client.",
+       "gauge", [](const CS& c) { return static_cast<int64_t>(c.queued); });
+  return out;
 }
 
 void Server::RespondInline(const SessionPtr& s, std::string wire) {
@@ -555,6 +898,9 @@ void Server::FlushWrites(const SessionPtr& s) {
     if (n > 0) {
       p += n;
       left -= static_cast<size_t>(n);
+      // Any forward progress resets the stalled-writer clock; only a
+      // client accepting zero bytes for io_idle_ms gets evicted.
+      s->last_out_ns = exec::GovNowNs();
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -600,17 +946,18 @@ void Server::WorkerMain(Worker* w) {
   while (RequestPtr req = queue_.Pop()) {
     int64_t now = exec::GovNowNs();
     if (req->aborted.load(std::memory_order_relaxed)) {
-      // Killed while queued (disconnect or drain): answer cancelled — the
-      // rendered bytes are dropped anyway when the session is closed.
+      // Killed while queued (disconnect, drain, or cancel-by-id): answer
+      // cancelled — TryFinalize drops this quietly if a cancel-by-id
+      // already finalized the request.
       stats_.failed_cancelled.Inc();
-      Respond(req, RenderError(req->http, 499, "cancelled"));
+      Respond(req, RenderError(req->http, 499, "cancelled", req->id));
       continue;
     }
     if (now > req->queue_deadline_ns) {
       // Admitted but waited too long: shedding now is cheaper than running
       // a query whose client has likely timed out.
       stats_.shed_queue_deadline.Inc();
-      Respond(req, RenderError(req->http, 503, "queue_deadline"));
+      Respond(req, RenderError(req->http, 503, "queue_deadline", req->id));
       continue;
     }
     if (req->kind == Request::Kind::kBlock) {
@@ -658,7 +1005,7 @@ void Server::Execute(Worker* w, const RequestPtr& req) {
   if (fn == nullptr) {
     if (trace_session != 0) telemetry::TraceEndSession(trace_session);
     stats_.bad_requests.Inc();
-    Respond(req, RenderError(req->http, 500, "compile_failed"));
+    Respond(req, RenderError(req->http, 500, "compile_failed", req->id));
     return;
   }
   int downshift = 0;
@@ -722,6 +1069,7 @@ void Server::Execute(Worker* w, const RequestPtr& req) {
   meta.retries = retry.attempts();
   meta.downshift = downshift;
   meta.engine = engine;
+  meta.request_id = req->id;
   if (trace_session != 0) {
     StoreTrace(req->id, telemetry::TraceEndSession(trace_session));
     meta.trace_id = req->id;
@@ -760,6 +1108,7 @@ void Server::ExecuteBlock(const RequestPtr& req) {
   NoteOutcome(st.code, false);
   ResponseMeta meta = MapStatus(st.code);
   meta.rows = 0;
+  meta.request_id = req->id;
   std::string body = st.ok() ? "blocked\n" : std::string(meta.status) + "\n";
   Respond(req, RenderResponse(req->http, meta, body));
 }
@@ -831,12 +1180,21 @@ bool Server::GetTrace(uint64_t id, std::string* out) {
   return true;
 }
 
-void Server::Respond(const RequestPtr& req, std::string wire) {
+bool Server::TryFinalize(const RequestPtr& req) {
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
-    outstanding_.erase(req->id);
+    if (outstanding_.erase(req->id) == 0) return false;
   }
+  queue_.OnFinished(req);
   active_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::Respond(const RequestPtr& req, std::string wire) {
+  // Exactly-once: a request can reach here from its worker AND from a
+  // cancel-by-id that shed it while queued; whoever erases the registry
+  // entry first owns the response, the loser drops out silently.
+  if (!TryFinalize(req)) return;
   SessionPtr s = req->session;
   if (s != nullptr) {
     std::lock_guard<std::mutex> lock(s->mu);

@@ -28,11 +28,26 @@
 //   * graceful drain — BeginDrain() (SIGTERM in the binary) stops
 //     admissions, Drain() waits for in-flight work up to
 //     QC_SERVE_DRAIN_MS, then cancels stragglers through their controls;
-//     the process exits 0.
+//     the process exits 0;
+//   * multi-tenant fairness — requests carry an optional client id
+//     (X-QC-Client / client=) into a weighted-fair admission queue with
+//     per-client token-bucket quotas, queue bounds, and inflight caps
+//     (server/admission.h); quota sheds answer 429 "quota", distinct from
+//     the 503 overload path;
+//   * cancel-by-id — every admitted request's id is returned to the client
+//     (X-QC-Request-Id / id=); POST /cancel/<id> or CANCEL <id> trips that
+//     request's ExecControl: queued work sheds immediately, running work
+//     unwinds within one safepoint interval, and finalization stays
+//     exactly-once through the outstanding-request registry;
+//   * connection hardening — per-connection read/write stall and idle
+//     timeouts swept from the poll() loop (slow-loris eviction), bounded
+//     request-line/header/body buffers (414/431/413), a per-connection
+//     pipelining cap, and a global connection ceiling with LIFO eviction
+//     of idle keep-alive sockets.
 //
-// Faults: the srv_accept / srv_read / srv_write / srv_queue QC_FAULT sites
-// make every network edge chaos-testable alongside the execution-side sites
-// (common/fault.h).
+// Faults: the srv_accept / srv_read / srv_write / srv_queue / srv_timeout /
+// srv_cancel QC_FAULT sites make every network edge chaos-testable
+// alongside the execution-side sites (common/fault.h).
 #ifndef QC_SERVER_SERVER_H_
 #define QC_SERVER_SERVER_H_
 
@@ -72,6 +87,18 @@ struct ServerOptions {
   bool default_jit = true;         // engine when the request names none
   bool debug_endpoints = false;    // /debug/block (tests, chaos CI)
   uint64_t seed = 42;              // retry-jitter seed
+
+  // Multi-tenant fairness (0 = unlimited; quotas are per client id).
+  double client_qps = 0;       // token-bucket admissions/sec per client
+  int client_inflight = 0;     // popped-but-unfinished cap per client
+  int client_queue = 0;        // queued-request bound per client
+
+  // Connection hardening.
+  int64_t idle_ms = 60000;     // evict keep-alive sockets idle this long
+  int64_t io_idle_ms = 10000;  // stalled read (slow loris) / write eviction
+  int pipeline_cap = 16;       // buffered pipelined requests per connection
+  int max_conns = 1024;        // global connection ceiling
+
   static ServerOptions FromEnv();  // QC_SERVE_* knobs, hardened parses
 };
 
@@ -102,6 +129,17 @@ struct ServerStats {
   telemetry::Counter& jit_fallbacks;
   telemetry::Counter& net_faults;  // injected srv_* fault firings
   telemetry::Histogram& request_ms;  // end-to-end worker latency (no json)
+
+  // PR 9 families, registered after the originals so the legacy /stats
+  // keys keep their positions and the new ones append.
+  telemetry::Counter& shed_quota;        // token-bucket 429 sheds
+  telemetry::Counter& shed_client_queue; // per-client queue-bound 429 sheds
+  telemetry::Counter& cancels_by_id;     // POST /cancel + CANCEL accepted
+  telemetry::Counter& evicted_idle;      // idle keep-alive sockets closed
+  telemetry::Counter& evicted_stalled;   // slow-loris / stalled-write closes
+  telemetry::Counter& pipeline_limited;  // connections over the pipeline cap
+  telemetry::Counter& conn_evicted;      // LIFO evictions at the ceiling
+  telemetry::Counter& conn_refused;      // accepts refused at the ceiling
 
   ServerStats();
 
@@ -175,11 +213,28 @@ class Server {
   void CloseSession(const SessionPtr& s, bool cancel_inflight);
   void RespondInline(const SessionPtr& s, std::string wire);
   void AdmitQuery(const SessionPtr& s, const struct ParsedRequest& p);
+  void HandleCancel(const SessionPtr& s, const struct ParsedRequest& p);
+  // Evicts stalled writers, slow-loris readers, and idle keep-alive
+  // sockets; runs every poll() wakeup.
+  void SweepTimeouts();
+  // Connection-ceiling enforcement: true when the new fd may be kept
+  // (possibly after LIFO-evicting an idle session), false = refuse.
+  bool MakeRoomForConnection();
+
+  // Renders /stats JSON (registry snapshot + per-client object) and the
+  // /metrics exposition (adds hand-labeled qc_server_client_* families —
+  // the registry itself is label-free).
+  std::string RenderStatsJson();
+  std::string RenderMetricsText();
 
   // --- worker internals ---------------------------------------------------
   void Execute(Worker* w, const RequestPtr& req);
   void ExecuteBlock(const RequestPtr& req);
   void Respond(const RequestPtr& req, std::string wire);
+  // Exactly-once finalization: erases the request from the outstanding
+  // registry (false when already finalized), releases its admission-queue
+  // inflight slot, and decrements active_.
+  bool TryFinalize(const RequestPtr& req);
   exec::Interpreter* PickInterpreter(Worker* w, const RequestPtr& req,
                                      int* downshift, const char** engine);
   void NoteOutcome(exec::QueryStatusCode code, bool retried_out);
@@ -195,7 +250,7 @@ class Server {
   ServerOptions opts_;
   ServerStats stats_;
   PlanCache plans_;
-  AdmissionQueue queue_;
+  FairAdmissionQueue queue_;
 
   int listen_fd_ = -1;
   int wake_rd_ = -1;

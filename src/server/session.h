@@ -41,6 +41,16 @@ struct Request {
   bool want_jit = true; // engine request; degradation may override
   int64_t block_ms = 0; // kBlock: how long to hold the worker
 
+  // Client identity for fair admission: sanitized X-QC-Client header /
+  // client= token, "" = anonymous (all id-less traffic shares one bucket).
+  std::string client;
+
+  // Set (under the admission queue's mutex) when a worker popped this
+  // request. Finalization must only release a per-client inflight slot for
+  // requests that actually took one — a cancel-by-id of a still-queued
+  // request finalizes without ever being popped.
+  bool popped = false;
+
   // Absolute monotonic deadlines (exec::GovNowNs scale). The run deadline
   // covers queue wait + every retry attempt; the queue deadline sheds the
   // request if no worker picked it up in time.
@@ -74,6 +84,17 @@ class Session {
   // --- event-loop-thread-only state --------------------------------------
   int fd = -1;
   std::string in;  // unparsed inbound bytes
+
+  // Timestamps (exec::GovNowNs scale) driving the poll()-loop timeout
+  // sweep. `in_start_ns` is the age anchor of the *oldest unparsed byte*:
+  // set when bytes land in an empty `in`, cleared when `in` drains — a
+  // slow-loris client dribbling one byte per interval keeps `last_in_ns`
+  // fresh but never moves `in_start_ns`, which is what evicts it.
+  int64_t last_in_ns = 0;   // last byte received (0 = accept time pending)
+  int64_t last_out_ns = 0;  // last byte successfully written
+  int64_t in_start_ns = 0;  // oldest unparsed byte arrived (0 = in empty)
+  int64_t accepted_ns = 0;  // connection accept time
+  bool was_http = false;    // framing seen on this connection (for sweeps)
 
   // --- shared with workers, under mu -------------------------------------
   std::mutex mu;

@@ -12,6 +12,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -153,10 +155,12 @@ struct HttpResp {
   std::string body;
 };
 
-HttpResp HttpGet(int port, const std::string& target, int timeout_ms = 15000) {
+HttpResp HttpReq(int port, const std::string& method, const std::string& target,
+                 const std::string& extra_headers, int timeout_ms = 15000) {
   HttpResp r;
   int fd = ConnectTo(port);
-  if (!SendAll(fd, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n")) {
+  if (!SendAll(fd, method + " " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                       extra_headers + "\r\n")) {
     ::close(fd);
     return r;
   }
@@ -190,6 +194,10 @@ HttpResp HttpGet(int port, const std::string& target, int timeout_ms = 15000) {
     pos = end;
   }
   return r;
+}
+
+HttpResp HttpGet(int port, const std::string& target, int timeout_ms = 15000) {
+  return HttpReq(port, "GET", target, "", timeout_ms);
 }
 
 // ---------------------------------------------------------------------------
@@ -496,7 +504,10 @@ TEST(ServerTest, MetricsEndpointAgreesWithStats) {
       "shed_draining",    "failed_deadline", "failed_cancelled",
       "failed_memory",    "failed_resource", "retries",
       "downshifts",       "disconnect_cancels",
-      "drain_kills",      "jit_fallbacks",   "net_faults"};
+      "drain_kills",      "jit_fallbacks",   "net_faults",
+      "shed_quota",       "shed_client_queue", "cancels_by_id",
+      "evicted_idle",     "evicted_stalled", "pipeline_limited",
+      "conn_evicted",     "conn_refused"};
   for (const char* key : kCounters) {
     SCOPED_TRACE(key);
     long long from_json = -1, from_prom = -1;
@@ -570,6 +581,607 @@ TEST(ServerTest, PerRequestTraceRoundTrip) {
   server.Stop();
 }
 
+// --- client control plane: request ids, cancel-by-id, fairness -------------
+
+// Reads one newline-terminated line (e.g. the "ID <n>" early ack).
+std::string RecvLine(int fd, int timeout_ms = 5000) {
+  return RecvUntil(
+      fd,
+      [](const std::string& b) { return b.find('\n') != std::string::npos; },
+      timeout_ms);
+}
+
+// Prometheus sample with a client label: `family{client="name"} 123`.
+bool PromClientValue(const std::string& text, const std::string& family,
+                     const std::string& client, long long* out) {
+  std::string needle = family + "{client=\"" + client + "\"} ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+// ack=1 returns the server-assigned id before the result; POST /cancel/<id>
+// from another connection trips the running request's control, which must
+// unwind within safepoint granularity — far faster than the block itself —
+// and answer the victim with the structured cancelled status.
+TEST(ServerTest, CancelByIdUnwindsRunningRequestWithinSafepoints) {
+  ServerOptions opts = TestOptions();
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int a = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(a, "BLOCK 8000 ack=1\n"));
+  std::string ack = RecvLine(a);
+  ASSERT_EQ(ack.compare(0, 3, "ID "), 0) << ack;
+  std::string id = ack.substr(3, ack.find('\n') - 3);
+  ASSERT_FALSE(id.empty());
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // worker pops
+
+  int64_t t0 = NowMs();
+  HttpResp c = HttpReq(server.port(), "POST", "/cancel/" + id, "");
+  ASSERT_TRUE(c.complete);
+  EXPECT_EQ(c.code, 200);
+  EXPECT_EQ(c.headers["X-QC-Request-Id"], id);
+  EXPECT_EQ(c.body, "cancelled\n");
+
+  std::string victim = RecvUntil(a, LineRespComplete, 5000);
+  EXPECT_EQ(victim.compare(0, 13, "ERR cancelled"), 0) << victim;
+  EXPECT_NE(victim.find(" id=" + id), std::string::npos) << victim;
+  // An 8s block unwound in safepoint time, not block time.
+  EXPECT_LT(NowMs() - t0, 2000);
+  EXPECT_GE(server.stats().cancels_by_id.load(), 1u);
+  EXPECT_GE(server.stats().failed_cancelled.load(), 1u);
+  ::close(a);
+
+  // Unknown and already-finalized ids are an idempotent 404 on both
+  // protocols.
+  EXPECT_EQ(HttpReq(server.port(), "POST", "/cancel/" + id, "").code, 404);
+  EXPECT_EQ(HttpReq(server.port(), "POST", "/cancel/999999", "").code, 404);
+  int fd = ConnectTo(server.port());
+  std::string nf = LineRequest(fd, "CANCEL 999999\n");
+  EXPECT_EQ(nf.compare(0, 13, "ERR not_found"), 0) << nf;
+  ::close(fd);
+  server.Stop();
+}
+
+// Cancelling a request that is still queued sheds it immediately — the
+// victim's answer cannot wait for a worker to pop it.
+TEST(ServerTest, CancelByIdShedsQueuedRequestImmediately) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 1;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int a = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(a, "BLOCK 3000\n"));  // occupies the only worker
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  int b = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(b, "BLOCK 2000 ack=1\n"));  // parks in the queue
+  std::string ack = RecvLine(b);
+  ASSERT_EQ(ack.compare(0, 3, "ID "), 0) << ack;
+  std::string id = ack.substr(3, ack.find('\n') - 3);
+
+  int c = ConnectTo(server.port());
+  int64_t t0 = NowMs();
+  std::string cresp = LineRequest(c, "CANCEL " + id + "\n");
+  ASSERT_EQ(cresp.compare(0, 3, "OK "), 0) << cresp;
+  EXPECT_NE(cresp.find("cancelled"), std::string::npos) << cresp;
+
+  std::string victim = RecvUntil(b, LineRespComplete, 5000);
+  EXPECT_EQ(victim.compare(0, 13, "ERR cancelled"), 0) << victim;
+  // Shed straight out of the queue: long before the 3s blocker frees the
+  // worker, let alone the 2s victim block running.
+  EXPECT_LT(NowMs() - t0, 1500);
+  EXPECT_GE(server.stats().cancels_by_id.load(), 1u);
+  ::close(a);
+  ::close(b);
+  ::close(c);
+  server.Stop();
+}
+
+// One heavy tenant floods 4 connections with 200ms blocks; a light tenant
+// sends short probes. Round-robin admission bounds each probe's wait by
+// roughly one heavy block; FIFO would park every probe behind the whole
+// heavy backlog (>=600ms).
+TEST(ServerTest, FairAdmissionBoundsLightClientUnderHeavyFlood) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 1;
+  opts.queue_capacity = 64;
+  opts.queue_deadline_ms = 5000;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> heavy_ok{0};
+  std::vector<std::thread> heavy;
+  for (int i = 0; i < 4; ++i) {
+    heavy.emplace_back([&] {
+      int fd = ConnectTo(server.port());
+      while (!stop.load()) {
+        std::string r = LineRequest(fd, "BLOCK 200 client=heavy\n", 8000);
+        if (r.compare(0, 3, "OK ") != 0) break;
+        heavy_ok.fetch_add(1);
+      }
+      ::close(fd);
+    });
+  }
+  // Let the flood establish a standing backlog.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 4; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  int64_t worst = 0;
+  int light = ConnectTo(server.port());
+  for (int i = 0; i < 5; ++i) {
+    int64_t t0 = NowMs();
+    std::string r = LineRequest(light, "BLOCK 10 client=light\n", 8000);
+    ASSERT_EQ(r.compare(0, 3, "OK "), 0) << r;
+    int64_t took = NowMs() - t0;
+    if (took > worst) worst = took;
+  }
+  ::close(light);
+  stop.store(true);
+  for (auto& t : heavy) t.join();
+
+  // RR bound: the in-progress heavy block (<=200ms) + own 10ms run +
+  // slack. The FIFO baseline is >=600ms per probe (3 queued heavy blocks
+  // plus the running one).
+  EXPECT_LT(worst, 450) << "light client starved behind the heavy backlog";
+  EXPECT_GE(heavy_ok.load(), 4);
+  server.Stop();
+}
+
+// Per-client token bucket: a greedy tenant burns its burst and gets
+// structured 429/"quota" sheds — distinct from 503 overload — while other
+// tenants (including anonymous) keep being served.
+TEST(ServerTest, PerClientQuotaShedsWith429OnBothProtocols) {
+  ServerOptions opts = TestOptions();
+  opts.client_qps = 1;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int okc = 0, shed = 0;
+  int fd = ConnectTo(server.port());
+  for (int i = 0; i < 6; ++i) {
+    std::string r = LineRequest(fd, "BLOCK 1 client=greedy\n");
+    if (r.compare(0, 3, "OK ") == 0) ++okc;
+    if (r.compare(0, 9, "ERR quota") == 0) ++shed;
+  }
+  ::close(fd);
+  EXPECT_GE(okc, 1);   // the burst admits
+  EXPECT_GE(shed, 3);  // the flood hits the bucket
+  EXPECT_GE(server.stats().shed_quota.load(), 3u);
+
+  // Anonymous traffic is a different tenant: unaffected by greedy's debt.
+  EXPECT_EQ(HttpGet(server.port(), "/query?q=1").code, 200);
+
+  // HTTP identity via the X-QC-Client header sheds the same way.
+  int ok_http = 0, shed_http = 0;
+  for (int i = 0; i < 6; ++i) {
+    HttpResp h = HttpReq(server.port(), "GET", "/debug/block?ms=1",
+                         "X-QC-Client: gulp\r\n");
+    if (h.code == 200) ++ok_http;
+    if (h.code == 429) {
+      ++shed_http;
+      EXPECT_EQ(h.headers["X-QC-Status"], "quota");
+    }
+  }
+  EXPECT_GE(ok_http, 1);
+  EXPECT_GE(shed_http, 3);
+  server.Stop();
+}
+
+// The per-client inflight cap defers (the queue holds the request until a
+// slot frees) instead of shedding: the capped tenant's work serializes,
+// other tenants use the idle workers meanwhile, nobody sees an error.
+TEST(ServerTest, PerClientInflightCapDefersWithoutShedding) {
+  ServerOptions opts = TestOptions();
+  opts.workers = 2;
+  opts.client_inflight = 1;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int64_t t0 = NowMs();
+  int a = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(a, "BLOCK 400 client=capped\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  int b = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(b, "BLOCK 400 client=capped\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 2; }));
+
+  // The second worker is idle (capped's 2nd block defers): other tenants
+  // run immediately.
+  int c = ConnectTo(server.port());
+  std::string fast = LineRequest(c, "BLOCK 10 client=other\n", 5000);
+  EXPECT_EQ(fast.compare(0, 3, "OK "), 0) << fast;
+  EXPECT_LT(NowMs() - t0, 2000);
+  ::close(c);
+
+  std::string ra = RecvUntil(a, LineRespComplete, 5000);
+  std::string rb = RecvUntil(b, LineRespComplete, 5000);
+  EXPECT_EQ(ra.compare(0, 3, "OK "), 0) << ra;
+  EXPECT_EQ(rb.compare(0, 3, "OK "), 0) << rb;
+  // cap=1 serialized the two 400ms blocks; in parallel they'd finish ~400ms
+  // after t0.
+  EXPECT_GE(NowMs() - t0, 780);
+  EXPECT_EQ(server.stats().shed_quota.load(), 0u);
+  EXPECT_EQ(server.stats().shed_client_queue.load(), 0u);
+  ::close(a);
+  ::close(b);
+  server.Stop();
+}
+
+// --- connection hardening --------------------------------------------------
+
+// A socket dribbling an unfinished request (slow loris) and an idle
+// keep-alive socket both age out on their timeouts; a connection with real
+// in-flight work is never evicted.
+TEST(ServerTest, SlowLorisAndIdleKeepAliveConnectionsAreEvicted) {
+  ServerOptions opts = TestOptions();
+  opts.io_idle_ms = 300;
+  opts.idle_ms = 700;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  // Busy control: outlives both timeouts because its work is in flight.
+  int busy = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(busy, "BLOCK 1500\n"));
+
+  // Idle keep-alive: one successful round trip, then silence.
+  int idle = ConnectTo(server.port());
+  std::string pong = LineRequest(idle, "PING\n");
+  ASSERT_EQ(pong.compare(0, 4, "PONG"), 0) << pong;
+
+  // Slow loris: keeps the socket "active" by dribbling bytes, but the age
+  // of its oldest unparsed byte keeps growing — liveness of the socket
+  // must not defeat the stalled-request clock.
+  int loris = ConnectTo(server.port());
+  const char kDribble[] = "QUERY 1 x";  // never newline-terminated
+  bool loris_dead = false;
+  int64_t t0 = NowMs();
+  size_t li = 0;
+  while (NowMs() - t0 < 5000) {
+    char byte = kDribble[li++ % (sizeof(kDribble) - 1)];
+    if (::send(loris, &byte, 1, MSG_NOSIGNAL) < 0) {
+      loris_dead = true;
+      break;
+    }
+    char tmp[64];
+    ssize_t n = ::recv(loris, tmp, sizeof(tmp), MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      loris_dead = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  EXPECT_TRUE(loris_dead) << "slow loris survived the io timeout";
+  EXPECT_GE(server.stats().evicted_stalled.load(), 1u);
+  ::close(loris);
+
+  ASSERT_TRUE(
+      WaitFor([&] { return server.stats().evicted_idle.load() >= 1; }, 5000));
+  pollfd pe{idle, POLLIN, 0};
+  ASSERT_GT(::poll(&pe, 1, 5000), 0);
+  char tmp[8];
+  EXPECT_EQ(::recv(idle, tmp, sizeof(tmp), 0), 0);  // clean EOF
+  ::close(idle);
+
+  // The busy connection delivered its result despite running far past
+  // io_idle_ms.
+  std::string r = RecvUntil(busy, LineRespComplete, 8000);
+  EXPECT_EQ(r.compare(0, 3, "OK "), 0) << r;
+  ::close(busy);
+  server.Stop();
+}
+
+// At the global connection ceiling the newest idle keep-alive socket is
+// recycled (LIFO) so the fresh client still gets served; established idle
+// sockets observe a clean EOF, never a hang.
+TEST(ServerTest, ConnectionCeilingEvictsNewestIdleSocket) {
+  ServerOptions opts = TestOptions();
+  opts.max_conns = 4;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) {
+    int fd = ConnectTo(server.port());
+    std::string pong = LineRequest(fd, "PING\n");
+    ASSERT_EQ(pong.compare(0, 4, "PONG"), 0) << pong;
+    fds.push_back(fd);
+  }
+
+  int fresh = ConnectTo(server.port());
+  std::string resp = LineRequest(fresh, "QUERY 1\n");
+  EXPECT_EQ(resp.compare(0, 3, "OK "), 0) << resp;
+  EXPECT_GE(server.stats().conn_evicted.load(), 1u);
+
+  // LIFO: the most recently accepted idle socket was the victim.
+  pollfd pv{fds[3], POLLIN, 0};
+  ASSERT_GT(::poll(&pv, 1, 5000), 0);
+  char tmp[8];
+  EXPECT_EQ(::recv(fds[3], tmp, sizeof(tmp), 0), 0);
+  // The oldest socket still works.
+  std::string pong = LineRequest(fds[0], "PING\n");
+  EXPECT_EQ(pong.compare(0, 4, "PONG"), 0) << pong;
+  for (int fd : fds) ::close(fd);
+  ::close(fresh);
+  server.Stop();
+}
+
+// --- input bounds ----------------------------------------------------------
+
+// Parser-level bounds: each over-limit dimension maps to its own structured
+// status with must_close set, and client identity is sanitized, not trusted.
+TEST(ServerTest, OversizedRequestsAreRejectedStructurally) {
+  ProtoLimits lim;
+
+  // Request line over max_line: 414, framing unrecoverable.
+  ParsedRequest p = ParseRequest(
+      "GET /query?q=1&pad=" + std::string(5000, 'a') +
+          " HTTP/1.1\r\nHost: t\r\n\r\n",
+      lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kBad);
+  EXPECT_EQ(p.http_code, 414);
+  EXPECT_TRUE(p.must_close);
+
+  // Header block over max_headers: 431.
+  std::string hdrs;
+  for (int i = 0; i < 600; ++i) {
+    hdrs += "X-Pad-" + std::to_string(i) + ": aaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  }
+  p = ParseRequest("GET /healthz HTTP/1.1\r\n" + hdrs + "\r\n", lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kBad);
+  EXPECT_EQ(p.http_code, 431);
+  EXPECT_TRUE(p.must_close);
+
+  // Declared POST body over max_body: 413 before a single body byte needs
+  // to be buffered.
+  p = ParseRequest("POST /cancel/7 HTTP/1.1\r\nContent-Length: 9999\r\n\r\n",
+                   lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kBad);
+  EXPECT_EQ(p.http_code, 413);
+  EXPECT_TRUE(p.must_close);
+
+  // In-bounds POST waits for its body, then routes.
+  p = ParseRequest("POST /cancel/7 HTTP/1.1\r\nContent-Length: 3\r\n\r\nab",
+                   lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kNeedMore);
+  p = ParseRequest("POST /cancel/7 HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                   lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kCancel);
+  EXPECT_EQ(p.cancel_id, 7u);
+  // Cancel is POST-only.
+  p = ParseRequest("GET /cancel/7 HTTP/1.1\r\n\r\n", lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kBad);
+  EXPECT_EQ(p.http_code, 405);
+
+  // Line-protocol line over max_line: 431 with line framing.
+  p = ParseRequest("QUERY 1 " + std::string(5000, 'x') + "\n", lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kBad);
+  EXPECT_FALSE(p.http);
+  EXPECT_EQ(p.error, "request_too_large");
+  EXPECT_TRUE(p.must_close);
+
+  // CANCEL line command parses; ids are strict.
+  p = ParseRequest("CANCEL 42\n", lim);
+  EXPECT_EQ(p.kind, ParsedRequest::Kind::kCancel);
+  EXPECT_EQ(p.cancel_id, 42u);
+
+  // Client identity: strict alphabet, bounded length, header beats param.
+  p = ParseRequest("QUERY 1 client=ok-id.1\n", lim);
+  EXPECT_EQ(p.client, "ok-id.1");
+  p = ParseRequest("QUERY 1 client=bad!id\n", lim);
+  EXPECT_EQ(p.client, "");
+  p = ParseRequest("QUERY 1 client=" + std::string(40, 'a') + "\n", lim);
+  EXPECT_EQ(p.client, "");
+  p = ParseRequest(
+      "GET /query?q=1&client=urlid HTTP/1.1\r\nX-QC-Client: hdrid\r\n\r\n",
+      lim);
+  EXPECT_EQ(p.client, "hdrid");
+}
+
+// Socket-level bounds: a newline-less flood is answered with a structured
+// error once it crosses the line bound — the server does not buffer it
+// indefinitely — and the hard per-connection buffer cap closes a flooding
+// connection even while a request is in flight (the parser idle).
+TEST(ServerTest, OversizedSocketFloodsAreBounded) {
+  ServerOptions opts = TestOptions();
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int fd = ConnectTo(server.port());
+  SendAll(fd, std::string(8192, 'Q'));  // no newline, no framing
+  std::string resp = RecvUntil(
+      fd,
+      [](const std::string& b) {
+        return b.find("request_too_large") != std::string::npos;
+      },
+      5000);
+  EXPECT_NE(resp.find("request_too_large"), std::string::npos) << resp;
+  ::close(fd);
+  EXPECT_GE(server.stats().bad_requests.load(), 1u);
+
+  // While a request is in flight, pipelined bytes wait unparsed — but only
+  // up to the 64K hard cap, after which the connection is torn down.
+  int b1 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(b1, "BLOCK 1500\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  SendAll(b1, std::string(100 * 1024, 'z'));  // may be cut short: fine
+  std::string flood = RecvUntil(
+      b1,
+      [](const std::string& b) {
+        return b.find("request_too_large") != std::string::npos;
+      },
+      5000);
+  EXPECT_NE(flood.find("request_too_large"), std::string::npos) << flood;
+  ::close(b1);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().bad_requests.load() >= 2; }));
+
+  // The server is unharmed.
+  EXPECT_EQ(HttpGet(server.port(), "/query?q=1").code, 200);
+  server.Stop();
+}
+
+// Pipelining past the per-connection cap while a request is in flight is a
+// structured 429 + close, and the server keeps serving everyone else.
+TEST(ServerTest, PipelineFloodOverCapClosesConnection) {
+  ServerOptions opts = TestOptions();
+  opts.pipeline_cap = 4;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int fd = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(fd, "BLOCK 800\n"));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().requests.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::string burst;
+  for (int i = 0; i < 8; ++i) burst += "PING\n";
+  ASSERT_TRUE(SendAll(fd, burst));
+  std::string resp = RecvUntil(
+      fd,
+      [](const std::string& b) {
+        return b.find("pipeline_limit") != std::string::npos;
+      },
+      5000);
+  EXPECT_NE(resp.find("pipeline_limit"), std::string::npos) << resp;
+  EXPECT_GE(server.stats().pipeline_limited.load(), 1u);
+  ::close(fd);
+  EXPECT_EQ(HttpGet(server.port(), "/query?q=1").code, 200);
+  server.Stop();
+}
+
+// A slow reader dribbling a deep pipeline of real result sets: the event
+// loop must ride EAGAIN through partial writes without dropping, reordering
+// or duplicating a single byte. The client window is shrunk so back-pressure
+// genuinely reaches the server's send path.
+TEST(ServerTest, SlowReaderDrainsPipelinedResultsByteExact) {
+  ServerOptions opts = TestOptions();
+  opts.pipeline_cap = 512;
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  const std::string expect = RefRows(16, 5);
+  ASSERT_FALSE(expect.empty());
+  size_t n = 320 * 1024 / expect.size() + 4;
+  if (n > 256) n = 256;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcv = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, sizeof(rcv));
+  sockaddr_in a;
+  std::memset(&a, 0, sizeof(a));
+  a.sin_family = AF_INET;
+  a.sin_port = htons(static_cast<uint16_t>(server.port()));
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&a), sizeof(a)), 0);
+
+  std::string burst;
+  for (size_t i = 0; i < n; ++i) burst += "QUERY 16\n";
+  ASSERT_TRUE(SendAll(fd, burst));
+
+  // Dribble: small reads, deliberately slower than the workers render.
+  std::string all;
+  size_t terms = 0, scanned = 0;
+  int64_t deadline = NowMs() + 120000;
+  char tmp[1536];
+  while (terms < n && NowMs() < deadline) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 1000) <= 0) continue;
+    ssize_t got = ::recv(fd, tmp, sizeof(tmp), 0);
+    ASSERT_GT(got, 0) << "connection died after " << all.size() << " bytes, "
+                      << terms << "/" << n << " responses";
+    all.append(tmp, static_cast<size_t>(got));
+    for (;;) {  // count "\n.\n" frame terminators seen so far
+      size_t hit = all.find("\n.\n", scanned);
+      if (hit == std::string::npos) {
+        scanned = all.size() < 2 ? 0 : all.size() - 2;
+        break;
+      }
+      ++terms;
+      scanned = hit + 2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(terms, n) << "only " << terms << " of " << n << " responses";
+
+  // Byte-exact reassembly of every frame.
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(all.compare(pos, 3, "OK "), 0) << all.substr(pos, 40);
+    size_t he = all.find('\n', pos);
+    ASSERT_NE(he, std::string::npos);
+    ASSERT_TRUE(all.compare(he + 1, expect.size(), expect) == 0)
+        << "rows of response " << i << " differ";
+    pos = he + 1 + expect.size();
+    ASSERT_EQ(all.compare(pos, 2, ".\n"), 0);
+    pos += 2;
+  }
+  EXPECT_EQ(pos, all.size());
+  ::close(fd);
+  server.Stop();
+}
+
+// The per-client cells of /stats and the labeled qc_server_client_* families
+// of /metrics are two renderings of one queue snapshot: every cell must
+// agree, and the flat shed counter must equal the per-client sum.
+TEST(ServerTest, PerClientCountersConsistentAcrossStatsAndMetrics) {
+  ServerOptions opts = TestOptions();
+  opts.client_qps = 1;  // force at least one quota shed
+  Server server(Db(), opts);
+  ASSERT_TRUE(server.Start());
+
+  int fd = ConnectTo(server.port());
+  long long okc = 0, shed = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::string r = LineRequest(fd, "BLOCK 1 client=alice\n");
+    if (r.compare(0, 3, "OK ") == 0) ++okc;
+    if (r.compare(0, 9, "ERR quota") == 0) ++shed;
+  }
+  ASSERT_GE(okc, 1);
+  ASSERT_GE(shed, 1);
+
+  // Both views over one connection: no counter can move between reads.
+  std::string metrics = LineBody(LineRequest(fd, "METRICS\n"));
+  std::string stats = LineBody(LineRequest(fd, "STATS\n"));
+  ::close(fd);
+
+  size_t cpos = stats.find("\"clients\":{");
+  ASSERT_NE(cpos, std::string::npos) << stats;
+  std::string alice = stats.substr(cpos);
+  ASSERT_NE(alice.find("\"alice\":{"), std::string::npos) << alice;
+
+  const char* kCells[] = {"admitted", "done", "shed_quota", "inflight",
+                          "queued"};
+  const char* kFamilies[] = {
+      "qc_server_client_admitted_total", "qc_server_client_done_total",
+      "qc_server_client_shed_quota_total", "qc_server_client_inflight",
+      "qc_server_client_queued"};
+  for (int i = 0; i < 5; ++i) {
+    SCOPED_TRACE(kCells[i]);
+    long long from_json = -1, from_prom = -1;
+    ASSERT_TRUE(JsonValue(alice, kCells[i], &from_json));
+    ASSERT_TRUE(PromClientValue(metrics, kFamilies[i], "alice", &from_prom));
+    EXPECT_EQ(from_json, from_prom);
+  }
+  long long admitted = -1, done = -1, q = -1, flat = -1;
+  ASSERT_TRUE(JsonValue(alice, "admitted", &admitted));
+  ASSERT_TRUE(JsonValue(alice, "done", &done));
+  ASSERT_TRUE(JsonValue(alice, "shed_quota", &q));
+  EXPECT_EQ(admitted, okc);
+  EXPECT_EQ(done, okc);  // every admitted block finished before the reads
+  EXPECT_EQ(q, shed);
+  ASSERT_TRUE(PromValue(metrics, "qc_server_shed_quota_total", &flat));
+  EXPECT_EQ(flat, shed);  // alice is the only shedding tenant
+  server.Stop();
+}
+
 // Chaos sweep over the serving daemon's network fault sites (plus one
 // compound network+execution spec): under every injected failure the
 // server must neither crash nor hang, every affected client must observe
@@ -577,9 +1189,9 @@ TEST(ServerTest, PerRequestTraceRoundTrip) {
 // server must serve perfectly again.
 TEST(ServerChaosTest, NetworkFaultSitesFailCleanAndServerSurvives) {
   const char* kSpecs[] = {
-      "srv_accept:1", "srv_read:1",  "srv_read:3",
-      "srv_write:1",  "srv_write:3", "srv_queue:1",
-      "srv_read:2,alloc_heap:1",
+      "srv_accept:1",  "srv_read:1",   "srv_read:3",
+      "srv_write:1",   "srv_write:3",  "srv_queue:1",
+      "srv_timeout:1", "srv_cancel:1", "srv_read:2,alloc_heap:1",
   };
   for (const char* spec : kSpecs) {
     SCOPED_TRACE(spec);
@@ -591,6 +1203,16 @@ TEST(ServerChaosTest, NetworkFaultSitesFailCleanAndServerSurvives) {
     ASSERT_EQ(HttpGet(server.port(), "/query?q=1").code, 200);
     {
       ScopedFault fault(spec);
+      // Exercise the cancel control plane so srv_cancel has a path to fire;
+      // under every other spec this is a harmless 404/torn connection.
+      {
+        int cfd = ConnectTo(server.port());
+        std::string cresp = LineRequest(cfd, "CANCEL 999999\n", 5000);
+        EXPECT_TRUE(cresp.empty() || cresp.compare(0, 3, "OK ") == 0 ||
+                    cresp.compare(0, 3, "ERR") == 0)
+            << cresp;
+        ::close(cfd);
+      }
       for (int i = 0; i < 4; ++i) {
         int fd = ConnectTo(server.port());
         std::string resp = LineRequest(fd, "QUERY 1\n", 5000);
