@@ -198,6 +198,16 @@ inline bool BenchGoverned() { return EnvFlagSet("QC_BENCH_GOVERNED"); }
 // span site) from above.
 inline bool BenchObs() { return EnvFlagSet("QC_BENCH_OBS"); }
 
+// True when the table3 rows should also measure ir-jit with the static
+// verifier layer forced on (src/analysis/: bytecode verification at
+// program-cache fill, template/stitch audit before mprotect(RX) — the
+// ir-jit-verify cell, paired with an adjacently-measured
+// ir-jit-verify-base run with the layer forced off). Verification is
+// compile-time-only work, so the regression gate bounds the pair's
+// steady-state ratio at ~zero: any gap means a check leaked into the
+// per-row execution path.
+inline bool BenchVerify() { return EnvFlagSet("QC_BENCH_VERIFY"); }
+
 // True when ir-jit rows should also carry the QC_JIT_STATS telemetry
 // (ir-jit-coverage / ir-jit-deopts cells) — what the CI coverage gate in
 // scripts/check_bench_regression.py compares across runs.

@@ -16,6 +16,9 @@
 //   QC_BENCH_OBS          also measure ir-jit with a live telemetry trace
 //                         session recording (ir-jit-obs cells, paired with
 //                         an adjacently-measured ir-jit-obs-base)
+//   QC_BENCH_VERIFY       also measure ir-jit with the static verifier
+//                         layer forced on (ir-jit-verify cells, paired
+//                         with an adjacently-measured ir-jit-verify-base)
 //   QC_BENCH_THREADS      comma list of interpreter thread counts
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bc_verify.h"
 #include "bench_util.h"
 #include "common/timer.h"
 #include "exec/governor.h"
@@ -76,6 +80,7 @@ int main() {
   bool with_jit = bench::BenchJit();
   bool governed = bench::BenchGoverned();
   bool observed = bench::BenchObs() && with_jit;
+  bool verified = bench::BenchVerify() && with_jit;
   // An attached control with no deadline/budget: the governed cells measure
   // pure safepoint overhead, which the regression gate bounds.
   exec::ExecControl gov_ctl;
@@ -166,6 +171,24 @@ int main() {
                                     exec::InterpOptions::Engine::kJit, 5,
                                     threads, nullptr, /*traced=*/true);
       }
+      bench::InterpRun jit_verify_base, jit_verify;
+      if (verified) {
+        // Same adjacent-pair discipline as the obs cells. The verified run
+        // pays bytecode verification + stitch/W^X audit once at program-
+        // cache fill (first repetition); best-of-5 then measures steady
+        // state, which must be byte-for-byte the same execution path — the
+        // gate bounding verify/base at ~1.0 is what proves the verifier
+        // layer never runs per-row.
+        exec::analysis::SetVerifyEnabledOverride(0);
+        jit_verify_base = harness.RunInterp(
+            q, StackConfig::Level(5), exec::InterpOptions::Engine::kJit, 5,
+            threads);
+        exec::analysis::SetVerifyEnabledOverride(1);
+        jit_verify = harness.RunInterp(
+            q, StackConfig::Level(5), exec::InterpOptions::Engine::kJit, 5,
+            threads);
+        exec::analysis::SetVerifyEnabledOverride(-1);
+      }
       if (t == 0) {
         row.threads = threads;
         std::printf(" %10.2f %10.2f", tree.query_ms, bc.query_ms);
@@ -195,6 +218,11 @@ int main() {
           row.cells.emplace_back("ir-jit-obs-base", jit_obs_base.query_ms);
           row.cells.emplace_back("ir-jit-obs", jit_obs.query_ms);
         }
+        if (verified) {
+          row.cells.emplace_back("ir-jit-verify-base",
+                                 jit_verify_base.query_ms);
+          row.cells.emplace_back("ir-jit-verify", jit_verify.query_ms);
+        }
         if (tree.ok && bc.ok && bc.query_ms > 0) {
           speedup_log_sum += std::log(tree.query_ms / bc.query_ms);
           ++speedup_count;
@@ -223,6 +251,11 @@ int main() {
         if (observed) {
           trow.cells.emplace_back("ir-jit-obs-base", jit_obs_base.query_ms);
           trow.cells.emplace_back("ir-jit-obs", jit_obs.query_ms);
+        }
+        if (verified) {
+          trow.cells.emplace_back("ir-jit-verify-base",
+                                  jit_verify_base.query_ms);
+          trow.cells.emplace_back("ir-jit-verify", jit_verify.query_ms);
         }
         json_rows.push_back(std::move(trow));
         std::printf("  [t=%d: %0.2f %0.2f", threads, tree.query_ms,

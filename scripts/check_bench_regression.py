@@ -46,6 +46,16 @@ cells are skipped with a printed notice, and the script exits non-zero
 only on real regressions (or a missing/broken *current* artifact, which
 means the benchmark step itself regressed).
 
+When the current artifact carries verification cells (QC_BENCH_VERIFY=1
+during the bench: "ir-jit-verify" vs the adjacently-measured
+"ir-jit-verify-base", the same JIT run with the static verifier layer of
+src/analysis/ forced on vs off), the gate bounds the *verifier overhead*
+intra-artifact with --verify-overhead (default 2%). Verification runs
+entirely at program-compile time, so the steady-state best-of-N these
+cells record must be identical: the gate is what proves no check leaked
+into the per-row execution path, and that the QC_VERIFY=0 Release
+configuration pays nothing.
+
 When given --serve-current (a BENCH_serve.json from bench/serve_latency.cc),
 the gate additionally checks the serving daemon: the shed rate of the
 unfaulted bench run must stay within --serve-shed-rate (intra-artifact —
@@ -65,6 +75,7 @@ Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
       [--threshold 0.25] [--min-ms 1.0] [--coverage-points 5.0] \
       [--deopt-factor 2.0] [--gov-overhead 0.02] [--obs-overhead 0.02] \
+      [--verify-overhead 0.02] \
       [--serve-baseline SERVE_BASE.json --serve-current SERVE_CUR.json] \
       [--serve-p95-factor 1.5] [--serve-shed-rate 0.01] \
       [--fair-light-factor 0.75] [--fair-slack-ms 5.0]
@@ -83,6 +94,9 @@ GOV_COLUMNS = (("ir-bc", "ir-bc-gov"), ("ir-jit", "ir-jit-gov"))
 
 # (untraced, traced) cell pairs for the telemetry-overhead gate.
 OBS_COLUMNS = (("ir-jit-obs-base", "ir-jit-obs"),)
+
+# (unverified, verified) cell pairs for the static-verifier-overhead gate.
+VERIFY_COLUMNS = (("ir-jit-verify-base", "ir-jit-verify"),)
 
 # Cells faster than this in the ungoverned column are excluded from the
 # overhead geomean: at timer resolution the ratio is dominated by noise,
@@ -148,6 +162,24 @@ def obs_overhead_regressions(cur, allowed):
         "notice: current artifact has no observability cells "
         "(QC_BENCH_OBS not set during the bench); "
         "telemetry-overhead gate skipped")
+
+
+def verify_overhead_regressions(cur, allowed):
+    """Intra-artifact verified/unverified geomean check (current run only).
+
+    The static verifier layer (src/analysis/) does all its work at
+    program-compile time, before the first row flows; the steady-state
+    execution path must be identical with the layer on or off. Any geomean
+    gap beyond the allowance means a check leaked out of compile time into
+    the per-row path.
+    """
+    return paired_overhead_regressions(
+        cur, VERIFY_COLUMNS, allowed, "verification",
+        "a verifier or JIT-audit check leaked out of compile time into "
+        "the per-row execution path",
+        "notice: current artifact has no verification cells "
+        "(QC_BENCH_VERIFY not set during the bench); "
+        "verifier-overhead gate skipped")
 
 
 def serve_gate(args):
@@ -296,6 +328,10 @@ def main():
     ap.add_argument("--obs-overhead", type=float, default=0.02,
                     help="allowed traced/untraced geomean slowdown "
                          "(0.02 = 2%%; intra-artifact, needs no baseline)")
+    ap.add_argument("--verify-overhead", type=float, default=0.02,
+                    help="allowed verified/unverified geomean slowdown "
+                         "(0.02 = 2%%; verification is compile-time-only, "
+                         "so steady state must not move; intra-artifact)")
     ap.add_argument("--serve-baseline", default=None,
                     help="baseline BENCH_serve.json (optional)")
     ap.add_argument("--serve-current", default=None,
@@ -337,6 +373,7 @@ def main():
     # baseline.
     gov_regressions = gov_overhead_regressions(cur, args.gov_overhead)
     gov_regressions += obs_overhead_regressions(cur, args.obs_overhead)
+    gov_regressions += verify_overhead_regressions(cur, args.verify_overhead)
 
     def finish_without_baseline():
         baseline_free = gov_regressions + serve_regressions

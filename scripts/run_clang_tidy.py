@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the first-party tree against a pinned baseline.
+
+The repo's .clang-tidy enables bugprone-*, performance-*,
+concurrency-mt-unsafe, and readability-container-size-empty. This driver
+makes the wall *ratchet-shaped* instead of all-or-nothing:
+
+  * every finding is normalized to a stable fingerprint
+    "relative/path.cc:check-name" (no line numbers — findings must not
+    churn when unrelated edits move code),
+  * fingerprints in the pinned baseline (.clang-tidy-baseline) are
+    tolerated — pre-existing debt, tracked for burn-down,
+  * any fingerprint NOT in the baseline fails the run — new debt is
+    rejected at the door,
+  * baseline entries that no longer fire are reported so the baseline can
+    be shrunk (kept a notice, not a failure, to avoid flaking on
+    checker-version drift between clang releases).
+
+Usage:
+  run_clang_tidy.py --build-dir build [--baseline .clang-tidy-baseline]
+      [--clang-tidy clang-tidy] [--update-baseline] [--jobs N]
+
+Needs a compile_commands.json (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON). A missing clang-tidy binary is a
+hard error in CI but reported gently here so local gcc-only boxes can
+still build the repo without the linter installed.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# clang-tidy diagnostic line: /abs/path.cc:12:34: warning: ... [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<path>/[^:]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<check>[a-z0-9.,-]+)\]$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def first_party_sources(build_dir):
+    """Files from compile_commands.json under src/ bench/ tests/ (not
+    vendored gtest, not generated code in the build tree)."""
+    ccj = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(ccj):
+        print(f"error: {ccj} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return None
+    root = repo_root()
+    wanted = tuple(os.path.join(root, d) + os.sep
+                   for d in ("src", "bench", "tests"))
+    files = []
+    with open(ccj) as f:
+        for entry in json.load(f):
+            path = os.path.abspath(
+                os.path.join(entry["directory"], entry["file"]))
+            if path.startswith(wanted) and path not in files:
+                files.append(path)
+    return sorted(files)
+
+
+def fingerprint(path, check):
+    rel = os.path.relpath(path, repo_root())
+    return f"{rel}:{check}"
+
+
+def run_one(args):
+    tidy, build_dir, src = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", src],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    found = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        # One diagnostic can carry several check aliases, comma-separated.
+        for check in m.group("check").split(","):
+            found.add((fingerprint(m.group("path"), check), line.strip()))
+    return found
+
+
+def load_baseline(path):
+    """None = no usable baseline (missing file, or one carrying the
+    explicit '# unpinned' marker written before clang-tidy output was
+    first available on a builder); otherwise the tolerated set — possibly
+    empty, which means zero tolerated debt and is fully strict."""
+    if not os.path.exists(path):
+        return None
+    entries = set()
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line.lower().startswith("# unpinned"):
+                return None
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline",
+                    default=os.path.join(repo_root(), ".clang-tidy-baseline"))
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with the current finding "
+                         "set (use when deliberately accepting or burning "
+                         "down debt)")
+    args = ap.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print(f"error: '{args.clang_tidy}' not found on PATH; install "
+              "clang-tidy (CI does) or skip the lint locally",
+              file=sys.stderr)
+        return 2
+
+    sources = first_party_sources(args.build_dir)
+    if sources is None:
+        return 2
+    if not sources:
+        print("error: compile_commands.json lists no first-party sources",
+              file=sys.stderr)
+        return 2
+    print(f"clang-tidy over {len(sources)} files, {args.jobs} jobs")
+
+    with multiprocessing.Pool(args.jobs) as pool:
+        results = pool.map(
+            run_one, [(tidy, args.build_dir, s) for s in sources])
+    findings = {}  # fingerprint -> first diagnostic line (for the report)
+    for found in results:
+        for fp, diag in found:
+            findings.setdefault(fp, diag)
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as f:
+            f.write("# clang-tidy baseline: pre-existing findings tolerated "
+                    "by scripts/run_clang_tidy.py.\n"
+                    "# One 'path:check' fingerprint per line. Shrink me; "
+                    "never grow me without a review.\n")
+            for fp in sorted(findings):
+                f.write(fp + "\n")
+        print(f"wrote {len(findings)} fingerprint(s) to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        # A missing baseline must not brick CI bootstrapping: report
+        # everything, pass, and tell the operator how to pin.
+        print(f"notice: no baseline at {args.baseline}; reporting "
+              f"{len(findings)} finding(s) without failing. Pin with "
+              "--update-baseline.")
+        for fp in sorted(findings):
+            print("  " + findings[fp])
+        return 0
+
+    new = sorted(set(findings) - baseline)
+    fixed = sorted(baseline - set(findings))
+    if fixed:
+        print(f"{len(fixed)} baseline finding(s) no longer fire "
+              "(shrink the baseline):")
+        for fp in fixed:
+            print("  " + fp)
+    if new:
+        print(f"{len(new)} NEW clang-tidy finding(s) not in the baseline:")
+        for fp in new:
+            print("  " + findings[fp])
+        return 1
+    print(f"clang-tidy clean vs baseline "
+          f"({len(findings)} tolerated, 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

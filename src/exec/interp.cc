@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "analysis/bc_verify.h"
 #include "common/env.h"
 #include "common/str.h"
 #include "telemetry/log.h"
@@ -146,6 +147,12 @@ storage::ResultTable Interpreter::Run(const ir::Function& fn) {
       if (par_ != nullptr) cached.par = ir::AnalyzeParallelism(fn);
       cached.prog = BytecodeCompiler(db_).Compile(
           fn, par_ != nullptr ? &cached.par : nullptr);
+      // Debug/sanitizer builds (and QC_VERIFY=1 anywhere) prove the
+      // freshly-compiled program before it is ever executed or stitched; a
+      // violation here is a BytecodeCompiler bug, so die loudly.
+      if (analysis::VerifyEnabled()) {
+        analysis::CheckProgram(cached.prog, fn.name());
+      }
       it = programs_.insert_or_assign(&fn, std::move(cached)).first;
     }
     CachedProgram& cached = it->second;

@@ -27,13 +27,13 @@ class Cloner {
   // Called once after the output function and builder are set up, before any
   // statement is cloned — passes use it to emit hoisted prologue code (e.g.
   // memory pools) at the top of the function body.
-  virtual void Prologue(const Function& src) {}
+  virtual void Prologue(const Function& /*src*/) {}
 
   // Pass hook. Called for each source statement, after its arguments have
   // been cloned. Return the replacement statement (emit anything you need
   // through b()), or nullptr to clone the statement unchanged. To *drop* a
   // void statement, emit nothing and return a dummy via Drop().
-  virtual Stmt* Transform(const Stmt* s) { return nullptr; }
+  virtual Stmt* Transform(const Stmt* /*s*/) { return nullptr; }
 
   // Optional type translation hook (e.g. record layout changes).
   virtual const Type* MapType(const Type* t) { return t; }

@@ -1,12 +1,15 @@
 #include "jit/engine.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
 #endif
 
+#include "analysis/jit_audit.h"
 #include "common/env.h"
 #include "jit/templates.h"
 #include "telemetry/log.h"
@@ -59,6 +62,7 @@ const char* JitFallbackName(JitFallback f) {
     case JitFallback::kExecPagesDenied: return "exec_pages_denied";
     case JitFallback::kNothingTemplated: return "nothing_templated";
     case JitFallback::kInstallFailed: return "install_failed";
+    case JitFallback::kAuditFailed: return "audit_failed";
   }
   return "unknown";
 }
@@ -88,6 +92,27 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog,
     reason = JitFallback::kNothingTemplated;
     return nullptr;
   }
+  if (analysis::VerifyEnabled()) {
+    // Template-table shape is process-wide; audit it once, loudly — a bad
+    // template poisons every program it is ever stitched into.
+    static std::once_flag template_audit_once;
+    std::call_once(template_audit_once, [] {
+      analysis::VerifyResult tres = analysis::AuditTemplates();
+      if (!tres.ok()) {
+        std::fprintf(stderr, "jit template audit: %zu violation(s):\n%s",
+                     tres.violations.size(), tres.Report().c_str());
+        std::abort();
+      }
+    });
+    // Per-program image audit, before any byte becomes executable.
+    analysis::VerifyResult ares = analysis::AuditStitch(prog, stitched);
+    if (!ares.ok()) {
+      std::fprintf(stderr, "jit stitch audit: %zu violation(s):\n%s",
+                   ares.violations.size(), ares.Report().c_str());
+      reason = JitFallback::kAuditFailed;
+      return nullptr;
+    }
+  }
   if (EnvLevel("QC_JIT_STATS") >= 2) {
     // Deopt-site histogram: which opcodes lack native code in this program.
     int counts[static_cast<int>(BcOp::kNumOps)] = {};
@@ -110,6 +135,15 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const BytecodeProgram& prog,
   if (!jp->buf_.Install(stitched.code)) {  // W^X refused
     reason = JitFallback::kInstallFailed;
     return nullptr;
+  }
+  if (analysis::VerifyEnabled()) {
+    analysis::VerifyResult wres =
+        analysis::AuditWx(jp->buf_.base(), jp->buf_.size());
+    if (!wres.ok()) {
+      std::fprintf(stderr, "jit w^x audit:\n%s", wres.Report().c_str());
+      reason = JitFallback::kAuditFailed;
+      return nullptr;
+    }
   }
   jp->enter_ = reinterpret_cast<EnterFn>(
       reinterpret_cast<uintptr_t>(jp->buf_.base()));

@@ -61,6 +61,8 @@ enum class JitFallback : int {
   kExecPagesDenied = 3,     // mmap/mprotect refused executable pages
   kNothingTemplated = 4,    // no instruction of the program has a template
   kInstallFailed = 5,       // W^X install of the stitched code failed
+  kAuditFailed = 6,         // stitch/W^X audit rejected the image
+                            // (src/analysis/jit_audit.h; QC_VERIFY gating)
 };
 
 const char* JitFallbackName(JitFallback f);

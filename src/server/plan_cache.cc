@@ -1,5 +1,8 @@
 #include "server/plan_cache.h"
 
+#include "analysis/bc_verify.h"
+#include "exec/bytecode.h"
+#include "ir/parallel.h"
 #include "qplan/plan.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -50,6 +53,23 @@ const ir::Function* PlanCache::Get(int query, int level, std::string* error) {
   if (entry->res.fn == nullptr) {
     if (error != nullptr) *error = "compilation produced no function";
     return nullptr;
+  }
+  if (exec::analysis::VerifyEnabled()) {
+    // Prove the plan's bytecode (including its morsel fragments) before it
+    // can be served to any worker. Unlike the in-process Interpreter hook,
+    // a violation here is surfaced as a structured error — the daemon
+    // refuses the plan and stays up (crash-free contract of Get()).
+    telemetry::ScopedSpan span("verify", "compile", "query", query);
+    ir::ParallelInfo par = ir::AnalyzeParallelism(*entry->res.fn);
+    exec::BytecodeProgram prog =
+        exec::BytecodeCompiler(db_).Compile(*entry->res.fn, &par);
+    exec::analysis::VerifyResult vres = exec::analysis::VerifyProgram(prog);
+    if (!vres.ok()) {
+      if (error != nullptr) {
+        *error = "plan failed bytecode verification: " + vres.Report();
+      }
+      return nullptr;
+    }
   }
   const ir::Function* fn = entry->res.fn.get();
   std::unique_lock<std::shared_mutex> lock(map_mu_);

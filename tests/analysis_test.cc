@@ -1,0 +1,192 @@
+// Tests for the static verifier layer (src/analysis/): the bytecode
+// abstract-interpretation verifier and the JIT template/patch auditor.
+//
+// Two halves, mirroring qc_verify:
+//  - Acceptance: every bytecode program the stack actually produces — all
+//    22 TPC-H queries at both stack levels (pipelined oracle lowering and
+//    the full Level-5 compiler), compiled with morsel-parallelism info —
+//    must verify with zero violations, and every stitched JIT image must
+//    audit clean against its source program.
+//  - Rejection: the shared mutation suite (src/analysis/mutations.h).
+//    Each deliberately corrupted program / image must be rejected with the
+//    *named* invariant, not just "some violation": a verifier that fires
+//    the wrong check is not proving what it claims to prove.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/bc_verify.h"
+#include "analysis/jit_audit.h"
+#include "analysis/mutations.h"
+#include "compiler/compiler.h"
+#include "exec/bytecode.h"
+#include "ir/parallel.h"
+#include "jit/emitter.h"
+#include "lower/pipeline.h"
+#include "qplan/plan.h"
+#include "storage/database.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace qc {
+namespace {
+
+namespace jit = exec::jit;
+
+using exec::BytecodeCompiler;
+using exec::BytecodeProgram;
+using exec::analysis::AuditStitch;
+using exec::analysis::AuditTemplates;
+using exec::analysis::BcMutations;
+using exec::analysis::InvariantMatches;
+using exec::analysis::JitMutations;
+using exec::analysis::VerifyProgram;
+using exec::analysis::VerifyResult;
+
+// --------------------------------------------------------------------------
+// Acceptance: all 22 queries x both stack levels x {verifier, auditor}.
+// --------------------------------------------------------------------------
+
+class AnalysisTpchTest : public ::testing::TestWithParam<int> {
+ protected:
+  static storage::Database* db() {
+    static storage::Database* db =
+        new storage::Database(tpch::MakeTpchDatabase(0.002, 7));
+    return db;
+  }
+
+  // Compiles `fn` to bytecode (with the parallel fragments the morsel
+  // runtime would use), verifies it, stitches it, audits the image.
+  static void ExpectClean(const ir::Function& fn, const std::string& tag) {
+    ir::ParallelInfo par = ir::AnalyzeParallelism(fn);
+    BytecodeProgram prog = BytecodeCompiler(db()).Compile(fn, &par);
+    VerifyResult vres = VerifyProgram(prog);
+    EXPECT_TRUE(vres.ok()) << tag << " bytecode verifier:\n" << vres.Report();
+    jit::StitchResult stitched = jit::StitchProgram(prog);
+    if (stitched.num_native > 0) {
+      VerifyResult ares = AuditStitch(prog, stitched);
+      EXPECT_TRUE(ares.ok()) << tag << " jit audit:\n" << ares.Report();
+    }
+  }
+};
+
+TEST_P(AnalysisTpchTest, VerifierAndAuditorAcceptBothStackLevels) {
+  int q = GetParam();
+  qplan::PlanPtr plan = tpch::MakeQuery(q);
+  qplan::ResolvePlan(plan.get(), *db());
+  {
+    ir::TypeFactory types;
+    auto fn = lower::LowerPlanPipelined(*plan, *db(), &types,
+                                        "q" + std::to_string(q));
+    ExpectClean(*fn, "Q" + std::to_string(q) + " pipelined");
+  }
+  {
+    ir::TypeFactory types;
+    compiler::QueryCompiler qc(db(), &types);
+    compiler::CompileResult res =
+        qc.Compile(*plan, compiler::StackConfig::Level(5),
+                   "q" + std::to_string(q) + "_l5");
+    ExpectClean(*res.fn, "Q" + std::to_string(q) + " level5");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, AnalysisTpchTest, ::testing::Range(1, 23));
+
+TEST(AnalysisTemplates, TemplateTableAuditsClean) {
+  VerifyResult res = AuditTemplates();
+  EXPECT_TRUE(res.ok()) << res.Report();
+}
+
+// --------------------------------------------------------------------------
+// Rejection: the shared mutation suite against the canonical corpus
+// program (Q1 at the full stack level, compiled with parallelism info).
+// --------------------------------------------------------------------------
+
+class AnalysisMutationTest : public ::testing::Test {
+ protected:
+  struct Corpus {
+    storage::Database db;
+    ir::TypeFactory types;
+    compiler::CompileResult res;
+    ir::ParallelInfo par;
+    BytecodeProgram prog;
+  };
+
+  static Corpus* corpus() {
+    static Corpus* c = [] {
+      auto* cp = new Corpus{tpch::MakeTpchDatabase(0.002, 7), {}, {}, {}, {}};
+      qplan::PlanPtr plan = tpch::MakeQuery(1);
+      qplan::ResolvePlan(plan.get(), cp->db);
+      compiler::QueryCompiler qc(&cp->db, &cp->types);
+      cp->res = qc.Compile(*plan, compiler::StackConfig::Level(5),
+                           "mutation_corpus_q1");
+      cp->par = ir::AnalyzeParallelism(*cp->res.fn);
+      cp->prog = BytecodeCompiler(&cp->db).Compile(*cp->res.fn, &cp->par);
+      return cp;
+    }();
+    return c;
+  }
+
+  // The mutation must be rejected, and with the invariant it claims to
+  // violate — a precise diagnostic, not an incidental one.
+  static void ExpectRejected(const char* name, const char* invariant,
+                             const VerifyResult& res) {
+    ASSERT_FALSE(res.ok()) << name << ": corruption accepted";
+    bool matched = false;
+    for (const auto& v : res.violations) {
+      if (InvariantMatches(invariant, v.invariant)) matched = true;
+    }
+    EXPECT_TRUE(matched) << name << ": expected invariant '" << invariant
+                         << "', report:\n"
+                         << res.Report();
+  }
+};
+
+TEST_F(AnalysisMutationTest, CorpusProgramVerifiesClean) {
+  VerifyResult res = VerifyProgram(corpus()->prog);
+  EXPECT_TRUE(res.ok()) << res.Report();
+}
+
+TEST_F(AnalysisMutationTest, EveryBytecodeMutationRejectedByName) {
+  for (const auto& m : BcMutations()) {
+    BytecodeProgram mutant = corpus()->prog;
+    ASSERT_TRUE(m.apply(&mutant))
+        << m.name << ": not applicable to the corpus program";
+    ExpectRejected(m.name, m.invariant, VerifyProgram(mutant));
+  }
+}
+
+TEST_F(AnalysisMutationTest, SyntheticImpureParallelComparatorRejected) {
+  ExpectRejected("impure-parallel-comparator", "comparator-purity",
+                 VerifyProgram(exec::analysis::SyntheticImpureParallelSort()));
+}
+
+TEST_F(AnalysisMutationTest, SyntheticTypeConfusionRejected) {
+  ExpectRejected("type-confusion", "type-mismatch",
+                 VerifyProgram(exec::analysis::SyntheticTypeConfusion()));
+}
+
+TEST_F(AnalysisMutationTest, SyntheticCrossRegionJumpRejected) {
+  ExpectRejected("cross-region-jump", "jump-region",
+                 VerifyProgram(exec::analysis::SyntheticCrossRegionJump()));
+}
+
+TEST_F(AnalysisMutationTest, CorpusStitchAuditsClean) {
+  jit::StitchResult stitched = jit::StitchProgram(corpus()->prog);
+  if (stitched.num_native == 0) GTEST_SKIP() << "nothing stitched natively";
+  VerifyResult res = AuditStitch(corpus()->prog, stitched);
+  EXPECT_TRUE(res.ok()) << res.Report();
+}
+
+TEST_F(AnalysisMutationTest, EveryJitMutationRejectedByName) {
+  jit::StitchResult probe = jit::StitchProgram(corpus()->prog);
+  if (probe.num_native == 0) GTEST_SKIP() << "nothing stitched natively";
+  for (const auto& m : JitMutations()) {
+    jit::StitchResult mutant = jit::StitchProgram(corpus()->prog);
+    if (!m.apply(corpus()->prog, &mutant)) continue;  // no applicable site
+    ExpectRejected(m.name, m.invariant, AuditStitch(corpus()->prog, mutant));
+  }
+}
+
+}  // namespace
+}  // namespace qc

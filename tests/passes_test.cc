@@ -244,7 +244,7 @@ TEST(HashSpec, SmallRangeAggBecomesArray) {
     b.RecSet(rec, 1, b.Add(b.RecGet(rec, 1), val));
     b.RecSet(rec, 2, b.Add(b.RecGet(rec, 2), b.I64(1)));
   });
-  b.MapForeach(map, [&](Stmt* k, Stmt* rec) {
+  b.MapForeach(map, [&](Stmt* /*k*/, Stmt* rec) {
     b.EmitRow({b.RecGet(rec, 0), b.RecGet(rec, 1)});
   });
   auto out = opt::SpecializeHashStructures(fn, &db);
@@ -271,7 +271,7 @@ TEST(HashSpec, UnboundedKeyStaysGeneric) {
         map, v, [&] { return b.RecNew(agg, {v, b.I64(0)}); });
     b.RecSet(rec, 1, b.Add(b.RecGet(rec, 1), b.I64(1)));
   });
-  b.MapForeach(map, [&](Stmt* k, Stmt* rec) {
+  b.MapForeach(map, [&](Stmt* /*k*/, Stmt* rec) {
     b.EmitRow({b.RecGet(rec, 0)});
   });
   auto out = opt::SpecializeHashStructures(fn, &db);
